@@ -1,0 +1,27 @@
+(* export_spec — regenerate the CafeOBJ text of the protocol specification
+   (the paper's artifact) from the programmatic model.
+
+   Usage:
+     export_spec            print the TLS module to stdout
+     export_spec --variant  the Cf2First variant
+     export_spec -o FILE    write to FILE *)
+
+let () =
+  let variant = ref false in
+  let output = ref "" in
+  Arg.parse
+    [
+      "--variant", Arg.Set variant, "export the ClientFinished2-first variant";
+      "-o", Arg.Set_string output, "FILE write to FILE instead of stdout";
+    ]
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "export_spec [options]";
+  let style = if !variant then Tls.Model.Cf2First else Tls.Model.Original in
+  let src = Cafeobj.Export.to_source (Tls.Model.spec style) in
+  if !output = "" then print_string src
+  else begin
+    let oc = open_out !output in
+    output_string oc src;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes)\n" !output (String.length src)
+  end

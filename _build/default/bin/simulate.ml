@@ -1,0 +1,53 @@
+(* simulate — execute the Figure-2 handshake scenarios symbolically and
+   print every message, observer values, and the intruder's gleanings.
+
+   Usage:
+     simulate [--scenario full|resumption|attack2|attack3] [--variant] *)
+
+open Kernel
+module S = Tls.Scenario
+module D = Tls.Data
+
+let print_run run =
+  Format.printf "=== %s ===@." run.S.run_name;
+  List.iteri
+    (fun i (step : S.step) -> Format.printf "%2d. %s@." (i + 1) step.S.label)
+    run.S.steps;
+  (match S.effective run with
+  | [] -> Format.printf "(all transitions effective)@."
+  | dead -> Format.printf "NON-EFFECTIVE: %s@." (String.concat ", " dead));
+  let final = S.final run in
+  let o = run.S.ots in
+  let nw = Tls.Model.nw o final in
+  Format.printf "@.network (normal form):@.  %a@.@." Term.pp (S.eval run nw);
+  let c = S.cast in
+  let honest_pms = D.pms_ ~client:c.S.alice ~server:c.S.bob c.S.sec1 in
+  let intruder_pms = D.pms_ ~client:D.intruder ~server:c.S.bob c.S.sec2 in
+  Format.printf "intruder gleanings:@.";
+  Format.printf "  honest pms:    %a@." Term.pp (S.eval run (D.in_cpms honest_pms nw));
+  Format.printf "  own pms:       %a@." Term.pp (S.eval run (D.in_cpms intruder_pms nw));
+  Format.printf "  bob's cert sig: %a@." Term.pp
+    (S.eval run (D.in_csig (D.sig_of ~signer:D.ca ~subject:c.S.bob (D.pk_ c.S.bob)) nw))
+
+let () =
+  let scenario = ref "full" in
+  let variant = ref false in
+  let spec =
+    [
+      "--scenario", Arg.Set_string scenario,
+      "full|resumption|duplication|attack2|attack3";
+      "--variant", Arg.Set variant, "use the ClientFinished2-first variant";
+    ]
+  in
+  Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "simulate [options]";
+  let style = if !variant then Tls.Model.Cf2First else Tls.Model.Original in
+  let run =
+    match !scenario with
+    | "full" -> S.full_handshake ~style ()
+    | "resumption" -> S.resumption ~style ()
+    | "duplication" -> S.duplication ()
+    | "attack2" -> S.attack_2prime ()
+    | "attack3" -> S.attack_3prime ()
+    | other -> raise (Arg.Bad ("unknown scenario " ^ other))
+  in
+  print_run run

@@ -1,0 +1,57 @@
+(* verify — run the Section-5 verification campaign.
+
+   Usage:
+     verify                     run all 18 invariants (original protocol)
+     verify --variant           run them for the Cf2First variant
+     verify --only inv1         run a single proof
+     verify --negative          also attempt the failing properties 2'/3'
+     verify --extensions        also prove the two beyond-paper invariants
+     verify --stats             print campaign totals only *)
+
+open Core
+
+let run_one env proof =
+  let r = Proofs.Tls_invariants.run env proof in
+  Format.printf "%a@.@." Report.pp_result r;
+  r
+
+let () =
+  let variant = ref false in
+  let only = ref [] in
+  let negative = ref false in
+  let extensions = ref false in
+  let stats_only = ref false in
+  let spec =
+    [
+      "--variant", Arg.Set variant, "verify the Cf2First variant protocol";
+      "--only", Arg.String (fun s -> only := s :: !only), "NAME run one proof (repeatable)";
+      "--negative", Arg.Set negative, "also attempt properties 2' and 3'";
+      "--extensions", Arg.Set extensions, "also prove the beyond-paper invariants";
+      "--stats", Arg.Set stats_only, "print summary only";
+    ]
+  in
+  Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "verify [options]";
+  let style = if !variant then Tls.Model.Cf2First else Tls.Model.Original in
+  let env = Tls.Model.env style in
+  let proofs =
+    match !only with
+    | [] ->
+      Proofs.Tls_invariants.all style
+      @ (if !extensions then Proofs.Tls_invariants.extensions style else [])
+    | names -> List.map (Proofs.Tls_invariants.find style) (List.rev names)
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    if !stats_only then List.map (Proofs.Tls_invariants.run env) proofs
+    else List.map (run_one env) proofs
+  in
+  Format.printf "%a@." Report.pp_summary (Report.summarize results);
+  Format.printf "wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
+  if !negative then begin
+    Format.printf "@.--- negative properties (Section 5.3) ---@.";
+    List.iter
+      (fun p -> ignore (run_one env p))
+      [ Proofs.Tls_invariants.prop2' style; Proofs.Tls_invariants.prop3' style ]
+  end;
+  let failures = Report.failures results in
+  if failures <> [] then exit 1

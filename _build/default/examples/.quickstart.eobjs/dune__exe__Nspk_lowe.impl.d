@@ -1,0 +1,1 @@
+examples/nspk_lowe.ml: Core Format List Mc Nspk

@@ -1,0 +1,1 @@
+examples/nspk_lowe.mli:

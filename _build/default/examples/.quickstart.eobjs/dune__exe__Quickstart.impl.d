@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cafeobj Core Format Induction Kernel List Ots Report Rewrite Signature Sort Specgen Term

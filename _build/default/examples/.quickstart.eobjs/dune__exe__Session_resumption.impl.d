@@ -1,0 +1,1 @@
+examples/session_resumption.ml: Core Format Kernel List Proofs String Term Tls

@@ -1,0 +1,1 @@
+examples/tls_anonymity_attack.ml: Core Format Kernel List Mc Proofs String Term Tls

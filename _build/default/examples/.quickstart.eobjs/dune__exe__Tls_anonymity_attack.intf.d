@@ -1,0 +1,1 @@
+examples/tls_anonymity_attack.mli:

@@ -1,0 +1,1 @@
+examples/tls_full_handshake.ml: Core Format Kernel List Proofs String Term Tls

@@ -1,0 +1,1 @@
+lib/cafeobj/builtins.ml: Boolring Iflift Kernel Lazy List Spec

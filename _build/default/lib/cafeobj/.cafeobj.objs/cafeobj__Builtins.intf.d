@@ -1,0 +1,1 @@
+lib/cafeobj/builtins.mli: Kernel Sort Spec

@@ -1,0 +1,1 @@
+lib/cafeobj/datatype.ml: Kernel List Printf Rewrite Signature Sort Spec Term

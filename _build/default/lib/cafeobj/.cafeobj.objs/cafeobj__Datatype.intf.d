@@ -1,0 +1,1 @@
+lib/cafeobj/datatype.mli: Kernel Rewrite Signature Sort Spec Term

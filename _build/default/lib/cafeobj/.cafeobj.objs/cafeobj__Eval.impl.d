@@ -1,0 +1,1 @@
+lib/cafeobj/eval.ml: Builtins Datatype Format Hashtbl Kernel List Option Parser Printf Rewrite Signature Sort Spec Term

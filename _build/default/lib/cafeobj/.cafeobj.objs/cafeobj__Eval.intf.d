@@ -1,0 +1,1 @@
+lib/cafeobj/eval.mli: Format Kernel Parser Spec Term

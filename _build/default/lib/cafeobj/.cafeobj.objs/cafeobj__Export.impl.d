@@ -1,0 +1,1 @@
+lib/cafeobj/export.ml: Buffer Eval Hashtbl Kernel Lazy List Option Printf Rewrite Signature Sort Spec String Term

@@ -1,0 +1,1 @@
+lib/cafeobj/export.mli: Kernel Spec Term

@@ -1,0 +1,1 @@
+lib/cafeobj/lexer.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/cafeobj/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/cafeobj/parser.ml: Format Lexer List Printf

@@ -1,0 +1,1 @@
+lib/cafeobj/parser.mli: Lexer

@@ -1,0 +1,1 @@
+lib/cafeobj/spec.ml: Boolring Format Hashtbl Kernel Lazy List Printf Rewrite Signature Sort String

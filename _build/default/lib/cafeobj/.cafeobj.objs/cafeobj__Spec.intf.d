@@ -1,0 +1,1 @@
+lib/cafeobj/spec.mli: Format Kernel Lazy Rewrite Signature Sort Term

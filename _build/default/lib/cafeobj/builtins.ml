@@ -1,0 +1,20 @@
+open Kernel
+
+let bool_spec () = Lazy.force Spec.bool_spec
+
+let hsiang_spec =
+  lazy
+    (let m = Spec.create ~bool:false "BOOL-HSIANG" in
+     ignore (Spec.declare_sort m "Bool");
+     List.iter (Spec.add_rule m) (Boolring.rewrite_rules ());
+     m)
+
+let hsiang () = Lazy.force hsiang_spec
+
+let add_if_rules spec sort =
+  List.iter (Spec.add_rule spec) (Iflift.simplify_rules sort)
+
+let add_iflift_rules spec =
+  List.iter
+    (fun op -> List.iter (Spec.add_rule spec) (Iflift.rules_for_op op))
+    (Spec.own_ops spec)

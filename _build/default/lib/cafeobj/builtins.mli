@@ -1,0 +1,27 @@
+(** Builtin modules available to every specification. *)
+
+open Kernel
+
+(** [bool_spec ()] is the BOOL module: sorts [Bool], the usual connectives,
+    and the Hsiang rewrite system that is complete for propositional logic
+    (Section 2.1 of the paper). Every module created with [Spec.create]
+    imports it implicitly. *)
+val bool_spec : unit -> Spec.t
+
+(** [hsiang ()] is the complete Hsiang system for propositional logic
+    (Section 2.1, reference [5] of the paper): reduces every tautology to
+    [true] and every contradiction to [false].  Kept out of the implicit
+    import because its distribution rule can blow up when mixed with large
+    protocol rule sets.  Import it with [Spec.create ~bool:false]: combined
+    with the constant-folding BOOL the two orientations of [not] loop. *)
+val hsiang : unit -> Spec.t
+
+(** [add_if_rules spec sort] makes [if_then_else] usable at [sort] in
+    [spec]: declares nothing (the operator is interned globally) but adds the
+    simplification rules [if true …], [if false …], [if c x x = x]. *)
+val add_if_rules : Spec.t -> Sort.t -> unit
+
+(** [add_iflift_rules spec] adds the lifting rules for every operator
+    declared by [spec] itself (see {!Kernel.Iflift}); call it after all
+    operator declarations. *)
+val add_iflift_rules : Spec.t -> unit

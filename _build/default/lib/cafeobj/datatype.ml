@@ -1,0 +1,108 @@
+open Kernel
+
+let arg_vars prefix fields =
+  List.mapi
+    (fun i (_, s) -> Term.var (Printf.sprintf "%s%d" prefix i) s)
+    fields
+
+let declare_ctor spec ~sort name fields =
+  let ctor =
+    Spec.declare_op spec name (List.map snd fields) sort
+      ~attrs:[ Signature.Ctor ]
+  in
+  let xs = arg_vars "X" fields in
+  List.iteri
+    (fun i (proj_name, field_sort) ->
+      let proj =
+        Spec.declare_op spec proj_name [ sort ] field_sort ~attrs:[]
+      in
+      Spec.add_eq spec
+        ~label:(Printf.sprintf "proj-%s-%s" proj_name name)
+        (Term.app proj [ Term.app ctor xs ])
+        (List.nth xs i))
+    fields;
+  ctor
+
+let ctor_pattern prefix (ctor : Signature.op) =
+  let vars =
+    List.mapi
+      (fun i s -> Term.var (Printf.sprintf "%s%d" prefix i) s)
+      ctor.Signature.arity
+  in
+  Term.app ctor vars, vars
+
+let equality_rules_for ~ctors sort =
+  let x = Term.var "X" sort in
+  let refl =
+    Rewrite.rule ~label:(Printf.sprintf "eq-refl-%s" sort.Sort.name)
+      (Term.eq x x) Term.tt
+  in
+  refl
+  :: List.concat_map
+    (fun (c : Signature.op) ->
+      List.map
+        (fun (d : Signature.op) ->
+          let cpat, cvars = ctor_pattern "X" c in
+          let dpat, dvars = ctor_pattern "Y" d in
+          let label =
+            Printf.sprintf "eq-%s-%s" c.Signature.name d.Signature.name
+          in
+          if Signature.op_equal c d then
+            let rhs = Term.conj (List.map2 Term.eq cvars dvars) in
+            Rewrite.rule ~label (Term.eq cpat dpat) rhs
+          else Rewrite.rule ~label (Term.eq cpat dpat) Term.ff)
+        ctors)
+       ctors
+
+let distinct_constants spec ~sort names =
+  let existing_constants () =
+    List.filter
+      (fun (o : Signature.op) ->
+        Signature.is_ctor o && o.Signature.arity = []
+        && Sort.equal o.Signature.sort sort)
+      (Spec.own_ops spec)
+  in
+  List.map
+    (fun name ->
+      let others = existing_constants () in
+      let c = Spec.declare_op spec name [] sort ~attrs:[ Signature.Ctor ] in
+      let ct = Term.const c in
+      List.iter
+        (fun (o : Signature.op) ->
+          let ot = Term.const o in
+          Spec.add_eq spec
+            ~label:(Printf.sprintf "neq-%s-%s" name o.Signature.name)
+            (Term.eq ct ot) Term.ff;
+          Spec.add_eq spec
+            ~label:(Printf.sprintf "neq-%s-%s" o.Signature.name name)
+            (Term.eq ot ct) Term.ff)
+        others;
+      ct)
+    names
+
+let finalize_sort spec sort =
+  let ctors =
+    List.filter
+      (fun (o : Signature.op) ->
+        Signature.is_ctor o && Sort.equal o.Signature.sort sort)
+      (Spec.own_ops spec)
+  in
+  (* Recognizers. *)
+  List.iter
+    (fun (c : Signature.op) ->
+      let recog =
+        Spec.declare_op spec (c.Signature.name ^ "?") [ sort ] Sort.bool
+          ~attrs:[]
+      in
+      List.iter
+        (fun (d : Signature.op) ->
+          let dpat, _ = ctor_pattern "X" d in
+          let value = Term.bool_ (Signature.op_equal c d) in
+          Spec.add_eq spec
+            ~label:(Printf.sprintf "recog-%s-%s" c.Signature.name d.Signature.name)
+            (Term.app recog [ dpat ])
+            value)
+        ctors)
+    ctors;
+  (* No-confusion equality theory. *)
+  List.iter (Spec.add_rule spec) (equality_rules_for ~ctors sort)

@@ -1,0 +1,53 @@
+(** Free constructor datatypes with derived operations.
+
+    Section 4.2 of the paper declares, for every data constructor such as
+    [pms], projection operators ([client], [server], [secret]) returning its
+    arguments, and for every message constructor [x] a recognizer predicate
+    [x?].  Because the cryptosystem is assumed perfect, all these
+    constructors are {e free}: two constructor terms are equal iff they share
+    the constructor and their arguments are pairwise equal.
+
+    This module automates those declarations:
+
+    - {!declare_ctor} declares a constructor together with its projections
+      and the projection-defining equations;
+    - {!finalize_sort} (called once all constructors of a sort are known)
+      declares the recognizers and generates the recognizer equations and
+      the no-confusion equality theory of the sort. *)
+
+open Kernel
+
+(** [declare_ctor spec ~sort name fields] declares constructor
+    [name : sorts(fields) -> sort] (attribute [Ctor]) plus one projection
+    operator per field.  Fields are [(projection_name, field_sort)]; a
+    projection with the same name and profile may be shared by several
+    constructors of the sort (e.g. [src] over all ten message kinds). *)
+val declare_ctor :
+  Spec.t -> sort:Sort.t -> string -> (string * Sort.t) list -> Signature.op
+
+(** [finalize_sort spec sort] generates, for the constructors of [sort]
+    declared so far in [spec]'s own signature:
+
+    - recognizers [c?] with [c?(c(..)) = true] and [c?(d(..)) = false] for
+      every other constructor [d];
+    - equality decomposition: [c(xs) = c(ys)] rewrites to the conjunction of
+      argument equalities, and [c(xs) = d(ys)] to [false] for [c <> d].
+
+    Recognizer operators are named [<ctor>?]. *)
+val finalize_sort : Spec.t -> Sort.t -> unit
+
+(** [equality_rules_for ~ctors sort] is the raw no-confusion/no-junk
+    equality rule set for [sort] given its constructor list (exposed for the
+    prover's tests and for sorts whose constructors live outside a spec
+    module).  Always includes reflexivity [X = X -> true]. *)
+val equality_rules_for : ctors:Signature.op list -> Sort.t -> Rewrite.rule list
+
+(** [distinct_constants spec ~sort names] declares each name as a constant
+    constructor of [sort] and adds the disequality rules between each new
+    constant and every other constructor constant of the sort already
+    declared in [spec] (in both orientations, since the rewrite relation is
+    not symmetric).  Used to populate finite scenarios for concrete protocol
+    runs: the principals, nonces and cipher suites of an execution must be
+    pairwise distinct for the effective conditions to evaluate. *)
+val distinct_constants :
+  Spec.t -> sort:Sort.t -> string list -> Term.t list

@@ -1,0 +1,43 @@
+(** Evaluator for the mini-CafeOBJ language: elaborates parsed modules into
+    {!Spec} values and executes [red] commands — enough to replay the
+    paper's specification-and-proof-score workflow from concrete syntax
+    (Section 2.1: “The command red is used to rewrite a given term”). *)
+
+open Kernel
+
+type env
+
+val create : unit -> env
+
+(** [find_module env name] returns an elaborated module. *)
+val find_module : env -> string -> Spec.t option
+
+type reduction = {
+  input : Term.t;
+  normal_form : Term.t;
+  steps : int;  (** rule applications used by this reduction *)
+}
+
+type output =
+  | Defined of string  (** a module was elaborated *)
+  | Reduced of reduction
+  | Opened of string
+  | Closed
+  | Shown of string  (** pretty-printed module text *)
+
+exception Error of string
+
+(** [eval env phrase] executes one toplevel phrase.  [red] commands reduce
+    in the module named by [in], in the currently open scratch module, or
+    in the most recently defined module, in that order of preference. *)
+val eval : env -> Parser.toplevel -> output
+
+(** [eval_string env src] parses and evaluates a whole program. *)
+val eval_string : env -> string -> output list
+
+(** [reduce_string env src] — convenience: evaluate and return the last
+    reduction.
+    @raise Error if [src] performs no reduction. *)
+val reduce_string : env -> string -> reduction
+
+val pp_output : Format.formatter -> output -> unit

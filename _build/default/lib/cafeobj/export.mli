@@ -1,0 +1,26 @@
+(** Export of specification modules as mini-CafeOBJ concrete syntax.
+
+    [to_source spec] flattens [spec] (own declarations plus imports, in
+    dependency order) into a program that {!Eval.eval_string} accepts and
+    that reproduces the same rewrite relation.  This regenerates the
+    paper's artifact — the CafeOBJ text of the protocol specification —
+    from the programmatic model.
+
+    Operator names that the lexer cannot read (the bag constructor [_,_])
+    are renamed consistently; variables are renamed apart per sort, since
+    the surface syntax scopes variable declarations per module while the
+    internal rules may reuse one name at several sorts. *)
+
+open Kernel
+
+(** [to_source spec] is the flattened program text. *)
+val to_source : Spec.t -> string
+
+(** [term_to_source t] prints one term in the concrete syntax (equality as
+    [==], connectives infix, [if _ then _ else _ fi]). *)
+val term_to_source : Term.t -> string
+
+(** [roundtrip spec] evaluates the exported source in a fresh environment
+    and returns the reconstructed module (for tests).
+    @raise Eval.Error if the export does not parse back. *)
+val roundtrip : Spec.t -> Spec.t

@@ -1,0 +1,92 @@
+type token =
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | HLBRACKET
+  | HRBRACKET
+  | COLON
+  | COMMA
+  | DOT
+  | ARROW
+  | EQUALS
+  | EQEQ
+  | KW of string
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keywords =
+  [
+    "mod"; "pr"; "op"; "ctor"; "var"; "vars"; "eq"; "ceq"; "red"; "open";
+    "close"; "if"; "then"; "else"; "fi"; "in"; "and"; "or"; "xor"; "not";
+    "implies"; "iff"; "true"; "false"; "show"; "assoc"; "comm";
+  ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '?' || c = '\'' || c = '#'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let fail message = raise (Error { line = !line; message }) in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      let c = src.[i] in
+      match c with
+      | '\n' ->
+        incr line;
+        go (i + 1) acc
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      | '-' when i + 1 < n && src.[i + 1] = '>' -> go (i + 2) (ARROW :: acc)
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | '{' -> go (i + 1) (LBRACE :: acc)
+      | '}' -> go (i + 1) (RBRACE :: acc)
+      | '*' when i + 1 < n && src.[i + 1] = '[' -> go (i + 2) (HLBRACKET :: acc)
+      | ']' when i + 1 < n && src.[i + 1] = '*' -> go (i + 2) (HRBRACKET :: acc)
+      | '[' -> go (i + 1) (LBRACKET :: acc)
+      | ']' -> go (i + 1) (RBRACKET :: acc)
+      | ':' -> go (i + 1) (COLON :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '.' -> go (i + 1) (DOT :: acc)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (EQEQ :: acc)
+      | '=' -> go (i + 1) (EQUALS :: acc)
+      | c when is_ident_char c ->
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub src i (j - i) in
+        let tok = if List.mem word keywords then KW word else IDENT word in
+        go j (tok :: acc)
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | HLBRACKET -> Format.pp_print_string ppf "'*['"
+  | HRBRACKET -> Format.pp_print_string ppf "']*'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | ARROW -> Format.pp_print_string ppf "'->'"
+  | EQUALS -> Format.pp_print_string ppf "'='"
+  | EQEQ -> Format.pp_print_string ppf "'=='"
+  | KW s -> Format.fprintf ppf "keyword %S" s
+  | EOF -> Format.pp_print_string ppf "end of input"

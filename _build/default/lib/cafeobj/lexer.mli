@@ -1,0 +1,31 @@
+(** Lexer for the mini-CafeOBJ concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | HLBRACKET  (** [*\[] — opens a hidden-sort declaration *)
+  | HRBRACKET  (** [\]*] *)
+  | COLON
+  | COMMA
+  | DOT
+  | ARROW  (** [->] *)
+  | EQUALS  (** [=] — the equation separator *)
+  | EQEQ  (** [==] — the equality predicate inside terms *)
+  | KW of string  (** keywords: mod, pr, op, var, eq, ceq, red, open, close,
+                      if, then, else, fi, in, and, or, xor, not, implies,
+                      iff, true, false, show *)
+  | EOF
+
+exception Error of { line : int; message : string }
+
+(** [tokenize src] lexes a whole source string.  Comments run from [--] to
+    the end of the line.  Identifiers may contain letters, digits, [-], [_],
+    [?], ['] and [#]. *)
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

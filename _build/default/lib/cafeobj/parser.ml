@@ -1,0 +1,273 @@
+type term =
+  | TIdent of string
+  | TApp of string * term list
+  | TTrue
+  | TFalse
+  | TNot of term
+  | TBin of string * term * term
+  | TEq of term * term
+  | TIf of term * term * term
+
+type decl =
+  | DImport of string
+  | DSorts of string list
+  | DHSort of string
+  | DOp of {
+      op_name : string;
+      arity : string list;
+      sort : string;
+      attrs : string list;
+    }
+  | DVars of string list * string
+  | DEq of term * term
+  | DCeq of term * term * term
+
+type toplevel =
+  | TModule of string * decl list
+  | TRed of string option * term
+  | TOpen of string
+  | TClose
+  | TShow of string
+  | TDecl of decl  (** a declaration between [open] and [close] *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type stream = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got = next st in
+  if got <> tok then
+    fail "expected %s but found %s"
+      (Format.asprintf "%a" Lexer.pp_token tok)
+      (Format.asprintf "%a" Lexer.pp_token got)
+
+let ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> fail "expected an identifier, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+(* ------------------------------------------------------------------ *)
+(* Terms, by precedence climbing *)
+
+let rec term st = iff_term st
+
+and iff_term st =
+  let lhs = implies_term st in
+  match peek st with
+  | Lexer.KW "iff" ->
+    advance st;
+    TBin ("iff", lhs, iff_term st)
+  | _ -> lhs
+
+and implies_term st =
+  let lhs = or_term st in
+  match peek st with
+  | Lexer.KW "implies" ->
+    advance st;
+    (* right-associative, as in CafeOBJ *)
+    TBin ("implies", lhs, implies_term st)
+  | _ -> lhs
+
+and or_term st =
+  let lhs = and_term st in
+  match peek st with
+  | Lexer.KW (("or" | "xor") as op) ->
+    advance st;
+    TBin (op, lhs, or_term st)
+  | _ -> lhs
+
+and and_term st =
+  let lhs = eq_term st in
+  match peek st with
+  | Lexer.KW "and" ->
+    advance st;
+    TBin ("and", lhs, and_term st)
+  | _ -> lhs
+
+and eq_term st =
+  let lhs = unary_term st in
+  match peek st with
+  | Lexer.EQEQ ->
+    advance st;
+    TEq (lhs, unary_term st)
+  | _ -> lhs
+
+and unary_term st =
+  match peek st with
+  | Lexer.KW "not" ->
+    advance st;
+    TNot (unary_term st)
+  | _ -> atom_term st
+
+and atom_term st =
+  match next st with
+  | Lexer.KW "true" -> TTrue
+  | Lexer.KW "false" -> TFalse
+  | Lexer.KW "if" ->
+    let c = term st in
+    expect st (Lexer.KW "then");
+    let t = term st in
+    expect st (Lexer.KW "else");
+    let e = term st in
+    expect st (Lexer.KW "fi");
+    TIf (c, t, e)
+  | Lexer.LPAREN ->
+    let t = term st in
+    expect st Lexer.RPAREN;
+    t
+  | Lexer.IDENT name -> (
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      let rec args acc =
+        let a = term st in
+        match next st with
+        | Lexer.COMMA -> args (a :: acc)
+        | Lexer.RPAREN -> List.rev (a :: acc)
+        | t -> fail "expected ',' or ')' in arguments, found %s"
+                 (Format.asprintf "%a" Lexer.pp_token t)
+      in
+      TApp (name, args [])
+    | _ -> TIdent name)
+  | t -> fail "unexpected %s in term" (Format.asprintf "%a" Lexer.pp_token t)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and toplevel phrases *)
+
+let idents_until st stop =
+  let rec go acc =
+    match peek st with
+    | Lexer.IDENT s ->
+      advance st;
+      go (s :: acc)
+    | t when t = stop -> List.rev acc
+    | t -> fail "expected identifier or %s, found %s"
+             (Format.asprintf "%a" Lexer.pp_token stop)
+             (Format.asprintf "%a" Lexer.pp_token t)
+  in
+  go []
+
+let attrs st =
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    let rec go acc =
+      match next st with
+      | Lexer.KW (("ctor" | "assoc" | "comm") as a) -> go (a :: acc)
+      | Lexer.RBRACE -> List.rev acc
+      | t -> fail "expected attribute, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+    in
+    go []
+  | _ -> []
+
+let decl st =
+  match next st with
+  | Lexer.KW "pr" ->
+    expect st Lexer.LPAREN;
+    let name = ident st in
+    expect st Lexer.RPAREN;
+    DImport name
+  | Lexer.LBRACKET ->
+    let sorts = idents_until st Lexer.RBRACKET in
+    expect st Lexer.RBRACKET;
+    DSorts sorts
+  | Lexer.HLBRACKET ->
+    let name = ident st in
+    expect st Lexer.HRBRACKET;
+    DHSort name
+  | Lexer.KW "op" | Lexer.KW "ctor" ->
+    let op_name = ident st in
+    expect st Lexer.COLON;
+    let arity = idents_until st Lexer.ARROW in
+    expect st Lexer.ARROW;
+    let sort = ident st in
+    let attrs = attrs st in
+    expect st Lexer.DOT;
+    DOp { op_name; arity; sort; attrs }
+  | Lexer.KW ("var" | "vars") ->
+    let names = idents_until st Lexer.COLON in
+    expect st Lexer.COLON;
+    let sort = ident st in
+    expect st Lexer.DOT;
+    DVars (names, sort)
+  | Lexer.KW "eq" ->
+    let lhs = term st in
+    expect st Lexer.EQUALS;
+    let rhs = term st in
+    expect st Lexer.DOT;
+    DEq (lhs, rhs)
+  | Lexer.KW "ceq" ->
+    let lhs = term st in
+    expect st Lexer.EQUALS;
+    let rhs = term st in
+    expect st (Lexer.KW "if");
+    let cond = term st in
+    expect st Lexer.DOT;
+    DCeq (lhs, rhs, cond)
+  | t -> fail "expected a declaration, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let toplevel st =
+  match peek st with
+  | Lexer.KW ("op" | "ctor" | "var" | "vars" | "eq" | "ceq" | "pr")
+  | Lexer.LBRACKET | Lexer.HLBRACKET ->
+    TDecl (decl st)
+  | _ ->
+  match next st with
+  | Lexer.KW "mod" ->
+    let name = ident st in
+    expect st Lexer.LBRACE;
+    let rec decls acc =
+      match peek st with
+      | Lexer.RBRACE ->
+        advance st;
+        List.rev acc
+      | _ -> decls (decl st :: acc)
+    in
+    TModule (name, decls [])
+  | Lexer.KW "red" ->
+    let in_module =
+      match peek st with
+      | Lexer.KW "in" ->
+        advance st;
+        let m = ident st in
+        expect st Lexer.COLON;
+        Some m
+      | _ -> None
+    in
+    let t = term st in
+    expect st Lexer.DOT;
+    TRed (in_module, t)
+  | Lexer.KW "open" -> TOpen (ident st)
+  | Lexer.KW "close" -> TClose
+  | Lexer.KW "show" -> TShow (ident st)
+  | t -> fail "expected a toplevel phrase, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let parse tokens =
+  let st = { toks = tokens } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ -> go (toplevel st :: acc)
+  in
+  go []
+
+let parse_string src = parse (Lexer.tokenize src)
+
+let parse_term_string src =
+  let st = { toks = Lexer.tokenize src } in
+  let t = term st in
+  match peek st with
+  | Lexer.EOF | Lexer.DOT -> t
+  | tok -> fail "trailing %s after term" (Format.asprintf "%a" Lexer.pp_token tok)

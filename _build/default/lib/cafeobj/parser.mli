@@ -1,0 +1,71 @@
+(** Parser for the mini-CafeOBJ concrete syntax.
+
+    Grammar (terms use prefix application plus infix boolean connectives
+    and [==] for the equality predicate):
+
+    {v
+    toplevel ::= "mod" NAME "{" decl* "}"
+               | "red" [ "in" NAME ":" ] term "."
+               | "open" NAME | "close"
+               | "show" NAME
+    decl     ::= "pr" "(" NAME ")"
+               | "[" NAME+ "]"                      -- visible sorts
+               | "*[" NAME "]*"                     -- hidden sort
+               | "op" NAME ":" NAME* "->" NAME [ "{" attr+ "}" ] "."
+               | "var"|"vars" NAME+ ":" NAME "."
+               | "eq" term "=" term "."
+               | "ceq" term "=" term "if" term "."
+    attr     ::= "ctor" | "assoc" | "comm"
+    term     ::= term "iff" term | term "implies" term
+               | term ("or"|"xor") term | term "and" term
+               | "not" term | term "==" term
+               | "if" term "then" term "else" term "fi"
+               | "true" | "false" | NAME | NAME "(" term ("," term)* ")"
+               | "(" term ")"
+    v} *)
+
+type term =
+  | TIdent of string
+  | TApp of string * term list
+  | TTrue
+  | TFalse
+  | TNot of term
+  | TBin of string * term * term  (** "and" | "or" | "xor" | "implies" | "iff" *)
+  | TEq of term * term
+  | TIf of term * term * term
+
+type decl =
+  | DImport of string
+  | DSorts of string list
+  | DHSort of string
+  | DOp of {
+      op_name : string;
+      arity : string list;
+      sort : string;
+      attrs : string list;
+    }
+  | DVars of string list * string
+  | DEq of term * term
+  | DCeq of term * term * term
+
+type toplevel =
+  | TModule of string * decl list
+  | TRed of string option * term
+  | TOpen of string
+  | TClose
+  | TShow of string
+  | TDecl of decl
+      (** a bare declaration, allowed between [open] and [close] (the
+          paper's proof passages declare constants and assumption
+          equations there) *)
+
+exception Error of string
+
+(** [parse tokens] parses a whole program (a list of toplevel phrases). *)
+val parse : Lexer.token list -> toplevel list
+
+(** [parse_string src] = lex + parse. *)
+val parse_string : string -> toplevel list
+
+(** [parse_term_string src] parses a single term (for the REPL and tests). *)
+val parse_term_string : string -> term

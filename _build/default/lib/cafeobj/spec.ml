@@ -1,0 +1,142 @@
+open Kernel
+
+type t = {
+  name : string;
+  imports : t list;
+  signature : Signature.t;
+  mutable own_sorts : Sort.t list;
+  mutable equations : Rewrite.rule list;  (** reverse order *)
+  mutable cached_system : Rewrite.system option;
+}
+
+(* The builtin BOOL module implicitly imported everywhere: constant folding
+   only, so that it composes with arbitrary data-level rule sets without
+   blow-up.  The complete Hsiang system (paper, Section 2.1) is available
+   separately as [Builtins.hsiang_spec]. *)
+let rec bool_spec =
+  lazy
+    (let m = create_raw ~imports:[] "BOOL" in
+     m.own_sorts <- [ Sort.bool ];
+     m.equations <- List.rev (Boolring.const_rules ());
+     m)
+
+and create_raw ~imports name =
+  {
+    name;
+    imports;
+    signature = Signature.create ();
+    own_sorts = [];
+    equations = [];
+    cached_system = None;
+  }
+
+let create ?(bool = true) ?(imports = []) name =
+  let imports = if bool then imports @ [ Lazy.force bool_spec ] else imports in
+  create_raw ~imports name
+
+let name m = m.name
+let imports m = m.imports
+
+let invalidate m = m.cached_system <- None
+
+let declare_sort m sort_name =
+  let s = Sort.visible sort_name in
+  if not (List.exists (Sort.equal s) m.own_sorts) then
+    m.own_sorts <- m.own_sorts @ [ s ];
+  s
+
+let declare_hsort m sort_name =
+  let s = Sort.hidden sort_name in
+  if not (List.exists (Sort.equal s) m.own_sorts) then
+    m.own_sorts <- m.own_sorts @ [ s ];
+  s
+
+(* Declaring an operator alone cannot change the rewrite relation (rules
+   are added separately), so the cached system stays valid — proof
+   campaigns declare thousands of fresh constants and must not pay a system
+   rebuild for each. *)
+let declare_op m op_name arity sort ~attrs =
+  Signature.declare m.signature op_name arity sort ~attrs
+
+let builtin_by_name op_name =
+  let module B = Signature.Builtin in
+  List.find_opt
+    (fun (o : Signature.op) -> String.equal o.Signature.name op_name)
+    [ B.tt; B.ff; B.not_; B.and_; B.or_; B.xor; B.implies; B.iff ]
+
+let rec find_op m op_name =
+  match Signature.find_opt m.signature op_name with
+  | Some _ as r -> r
+  | None -> (
+    match List.find_map (fun i -> find_op i op_name) m.imports with
+    | Some _ as r -> r
+    | None -> builtin_by_name op_name)
+
+let sorts m = m.own_sorts
+let own_ops m = Signature.ops m.signature
+
+let all_ops m =
+  let rec collect acc m =
+    let acc =
+      List.fold_left
+        (fun acc o ->
+          if List.exists (Signature.op_equal o) acc then acc else acc @ [ o ])
+        acc (own_ops m)
+    in
+    List.fold_left collect acc m.imports
+  in
+  collect [] m
+
+let add_rule m rule =
+  invalidate m;
+  m.equations <- rule :: m.equations
+
+let add_eq m ~label lhs rhs = add_rule m (Rewrite.rule ~label lhs rhs)
+
+let add_ceq m ~label lhs rhs ~cond =
+  add_rule m (Rewrite.rule ~label ~cond lhs rhs)
+
+let own_rules m = List.rev m.equations
+
+let all_rules m =
+  let seen = Hashtbl.create 64 in
+  let keep (r : Rewrite.rule) =
+    if Hashtbl.mem seen r.Rewrite.label then false
+    else begin
+      Hashtbl.add seen r.Rewrite.label ();
+      true
+    end
+  in
+  let rec collect m =
+    List.filter keep (own_rules m) @ List.concat_map collect m.imports
+  in
+  collect m
+
+let system m =
+  match m.cached_system with
+  | Some sys -> sys
+  | None ->
+    let sys = Rewrite.make (all_rules m) in
+    m.cached_system <- Some sys;
+    sys
+
+let reduce m t = Rewrite.normalize (system m) t
+
+let reduce_in m ~assumptions t =
+  let rules =
+    List.mapi
+      (fun i (lhs, rhs) ->
+        Rewrite.rule ~label:(Printf.sprintf "assumption-%d" i) lhs rhs)
+      assumptions
+  in
+  Rewrite.normalize (Rewrite.extend (system m) rules) t
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v2>mod %s {" m.name;
+  List.iter
+    (fun i -> Format.fprintf ppf "@,pr(%s)" i.name)
+    m.imports;
+  List.iter (fun s -> Format.fprintf ppf "@,[%a]" Sort.pp s) m.own_sorts;
+  List.iter (fun o -> Format.fprintf ppf "@,%a ." Signature.pp_op o) (own_ops m);
+  List.iter (fun r -> Format.fprintf ppf "@,%a ." Rewrite.pp_rule r) (own_rules m);
+  Format.fprintf ppf "@]@,}"

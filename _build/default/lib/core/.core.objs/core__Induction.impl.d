@@ -1,0 +1,1 @@
+lib/core/induction.ml: Cafeobj Hashtbl Kernel List Ots Printf Prover Signature Sort String Term Unix

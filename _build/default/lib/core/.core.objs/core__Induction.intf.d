@@ -1,0 +1,1 @@
+lib/core/induction.mli: Cafeobj Kernel Ots Prover Rewrite Sort Term

@@ -1,0 +1,1 @@
+lib/core/ots.ml: Kernel List Printf Signature Sort String Term

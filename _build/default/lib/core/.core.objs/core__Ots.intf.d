@@ -1,0 +1,1 @@
+lib/core/ots.mli: Kernel Signature Sort Term

@@ -1,0 +1,1 @@
+lib/core/prover.ml: Boolring Format Kernel List Printf Rewrite Signature Sort Term

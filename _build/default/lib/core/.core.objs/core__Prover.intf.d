@@ -1,0 +1,1 @@
+lib/core/prover.mli: Format Kernel Rewrite Signature Sort Term

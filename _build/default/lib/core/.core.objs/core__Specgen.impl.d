@@ -1,0 +1,1 @@
+lib/core/specgen.ml: Cafeobj Hashtbl Iflift Kernel List Ots Printf Signature Sort String Term

@@ -1,0 +1,1 @@
+lib/core/specgen.mli: Cafeobj Kernel Ots Term

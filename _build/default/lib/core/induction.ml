@@ -1,0 +1,169 @@
+open Kernel
+
+type invariant = {
+  inv_name : string;
+  inv_params : (string * Sort.t) list;
+  inv_body : Term.t -> Term.t list -> Term.t;
+}
+
+type hint = {
+  hint_action : string;
+  hint_instances : Term.t -> inv_args:Term.t list -> act_args:Term.t list -> Term.t list;
+}
+
+type case_result = {
+  case_name : string;
+  outcome : Prover.outcome;
+  duration : float;
+}
+
+type result = {
+  res_invariant : string;
+  cases : case_result list;
+  proved : bool;
+}
+
+type env = {
+  spec : Cafeobj.Spec.t;
+  env_ots : Ots.t;
+  recognizer_suffix : string;
+  mutable fresh_counter : int;
+  record_ctors : (string, Signature.op option) Hashtbl.t;
+      (** per-sort cache; sound because fresh constants are never
+          constructors, so later declarations cannot change the answer *)
+}
+
+let make_env ?(recognizer_suffix = "?") ~spec ~ots () =
+  {
+    spec;
+    env_ots = ots;
+    recognizer_suffix;
+    fresh_counter = 0;
+    record_ctors = Hashtbl.create 32;
+  }
+
+(* A record sort has exactly one constructor, with at least one argument
+   (rules out open sorts populated by scenario constants).  An arbitrary
+   value of such a sort is, by no-junk, an application of that constructor
+   to arbitrary values — so fresh constants of record sorts are expanded
+   eagerly: an arbitrary [EncPms] is [epms(pk(p#), pms(a#, b#, s#))].  This
+   is what lets the paper's proof passages reason about the components of
+   received quantities. *)
+let record_ctor env sort =
+  match Hashtbl.find_opt env.record_ctors sort.Sort.name with
+  | Some cached -> cached
+  | None ->
+    let ctors =
+      List.filter
+        (fun (o : Signature.op) ->
+          Signature.is_ctor o && Sort.equal o.Signature.sort sort)
+        (Cafeobj.Spec.all_ops env.spec)
+    in
+    let answer =
+      match ctors with
+      | [ c ] when c.Signature.arity <> [] -> Some c
+      | _ -> None
+    in
+    Hashtbl.add env.record_ctors sort.Sort.name answer;
+    answer
+
+let rec fresh_at_depth env depth sort =
+  match if depth <= 0 then None else record_ctor env sort with
+  | Some c -> Term.app c (List.map (fresh_at_depth env (depth - 1)) c.Signature.arity)
+  | None ->
+    env.fresh_counter <- env.fresh_counter + 1;
+    let name =
+      Printf.sprintf "%s#%d"
+        (String.lowercase_ascii sort.Sort.name)
+        env.fresh_counter
+    in
+    Term.const (Cafeobj.Spec.declare_op env.spec name [] sort ~attrs:[])
+
+let fresh_const env sort = fresh_at_depth env 8 sort
+
+let ctor_of_recognizer env (op : Signature.op) =
+  let name = op.Signature.name in
+  let suffix = env.recognizer_suffix in
+  let sl = String.length suffix and nl = String.length name in
+  if nl > sl && String.equal (String.sub name (nl - sl) sl) suffix then
+    match Cafeobj.Spec.find_op env.spec (String.sub name 0 (nl - sl)) with
+    | Some ctor when Signature.is_ctor ctor -> Some ctor
+    | Some _ | None -> None
+  else None
+
+let prover_ctx env =
+  {
+    Prover.system = Cafeobj.Spec.system env.spec;
+    fresh = fresh_const env;
+    ctor_of_recognizer = ctor_of_recognizer env;
+  }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
+
+let base_case ?config env inv =
+  let ctx = prover_ctx env in
+  let args = List.map (fun (_, s) -> fresh_const env s) inv.inv_params in
+  let goal = inv.inv_body (Ots.init_state env.env_ots) args in
+  let outcome, duration =
+    timed (fun () -> Prover.prove ?config ctx ~hyps:[] ~goal)
+  in
+  { case_name = "init"; outcome; duration }
+
+let prove_case ?config env ~hints inv ~action =
+  let ctx = prover_ctx env in
+  let act = Ots.action env.env_ots action in
+  let s = fresh_const env env.env_ots.Ots.hidden in
+  let inv_args = List.map (fun (_, srt) -> fresh_const env srt) inv.inv_params in
+  let act_args = List.map (fun (_, srt) -> fresh_const env srt) act.Ots.act_params in
+  let s' = Term.app act.Ots.act_op (s :: act_args) in
+  let ih = inv.inv_body s inv_args in
+  let extra =
+    List.concat_map
+      (fun h ->
+        if String.equal h.hint_action action || String.equal h.hint_action "*"
+        then h.hint_instances s ~inv_args ~act_args
+        else [])
+      hints
+  in
+  let goal = inv.inv_body s' inv_args in
+  let outcome, duration =
+    timed (fun () -> Prover.prove ?config ctx ~hyps:(ih :: extra) ~goal)
+  in
+  { case_name = action; outcome; duration }
+
+let prove_derived ?config env ~hyps inv =
+  let ctx = prover_ctx env in
+  let s = fresh_const env env.env_ots.Ots.hidden in
+  let args = List.map (fun (_, srt) -> fresh_const env srt) inv.inv_params in
+  let goal = inv.inv_body s args in
+  let outcome, duration =
+    timed (fun () -> Prover.prove ?config ctx ~hyps:(hyps s args) ~goal)
+  in
+  let case = { case_name = "derived"; outcome; duration } in
+  {
+    res_invariant = inv.inv_name;
+    cases = [ case ];
+    proved = (match outcome with Prover.Proved _ -> true | _ -> false);
+  }
+
+let prove_invariant ?config env ~hints inv =
+  let base = base_case ?config env inv in
+  let inductive =
+    List.map
+      (fun (a : Ots.action) ->
+        prove_case ?config env ~hints inv ~action:a.Ots.act_op.Signature.name)
+      env.env_ots.Ots.actions
+  in
+  let cases = base :: inductive in
+  let proved =
+    List.for_all
+      (fun c -> match c.outcome with Prover.Proved _ -> true | _ -> false)
+      cases
+  in
+  { res_invariant = inv.inv_name; cases; proved }
+
+let system env = Cafeobj.Spec.system env.spec
+let ots env = env.env_ots

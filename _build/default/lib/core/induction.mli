@@ -1,0 +1,85 @@
+(** Simultaneous induction over the transitions of an OTS (Section 2.4).
+
+    To prove an invariant [inv] the paper checks one proof score per
+    transition: the basic formula [istep = inv(s, xs) implies inv(s', xs)]
+    where [s'] is the transition applied to an arbitrary state [s] at
+    arbitrary parameters, plus a base case at the initial state.  Other
+    invariants may strengthen the inductive hypothesis (the paper's [SIH]);
+    which instances to use is given by per-transition {e hints}, mirroring
+    the paper's choice of, e.g., [inv1(p, pms(a,b,s))] in the fifth sub-case
+    of [fakeSfin2] for [inv2]. *)
+
+open Kernel
+
+(** An invariant [inv_i : H × V_{i1} … V_{im_i} -> Bool].  [body] receives
+    the state term and one term per declared parameter. *)
+type invariant = {
+  inv_name : string;
+  inv_params : (string * Sort.t) list;
+  inv_body : Term.t -> Term.t list -> Term.t;
+}
+
+(** A strengthening hint: for the named action (or ["*"] for all actions),
+    add the given lemma instances to the hypotheses.  The function receives
+    the state term [s], the invariant's parameter constants and the action's
+    parameter constants, and returns fully instantiated lemma bodies. *)
+type hint = {
+  hint_action : string;
+  hint_instances : Term.t -> inv_args:Term.t list -> act_args:Term.t list -> Term.t list;
+}
+
+type case_result = {
+  case_name : string;  (** ["init"] or the action name *)
+  outcome : Prover.outcome;
+  duration : float;  (** seconds *)
+}
+
+type result = {
+  res_invariant : string;
+  cases : case_result list;
+  proved : bool;  (** all cases proved *)
+}
+
+(** Proof environment: the generated protocol module and the prover
+    context pieces that depend on it. *)
+type env
+
+(** [make_env ~spec ~ots] prepares an environment.  [recognizer_suffix]
+    (default ["?"]) tells the prover how recognizer operators are named. *)
+val make_env : ?recognizer_suffix:string -> spec:Cafeobj.Spec.t -> ots:Ots.t -> unit -> env
+
+(** [fresh_const env sort] declares a fresh opaque constant (also used by
+    client code to build lemma instances in hints). *)
+val fresh_const : env -> Sort.t -> Term.t
+
+(** [prove_invariant ?config env ~hints inv] runs the base case and one
+    inductive case per action of the OTS. *)
+val prove_invariant :
+  ?config:Prover.config -> env -> hints:hint list -> invariant -> result
+
+(** [prove_case ?config env ~hints inv ~action] runs a single inductive
+    case (exposed for tests and for the paper's per-transition narrative). *)
+val prove_case :
+  ?config:Prover.config -> env -> hints:hint list -> invariant -> action:string -> case_result
+
+(** [base_case ?config env inv] runs only the initial-state case. *)
+val base_case : ?config:Prover.config -> env -> invariant -> case_result
+
+(** [prove_derived ?config env ~hyps inv] proves [inv] at an {e arbitrary}
+    state by case analysis from other invariants, without induction — the
+    paper proves five of its 18 properties this way (Section 5.1).  [hyps]
+    receives the arbitrary state and the invariant's parameter constants and
+    returns the lemma instances to assume. *)
+val prove_derived :
+  ?config:Prover.config ->
+  env ->
+  hyps:(Term.t -> Term.t list -> Term.t list) ->
+  invariant ->
+  result
+
+(** [system env] is the rewrite system of the protocol module (for external
+    reductions and benches). *)
+val system : env -> Rewrite.system
+
+(** [ots env] is the transition system the environment was built from. *)
+val ots : env -> Ots.t

@@ -1,0 +1,116 @@
+open Kernel
+
+type observer = {
+  obs_op : Signature.op;
+  obs_params : (string * Sort.t) list;
+  obs_result : Sort.t;
+}
+
+type effect_ = {
+  eff_observer : observer;
+  eff_value : Term.t;
+}
+
+type action = {
+  act_op : Signature.op;
+  act_params : (string * Sort.t) list;
+  act_cond : Term.t;
+  act_effects : effect_ list;
+}
+
+type t = {
+  ots_name : string;
+  hidden : Sort.t;
+  init : Signature.op;
+  observers : observer list;
+  actions : action list;
+  init_equations : (Term.t * Term.t) list;
+}
+
+let state_var ots = Term.var "S" ots.hidden
+
+let observer ots name =
+  List.find (fun o -> String.equal o.obs_op.Signature.name name) ots.observers
+
+let action ots name =
+  List.find (fun a -> String.equal a.act_op.Signature.name name) ots.actions
+
+let obs ots name args state =
+  let o = observer ots name in
+  Term.app o.obs_op (state :: args)
+
+let apply ots name state args =
+  let a = action ots name in
+  Term.app a.act_op (state :: args)
+
+let init_state ots = Term.const ots.init
+
+let var_named vars (v : Term.var) =
+  List.exists (fun (n, s) -> String.equal n v.v_name && Sort.equal s v.v_sort) vars
+
+let check ots =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  (* Observer names unique. *)
+  let names = List.map (fun o -> o.obs_op.Signature.name) ots.observers in
+  let dup =
+    List.find_opt (fun n -> List.length (List.filter (String.equal n) names) > 1) names
+  in
+  (match dup with
+  | Some n -> fail "Ots.check %s: duplicate observer %s" ots.ots_name n
+  | None -> ());
+  (* Init constant profile. *)
+  if ots.init.Signature.arity <> [] || not (Sort.equal ots.init.Signature.sort ots.hidden)
+  then fail "Ots.check %s: init is not a constant of the hidden sort" ots.ots_name;
+  (* Observers: first argument is the state. *)
+  List.iter
+    (fun o ->
+      match o.obs_op.Signature.arity with
+      | s :: rest
+        when Sort.equal s ots.hidden
+             && List.for_all2 Sort.equal rest (List.map snd o.obs_params)
+             && List.length rest = List.length o.obs_params ->
+        if not (Sort.equal o.obs_op.Signature.sort o.obs_result) then
+          fail "Ots.check %s: observer %s result sort mismatch" ots.ots_name
+            o.obs_op.Signature.name
+      | _ ->
+        fail "Ots.check %s: observer %s arity mismatch" ots.ots_name
+          o.obs_op.Signature.name)
+    ots.observers;
+  (* Actions: profile and variable coverage. *)
+  List.iter
+    (fun a ->
+      (match a.act_op.Signature.arity with
+      | s :: rest
+        when Sort.equal s ots.hidden
+             && List.length rest = List.length a.act_params
+             && List.for_all2 Sort.equal rest (List.map snd a.act_params) ->
+        if not (Sort.equal a.act_op.Signature.sort ots.hidden) then
+          fail "Ots.check %s: action %s does not return the hidden sort"
+            ots.ots_name a.act_op.Signature.name
+      | _ ->
+        fail "Ots.check %s: action %s arity mismatch" ots.ots_name
+          a.act_op.Signature.name);
+      let allowed = ("S", ots.hidden) :: a.act_params in
+      List.iter
+        (fun v ->
+          if not (var_named allowed v) then
+            fail "Ots.check %s: action %s: free variable %s in condition"
+              ots.ots_name a.act_op.Signature.name v.Term.v_name)
+        (Term.vars a.act_cond);
+      List.iter
+        (fun e ->
+          let allowed = allowed @ e.eff_observer.obs_params in
+          List.iter
+            (fun v ->
+              if not (var_named allowed v) then
+                fail "Ots.check %s: action %s: free variable %s in effect on %s"
+                  ots.ots_name a.act_op.Signature.name v.Term.v_name
+                  e.eff_observer.obs_op.Signature.name)
+            (Term.vars e.eff_value);
+          if not (Sort.equal (Term.sort e.eff_value) e.eff_observer.obs_result)
+          then
+            fail "Ots.check %s: action %s: effect on %s has wrong sort"
+              ots.ots_name a.act_op.Signature.name
+              e.eff_observer.obs_op.Signature.name)
+        a.act_effects)
+    ots.actions

@@ -1,0 +1,318 @@
+open Kernel
+
+type config = { max_splits : int; max_depth : int }
+
+let default_config = { max_splits = 100_000; max_depth = 2_000 }
+
+type stats = {
+  splits : int;
+  max_depth_reached : int;
+  rewrite_steps : int;
+  vacuous : int;
+}
+
+type trail_entry = { atom : Term.t; value : bool }
+
+type outcome =
+  | Proved of stats
+  | Refuted of { trail : trail_entry list; stats : stats }
+  | Unknown of { reason : string; residual : Term.t; stats : stats }
+
+type ctx = {
+  system : Rewrite.system;
+  fresh : Sort.t -> Term.t;
+  ctor_of_recognizer : Signature.op -> Signature.op option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Atom classification *)
+
+let is_opaque_constant = function
+  | Term.App (o, []) ->
+    (not (Signature.is_ctor o)) && not (Signature.Builtin.is_builtin o)
+  | Term.App _ | Term.Var _ -> false
+
+type atom_kind =
+  | Equality of Term.t * Term.t
+  | Recognizer of Signature.op * Term.t  (** constructor, opaque argument *)
+  | Plain
+
+let classify ctx atom =
+  match atom with
+  | Term.App (o, [ t1; t2 ]) when Signature.Builtin.is_eq o -> Equality (t1, t2)
+  | Term.App (o, [ m ]) when is_opaque_constant m -> (
+    match ctx.ctor_of_recognizer o with
+    | Some ctor -> Recognizer (ctor, m)
+    | None -> Plain)
+  | Term.App _ | Term.Var _ -> Plain
+
+(* All constructor positions from the root of [inside] down to an occurrence
+   of [t]: the equation [t = inside] is then unsatisfiable in the free
+   algebra (occurs check). *)
+let rec ctor_occurs ~inside t =
+  match inside with
+  | Term.Var _ -> false
+  | Term.App (o, args) ->
+    Signature.is_ctor o
+    && List.exists (fun a -> Term.equal a t || ctor_occurs ~inside:a t) args
+
+(* Orientation of an assumed equality as a ground rewrite rule.  Preference:
+   expand an opaque constant into the structured side (keeps projections and
+   gleaning rules applicable); otherwise rewrite the larger side to the
+   smaller.  Returns [None] when no terminating orientation is safe. *)
+let orient t1 t2 =
+  let c = Term.compare t1 t2 in
+  if c = 0 then None
+  else
+    let const1 = is_opaque_constant t1 and const2 = is_opaque_constant t2 in
+    match const1, const2 with
+    | true, true -> if c > 0 then Some (t1, t2) else Some (t2, t1)
+    | true, false ->
+      if Term.occurs ~inside:t2 t1 then None else Some (t1, t2)
+    | false, true ->
+      if Term.occurs ~inside:t1 t2 then None else Some (t2, t1)
+    | false, false ->
+      let s1 = Term.size t1 and s2 = Term.size t2 in
+      if s1 > s2 && not (Term.occurs ~inside:t2 t1) then Some (t1, t2)
+      else if s2 > s1 && not (Term.occurs ~inside:t1 t2) then Some (t2, t1)
+      else if s1 = s2 then if c > 0 then Some (t1, t2) else Some (t2, t1)
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* The search *)
+
+type search_state = {
+  cfg : config;
+  ctx : ctx;
+  mutable splits : int;
+  mutable deepest : int;
+  mutable vacuous_count : int;
+  mutable steps0 : int;
+}
+
+exception Stop of outcome
+
+let mk_stats st =
+  {
+    splits = st.splits;
+    max_depth_reached = st.deepest;
+    rewrite_steps = Rewrite.steps st.ctx.system - st.steps0;
+    vacuous = st.vacuous_count;
+  }
+
+let ground_rule =
+  let counter = ref 0 in
+  fun lhs rhs ->
+    incr counter;
+    Rewrite.rule ~label:(Printf.sprintf "split-%d" !counter) lhs rhs
+
+(* Normalize hypotheses and the goal under [sys] as {e separate}
+   polynomials (multiplying them together squares the monomial count), then
+   substitute the forced valuation into each.  A branch is:
+   - [`Vacuous] when a hypothesis or forced assumption is contradictory;
+   - [`True] when the goal polynomial is the constant [true];
+   - [`Open (hyps, goal)] otherwise: split on an atom.  With no atom left
+     every polynomial is a constant, so an open node with constant parts is
+     a genuine counterexample assignment. *)
+let rec eval_node sys forced hyps goal =
+  let norm_poly t = Boolring.of_term (Rewrite.normalize sys t) in
+  let exception Vacuous in
+  match
+    let single_atoms, compound =
+      List.fold_left
+        (fun (singles, compound) (atom, value) ->
+          let ap = norm_poly atom in
+          if Boolring.is_true ap then
+            if value then singles, compound else raise Vacuous
+          else if Boolring.is_false ap then
+            if value then raise Vacuous else singles, compound
+          else
+            match Boolring.atoms_of ap with
+            | [ single ] when Boolring.equal ap (Boolring.atom single) ->
+              (single, value) :: singles, compound
+            | _ ->
+              let p = if value then ap else Boolring.not_ ap in
+              singles, p :: compound)
+        ([], []) forced
+    in
+    let assign_all p =
+      List.fold_left (fun p (a, v) -> Boolring.assign p a v) p single_atoms
+    in
+    let check_hyp p =
+      let p = assign_all p in
+      if Boolring.is_false p then raise Vacuous
+      else if Boolring.is_true p then None
+      else Some p
+    in
+    let hyps =
+      List.filter_map check_hyp (compound @ List.map norm_poly hyps)
+    in
+    let g = assign_all (norm_poly goal) in
+    hyps, g
+  with
+  | exception Vacuous -> `Vacuous
+  | hyps, g ->
+    if Boolring.is_true g then `True
+    else if entailed_cheaply hyps g then `True
+    else `Open (hyps, g)
+
+(* Bounded algebraic entailment: fold the hypotheses into the goal as
+   curried implications, giving up when the polynomial grows past a fixed
+   budget.  The boolean ring often cancels an entailed goal outright (e.g.
+   when it is an instance of the inductive hypothesis), saving a whole
+   splitting subtree; when the product would blow up we fall back to
+   DPLL-style splitting, which is what makes large cases feasible. *)
+and entailed_cheaply hyps g =
+  let budget = 5_000 in
+  let rec fold g = function
+    | [] -> Boolring.is_true g
+    | h :: rest ->
+      (Boolring.count_monomials h + 1) * (Boolring.count_monomials g + 1)
+      <= budget
+      && fold (Boolring.implies_ h g) rest
+  in
+  Boolring.count_monomials g <= budget && fold g hyps
+
+(* Unit propagation: a hypothesis that is a single (possibly negated) atom
+   forces that atom's value — no branching needed, and for equality atoms
+   the full substitution machinery applies. *)
+let find_unit skip hyps =
+  List.find_map
+    (fun h ->
+      let unit_of a v =
+        if List.exists (Term.equal a) skip then None else Some (a, v)
+      in
+      match Boolring.atoms_of h with
+      | [ a ] ->
+        if Boolring.equal h (Boolring.atom a) then unit_of a true
+        else if Boolring.equal h (Boolring.not_ (Boolring.atom a)) then
+          unit_of a false
+        else None
+      | _ -> None)
+    hyps
+
+let pick_atom ctx skip hyps goal =
+  (* Goal atoms first: deciding them is what closes branches; hypothesis
+     atoms only matter for consistency. *)
+  let atoms =
+    Boolring.atoms_of goal
+    @ List.concat_map Boolring.atoms_of hyps
+  in
+  let available =
+    List.filter (fun a -> not (List.exists (Term.equal a) skip)) atoms
+  in
+  let score a =
+    match classify ctx a with
+    | Equality _ -> 0, Term.size a
+    | Recognizer _ -> 1, Term.size a
+    | Plain -> 2, Term.size a
+  in
+  match available with
+  | [] -> None
+  | _ :: _ ->
+    Some
+      (List.fold_left
+         (fun best a -> if score a < score best then a else best)
+         (List.hd available) (List.tl available))
+
+let prove ?(config = default_config) ctx ~hyps ~goal =
+  let st =
+    {
+      cfg = config;
+      ctx;
+      splits = 0;
+      deepest = 0;
+      vacuous_count = 0;
+      steps0 = Rewrite.steps ctx.system;
+    }
+  in
+  let rec go sys forced trail depth =
+    if depth > st.deepest then st.deepest <- depth;
+    if depth > st.cfg.max_depth then
+      raise
+        (Stop
+           (Unknown
+              { reason = "depth limit"; residual = goal; stats = mk_stats st }));
+    match eval_node sys forced hyps goal with
+    | `Vacuous -> st.vacuous_count <- st.vacuous_count + 1
+    | `True -> ()
+    | `Open (hpolys, gpoly) ->
+      begin
+        let skip = List.map fst forced in
+        match find_unit skip hpolys with
+        | Some (atom, true) ->
+          (* Propagated positively: take only the true branch (with the
+             substitution machinery for equalities/recognizers). *)
+          branch_true sys forced trail depth atom
+        | Some (atom, false) ->
+          go sys ((atom, false) :: forced)
+            ({ atom; value = false } :: trail)
+            (depth + 1)
+        | None -> (
+          match pick_atom ctx skip hpolys gpoly with
+          | None ->
+            (* No atom left: all polynomials are constants, the remaining
+               hypotheses are true and the goal is false. *)
+            raise
+              (Stop (Refuted { trail = List.rev trail; stats = mk_stats st }))
+          | Some atom ->
+            st.splits <- st.splits + 1;
+            if st.splits > st.cfg.max_splits then
+              raise
+                (Stop
+                   (Unknown
+                      {
+                        reason = "split budget exhausted";
+                        residual = Boolring.to_term gpoly;
+                        stats = mk_stats st;
+                      }));
+            branch_true sys forced trail depth atom;
+            go sys ((atom, false) :: forced)
+              ({ atom; value = false } :: trail)
+              (depth + 1))
+      end
+  and branch_true sys forced trail depth atom =
+    let trail = { atom; value = true } :: trail in
+    match classify ctx atom with
+    | Equality (t1, t2) -> (
+      if ctor_occurs ~inside:t2 t1 || ctor_occurs ~inside:t1 t2 then
+        (* Occurs check in the free algebra: assumption unsatisfiable. *)
+        st.vacuous_count <- st.vacuous_count + 1
+      else
+        match orient t1 t2 with
+        | Some (lhs, rhs) ->
+          let sys' = Rewrite.extend sys [ ground_rule lhs rhs ] in
+          go sys' forced trail (depth + 1)
+        | None -> go sys ((atom, true) :: forced) trail (depth + 1))
+    | Recognizer (ctor, m) ->
+      let args = List.map ctx.fresh ctor.Signature.arity in
+      let sys' = Rewrite.extend sys [ ground_rule m (Term.app ctor args) ] in
+      go sys' forced trail (depth + 1)
+    | Plain -> go sys ((atom, true) :: forced) trail (depth + 1)
+  in
+  try
+    go ctx.system [] [] 0;
+    Proved (mk_stats st)
+  with Stop outcome -> outcome
+
+let outcome_stats = function
+  | Proved s -> s
+  | Refuted { stats; _ } -> stats
+  | Unknown { stats; _ } -> stats
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "splits=%d depth=%d steps=%d vacuous=%d" s.splits
+    s.max_depth_reached s.rewrite_steps s.vacuous
+
+let pp_outcome ppf = function
+  | Proved s -> Format.fprintf ppf "proved (%a)" pp_stats s
+  | Refuted { trail; stats } ->
+    Format.fprintf ppf "@[<v2>refuted (%a); trail:" pp_stats stats;
+    List.iter
+      (fun { atom; value } ->
+        Format.fprintf ppf "@,%a := %b" Term.pp atom value)
+      trail;
+    Format.fprintf ppf "@]"
+  | Unknown { reason; residual; stats } ->
+    Format.fprintf ppf "unknown (%s, %a): residual %a" reason pp_stats stats
+      Term.pp residual

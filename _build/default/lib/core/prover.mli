@@ -1,0 +1,74 @@
+(** The proof-passage decision engine.
+
+    A proof passage in the paper (Section 5.2) is checked by [red]-ucing a
+    boolean term to [true] under the module's equations plus the passage's
+    assumption equations.  The paper's author chooses the case analysis (the
+    sub-case predicates) by hand; this module automates it:
+
+    1. hypotheses and goal are normalized by the rewrite system and
+       converted to boolean-ring polynomials ({!Kernel.Boolring}) — kept
+       {e separate}, since multiplying them together squares the monomial
+       count; a [true] goal polynomial closes the branch, a [false]
+       hypothesis closes it vacuously, and a bounded algebraic entailment
+       check (folding hypotheses into the goal as curried implications while
+       the polynomials stay small) catches the cases CafeOBJ's [red]
+       discharges outright;
+    2. hypotheses that reduce to single literals are unit-propagated
+       (DPLL-style); otherwise an undecided atom is selected and the state
+       space is split on it, exactly like the paper's sub-cases 1–5 for
+       [fakeSfin2]:
+
+       - an {e equality} atom assumed true becomes a ground rewrite rule
+         (congruence by substitution), preferring to expand an opaque fresh
+         constant into the structured side;
+       - a {e recognizer} atom [c?(m)] assumed true, when [m] is an opaque
+         constant, instantiates [m := c(fresh…)] (no-junk property of free
+         datatypes);
+       - any other atom is assigned a truth value;
+
+    3. contradictory branches (an assumption normalizing to the opposite
+       boolean, or a constructor occurs-check failure) are vacuously true.
+
+    A branch whose polynomial collapses to [false] is reported as a
+    refutation candidate together with its assumption trail — this is how
+    the counterexamples to properties 2′ and 3′ of Section 5.3 surface. *)
+
+open Kernel
+
+type config = {
+  max_splits : int;  (** total split-node budget (default 100_000) *)
+  max_depth : int;  (** split-tree depth bound (default 64) *)
+}
+
+val default_config : config
+
+type stats = {
+  splits : int;  (** split nodes explored *)
+  max_depth_reached : int;
+  rewrite_steps : int;  (** rule applications during this call *)
+  vacuous : int;  (** branches closed by contradictory assumptions *)
+}
+
+type trail_entry = { atom : Term.t; value : bool }
+
+type outcome =
+  | Proved of stats
+  | Refuted of { trail : trail_entry list; stats : stats }
+      (** some consistent-looking branch evaluated to [false] *)
+  | Unknown of { reason : string; residual : Term.t; stats : stats }
+      (** budget exhausted, or residual atoms could not be split *)
+
+type ctx = {
+  system : Rewrite.system;  (** the protocol module's rewrite system *)
+  fresh : Sort.t -> Term.t;
+      (** fresh opaque constants for constructor expansion *)
+  ctor_of_recognizer : Signature.op -> Signature.op option;
+      (** maps a recognizer operator [c?] to its constructor [c] *)
+}
+
+(** [prove ?config ctx ~hyps ~goal] decides
+    [(conj hyps) implies goal]. *)
+val prove : ?config:config -> ctx -> hyps:Term.t list -> goal:Term.t -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val outcome_stats : outcome -> stats

@@ -1,0 +1,68 @@
+type summary = {
+  invariants_total : int;
+  invariants_proved : int;
+  cases_total : int;
+  cases_proved : int;
+  total_splits : int;
+  total_rewrite_steps : int;
+  total_time : float;
+}
+
+let case_proved (c : Induction.case_result) =
+  match c.Induction.outcome with Prover.Proved _ -> true | _ -> false
+
+let summarize results =
+  let cases = List.concat_map (fun r -> r.Induction.cases) results in
+  let stats = List.map (fun c -> Prover.outcome_stats c.Induction.outcome) cases in
+  {
+    invariants_total = List.length results;
+    invariants_proved =
+      List.length (List.filter (fun r -> r.Induction.proved) results);
+    cases_total = List.length cases;
+    cases_proved = List.length (List.filter case_proved cases);
+    total_splits = List.fold_left (fun n s -> n + s.Prover.splits) 0 stats;
+    total_rewrite_steps =
+      List.fold_left (fun n s -> n + s.Prover.rewrite_steps) 0 stats;
+    total_time =
+      List.fold_left (fun t c -> t +. c.Induction.duration) 0. cases;
+  }
+
+let verdict c = if case_proved c then "ok" else "FAIL"
+
+let pp_result ppf (r : Induction.result) =
+  Format.fprintf ppf "@[<v2>%s: %s" r.Induction.res_invariant
+    (if r.Induction.proved then "proved" else "NOT PROVED");
+  List.iter
+    (fun (c : Induction.case_result) ->
+      let s = Prover.outcome_stats c.Induction.outcome in
+      Format.fprintf ppf "@,%-12s %-4s splits=%-6d steps=%-8d %.3fs"
+        c.Induction.case_name (verdict c) s.Prover.splits
+        s.Prover.rewrite_steps c.Induction.duration;
+      match c.Induction.outcome with
+      | Prover.Proved _ -> ()
+      | outcome -> Format.fprintf ppf "@,  %a" Prover.pp_outcome outcome)
+    r.Induction.cases;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>invariants: %d/%d proved@,cases: %d/%d proved@,splits: %d@,\
+     rewrite steps: %d@,time: %.3fs@]"
+    s.invariants_proved s.invariants_total s.cases_proved s.cases_total
+    s.total_splits s.total_rewrite_steps s.total_time
+
+let pp_campaign ppf results =
+  List.iter (fun r -> Format.fprintf ppf "%a@.@." pp_result r) results;
+  pp_summary ppf (summarize results)
+
+let failures results =
+  List.concat_map
+    (fun (r : Induction.result) ->
+      List.filter_map
+        (fun (c : Induction.case_result) ->
+          if case_proved c then None
+          else
+            Some
+              (r.Induction.res_invariant, c.Induction.case_name, c.Induction.outcome))
+        r.Induction.cases)
+    results

@@ -1,0 +1,32 @@
+(** Reporting of verification campaigns.
+
+    The paper reports that 18 invariants were verified in about a week of
+    human effort (Sections 1 and 7).  Our campaign report records, per
+    invariant and per transition case, the prover outcome and its cost, and
+    aggregates the totals that EXPERIMENTS.md compares against the paper. *)
+
+type summary = {
+  invariants_total : int;
+  invariants_proved : int;
+  cases_total : int;
+  cases_proved : int;
+  total_splits : int;
+  total_rewrite_steps : int;
+  total_time : float;  (** seconds *)
+}
+
+val summarize : Induction.result list -> summary
+
+(** [pp_result ppf r] prints one invariant's per-case table. *)
+val pp_result : Format.formatter -> Induction.result -> unit
+
+(** [pp_summary ppf s] prints the campaign totals. *)
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [pp_campaign ppf results] prints every result then the summary. *)
+val pp_campaign : Format.formatter -> Induction.result list -> unit
+
+(** [failures results] lists [(invariant, case, outcome)] for every case
+    that did not come back [Proved]. *)
+val failures :
+  Induction.result list -> (string * string * Prover.outcome) list

@@ -1,0 +1,79 @@
+open Kernel
+
+let obs_param_vars (o : Ots.observer) =
+  List.map (fun (n, s) -> Term.var n s) o.obs_params
+
+let act_param_vars (a : Ots.action) =
+  List.map (fun (n, s) -> Term.var n s) a.act_params
+
+let successor_equation ots (a : Ots.action) (o : Ots.observer) =
+  let s = Ots.state_var ots in
+  let xs = act_param_vars a in
+  let ys = obs_param_vars o in
+  let succ = Term.app a.Ots.act_op (s :: xs) in
+  let lhs = Term.app o.Ots.obs_op (succ :: ys) in
+  let framed = Term.app o.Ots.obs_op (s :: ys) in
+  let rhs =
+    match
+      List.find_opt
+        (fun (e : Ots.effect_) ->
+          Signature.op_equal e.eff_observer.obs_op o.Ots.obs_op)
+        a.Ots.act_effects
+    with
+    | None -> framed
+    | Some e -> Term.ite a.Ots.act_cond e.eff_value framed
+  in
+  lhs, rhs
+
+let generate ~data (ots : Ots.t) =
+  Ots.check ots;
+  let spec = Cafeobj.Spec.create ~imports:[ data ] (ots.Ots.ots_name ^ "-OTS") in
+  ignore (Cafeobj.Spec.declare_hsort spec ots.Ots.hidden.Sort.name);
+  (* Successor-state equations. *)
+  List.iter
+    (fun (a : Ots.action) ->
+      List.iter
+        (fun (o : Ots.observer) ->
+          let lhs, rhs = successor_equation ots a o in
+          let label =
+            Printf.sprintf "trans-%s-%s" a.act_op.Signature.name
+              o.obs_op.Signature.name
+          in
+          Cafeobj.Spec.add_eq spec ~label lhs rhs)
+        ots.Ots.observers)
+    ots.Ots.actions;
+  (* Initial-state equations. *)
+  List.iteri
+    (fun i (lhs, rhs) ->
+      Cafeobj.Spec.add_eq spec ~label:(Printf.sprintf "init-%d" i) lhs rhs)
+    ots.Ots.init_equations;
+  (* If simplification at every observer result sort and hidden sort. *)
+  let sorts_seen = Hashtbl.create 16 in
+  let add_if sort =
+    if not (Hashtbl.mem sorts_seen sort.Sort.name) then begin
+      Hashtbl.add sorts_seen sort.Sort.name ();
+      Cafeobj.Builtins.add_if_rules spec sort
+    end
+  in
+  List.iter (fun (o : Ots.observer) -> add_if o.obs_result) ots.Ots.observers;
+  List.iter
+    (fun (o : Signature.op) ->
+      add_if o.Signature.sort;
+      List.iter add_if o.Signature.arity)
+    (Cafeobj.Spec.all_ops data);
+  (* If-lifting through every data operator and through the equality
+     operators of the sorts involved. *)
+  let lift_seen = Hashtbl.create 64 in
+  let add_lift (op : Signature.op) =
+    if not (Hashtbl.mem lift_seen op.Signature.name) then begin
+      Hashtbl.add lift_seen op.Signature.name ();
+      List.iter (Cafeobj.Spec.add_rule spec) (Iflift.rules_for_op op)
+    end
+  in
+  List.iter add_lift (Cafeobj.Spec.all_ops data);
+  Hashtbl.iter
+    (fun sort_name () ->
+      if not (String.equal sort_name Sort.bool.Sort.name) then
+        add_lift (Signature.Builtin.eq (Sort.find sort_name)))
+    sorts_seen;
+  spec

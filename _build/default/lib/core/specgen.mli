@@ -1,0 +1,25 @@
+(** Generation of the equational theory of an OTS (Section 2.3).
+
+    Given an OTS description and the specification module of its data types,
+    [generate] produces a module containing, for every action [a] and
+    observer [o], the equation
+
+    [o(a(S, Xs), Ys) = if c_a(S, Xs) then e_a(S, Xs, Ys) else o(S, Ys)]
+
+    (the paper writes this as a [ceq] plus the implicit frame; we use the
+    [if_then_else] form so that rewriting never needs to decide [c_a] before
+    making progress — the boolean reasoning is deferred to the prover), the
+    frame equations for untouched observers, the initial-state equations,
+    the [if] simplification rules for every result sort involved, and the
+    if-lifting rules for every operator visible in the data module. *)
+
+open Kernel
+
+(** [generate ~data ots] builds the protocol module, importing [data].
+    @raise Invalid_argument if [Ots.check] fails. *)
+val generate : data:Cafeobj.Spec.t -> Ots.t -> Cafeobj.Spec.t
+
+(** [successor_equation ots action observer] is the generated equation for
+    the pair, as [(lhs, rhs)] (exposed for tests). *)
+val successor_equation :
+  Ots.t -> Ots.action -> Ots.observer -> Term.t * Term.t

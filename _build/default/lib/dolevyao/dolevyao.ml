@@ -1,0 +1,60 @@
+module type ALGEBRA = sig
+  type t
+
+  val compare : t -> t -> int
+  val analyze : knows:(t -> bool) -> t -> t list
+  val components : t -> t list option
+end
+
+module Make (A : ALGEBRA) = struct
+  module S = Set.Make (A)
+
+  type knowledge = S.t
+
+  let empty = S.empty
+  let knows k item = S.mem item k
+
+  (* Close under analysis: repeatedly tear every known item apart until no
+     new item appears.  Termination: analysis only ever returns (strict)
+     sub-items in the intended algebras, and the set grows monotonically. *)
+  let close (k : knowledge) : knowledge =
+    let rec go k =
+      let knows item = S.mem item k in
+      let fresh =
+        S.fold
+          (fun item acc ->
+            List.fold_left
+              (fun acc sub -> if S.mem sub k then acc else S.add sub acc)
+              acc (A.analyze ~knows item))
+          k S.empty
+      in
+      if S.is_empty fresh then k else go (S.union k fresh)
+    in
+    go k
+
+  let learn k items = close (List.fold_left (fun k i -> S.add i k) k items)
+
+  (* Synthesis with memoization on the current query only (knowledge is
+     immutable).  A cycle in [components] is treated as non-derivable. *)
+  let derivable k item =
+    let visiting = Hashtbl.create 16 in
+    let rec go item =
+      if S.mem item k then true
+      else if Hashtbl.mem visiting item then false
+      else begin
+        Hashtbl.add visiting item ();
+        let answer =
+          match A.components item with
+          | None -> false
+          | Some parts -> List.for_all go parts
+        in
+        Hashtbl.remove visiting item;
+        answer
+      end
+    in
+    go item
+
+  let items k = S.elements k
+  let size = S.cardinal
+  let compare = S.compare
+end

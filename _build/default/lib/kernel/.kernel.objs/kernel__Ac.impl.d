@@ -1,0 +1,1 @@
+lib/kernel/ac.ml: Hashtbl List Signature Sort Subst Term

@@ -1,0 +1,1 @@
+lib/kernel/ac.mli: Signature Subst Term

@@ -1,0 +1,1 @@
+lib/kernel/boolring.ml: List Rewrite Signature Sort Term

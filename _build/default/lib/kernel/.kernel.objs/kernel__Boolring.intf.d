@@ -1,0 +1,1 @@
+lib/kernel/boolring.mli: Format Rewrite Term

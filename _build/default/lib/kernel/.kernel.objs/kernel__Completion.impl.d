@@ -1,0 +1,1 @@
+lib/kernel/completion.ml: List Matching Option Order Printf Rewrite Subst Term

@@ -1,0 +1,1 @@
+lib/kernel/completion.mli: Rewrite Signature Term

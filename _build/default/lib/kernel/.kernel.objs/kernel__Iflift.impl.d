@@ -1,0 +1,1 @@
+lib/kernel/iflift.ml: List Printf Rewrite Signature Sort Term

@@ -1,0 +1,1 @@
+lib/kernel/iflift.mli: Rewrite Signature Sort

@@ -1,0 +1,1 @@
+lib/kernel/matching.ml: List Option Signature Sort String Subst Term

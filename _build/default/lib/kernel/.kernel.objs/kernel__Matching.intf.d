@@ -1,0 +1,1 @@
+lib/kernel/matching.mli: Subst Term

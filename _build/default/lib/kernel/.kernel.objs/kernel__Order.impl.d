@@ -1,0 +1,1 @@
+lib/kernel/order.ml: List Rewrite Signature Sort String Term

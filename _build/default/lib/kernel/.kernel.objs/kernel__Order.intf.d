@@ -1,0 +1,1 @@
+lib/kernel/order.mli: Rewrite Signature Term

@@ -1,0 +1,1 @@
+lib/kernel/rewrite.ml: Ac Format Hashtbl List Matching Option Printf Signature Sort String Subst Term

@@ -1,0 +1,1 @@
+lib/kernel/rewrite.mli: Format Term

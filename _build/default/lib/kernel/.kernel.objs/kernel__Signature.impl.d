@@ -1,0 +1,1 @@
+lib/kernel/signature.ml: Format Hashtbl List Printf Sort String

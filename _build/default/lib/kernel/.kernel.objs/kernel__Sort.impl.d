@@ -1,0 +1,1 @@
+lib/kernel/sort.ml: Format Hashtbl List Printf String

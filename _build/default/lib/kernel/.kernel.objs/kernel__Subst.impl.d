@@ -1,0 +1,1 @@
+lib/kernel/subst.ml: Format List Map Printf Sort String Term

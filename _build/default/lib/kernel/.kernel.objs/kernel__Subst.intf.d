@@ -1,0 +1,1 @@
+lib/kernel/subst.mli: Format Term

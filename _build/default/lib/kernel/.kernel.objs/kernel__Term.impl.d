@@ -1,0 +1,1 @@
+lib/kernel/term.ml: Format Hashtbl List Map Printf Set Signature Sort String

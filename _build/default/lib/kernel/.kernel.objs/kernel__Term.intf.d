@@ -1,0 +1,1 @@
+lib/kernel/term.mli: Format Hashtbl Map Set Signature Sort

@@ -1,0 +1,35 @@
+(** Associative-commutative normalization and matching.
+
+    The network of the paper's model is a bag of messages built with the AC
+    constructor [_,_] (Section 4.3).  This module provides:
+
+    - a canonical form for terms headed by AC operators (flatten, then sort
+      arguments), so that AC-equal ground terms compare equal;
+    - AC matching, where a pattern variable under an AC operator may absorb
+      any non-empty sub-multiset of the subject's arguments.
+
+    Terms keep their binary representation; flattened argument lists are
+    internal and canonical forms are rebuilt as right-nested combs. *)
+
+(** [flatten op t] lists the maximal non-[op] subterms of [t] under nested
+    applications of the AC operator [op] (in left-to-right order). *)
+val flatten : Signature.op -> Term.t -> Term.t list
+
+(** [rebuild op args] right-nests [args] under [op].
+    @raise Invalid_argument on an empty list. *)
+val rebuild : Signature.op -> Term.t list -> Term.t
+
+(** [normalize t] canonicalizes every AC-headed subterm (flatten + sort) and
+    sorts the arguments of [Comm] operators.  Idempotent. *)
+val normalize : Term.t -> Term.t
+
+(** [ac_equal t1 t2] is equality modulo AC (by comparing normal forms). *)
+val ac_equal : Term.t -> Term.t -> bool
+
+(** [match_ pat subject] finds all matchers of [pat] against [subject]
+    modulo AC, extending [Subst.empty].  The list is empty iff there is no
+    match; duplicates are pruned. *)
+val match_ : Term.t -> Term.t -> Subst.t list
+
+(** [match_first pat subject] is the first AC matcher, if any. *)
+val match_first : Term.t -> Term.t -> Subst.t option

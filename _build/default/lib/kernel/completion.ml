@@ -1,0 +1,114 @@
+type failure = {
+  reason : string;
+  unorientable : (Term.t * Term.t) option;
+}
+
+type result =
+  | Completed of Rewrite.rule list
+  | Failed of failure
+
+(* All subterm occurrences of [t] with their one-hole rebuild functions,
+   pre-order (root first). *)
+let rec contexts t =
+  let here = t, fun x -> x in
+  match t with
+  | Term.Var _ -> [ here ]
+  | Term.App (o, args) ->
+    let sub =
+      List.concat
+        (List.mapi
+           (fun i a ->
+             List.map
+               (fun (s, rebuild) ->
+                 ( s,
+                   fun x ->
+                     Term.App (o, List.mapi (fun j b -> if i = j then rebuild x else b) args) ))
+               (contexts a))
+           args)
+    in
+    here :: sub
+
+let rename_apart =
+  let counter = ref 0 in
+  fun (r : Rewrite.rule) ->
+    incr counter;
+    let tag = Printf.sprintf "%%kb%d-" !counter in
+    let sub =
+      Subst.of_list
+        (List.map
+           (fun (v : Term.var) ->
+             v, Term.var (tag ^ v.v_name) v.v_sort)
+           (Term.vars r.Rewrite.lhs))
+    in
+    Rewrite.rule ~label:r.Rewrite.label
+      (Subst.apply sub r.Rewrite.lhs)
+      (Subst.apply sub r.Rewrite.rhs)
+
+let critical_pairs (r1 : Rewrite.rule) (r2 : Rewrite.rule) =
+  let same = Term.equal r1.Rewrite.lhs r2.Rewrite.lhs && Term.equal r1.Rewrite.rhs r2.Rewrite.rhs in
+  let r2 = rename_apart r2 in
+  List.filter_map
+    (fun (s, rebuild) ->
+      match s with
+      | Term.Var _ -> None
+      | Term.App _ ->
+        let at_root = Term.equal s r1.Rewrite.lhs in
+        if same && at_root then None
+        else
+          Option.map
+            (fun sub ->
+              ( Subst.apply sub (rebuild r2.Rewrite.rhs),
+                Subst.apply sub r1.Rewrite.rhs ))
+            (Matching.unify s r2.Rewrite.lhs))
+    (contexts r1.Rewrite.lhs)
+
+let joinable rules t1 t2 =
+  let sys = Rewrite.make rules in
+  Term.equal (Rewrite.normalize sys t1) (Rewrite.normalize sys t2)
+
+let complete ?(max_rules = 64) ~prec equations =
+  let counter = ref 0 in
+  let mk_rule lhs rhs =
+    incr counter;
+    Rewrite.rule ~label:(Printf.sprintf "kb-%d" !counter) lhs rhs
+  in
+  (* [rules] is kept interreduced lazily: right-hand sides are normalized
+     when the rule is created; stale rules still rewrite correctly, they
+     are merely redundant. *)
+  let rec go rules agenda =
+    match agenda with
+    | [] -> Completed rules
+    | (t1, t2) :: agenda -> (
+      let sys = Rewrite.make rules in
+      let n1 = Rewrite.normalize sys t1 and n2 = Rewrite.normalize sys t2 in
+      if Term.equal n1 n2 then go rules agenda
+      else if List.length rules >= max_rules then
+        Failed { reason = "rule limit exceeded"; unorientable = None }
+      else
+        match Order.orients ~prec (n1, n2) with
+        | `No ->
+          Failed { reason = "unorientable equation"; unorientable = Some (n1, n2) }
+        | (`Lr | `Rl) as dir ->
+          let lhs, rhs = match dir with `Lr -> n1, n2 | `Rl -> n2, n1 in
+          let rule = mk_rule lhs rhs in
+          (* Interreduce: any existing rule whose left-hand side the new
+             rule rewrites is dropped and its equation requeued — it will
+             come back simplified or join away. *)
+          let newsys = Rewrite.make [ rule ] in
+          let kept, requeued =
+            List.partition
+              (fun (r : Rewrite.rule) ->
+                Term.equal (Rewrite.normalize newsys r.Rewrite.lhs) r.Rewrite.lhs)
+              rules
+          in
+          let requeued =
+            List.map (fun (r : Rewrite.rule) -> r.Rewrite.lhs, r.Rewrite.rhs) requeued
+          in
+          let fresh_pairs =
+            List.concat_map
+              (fun r -> critical_pairs rule r @ critical_pairs r rule)
+              (rule :: kept)
+          in
+          go (kept @ [ rule ]) (agenda @ requeued @ fresh_pairs))
+  in
+  go [] equations

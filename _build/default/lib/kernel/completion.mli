@@ -1,0 +1,42 @@
+(** Knuth-Bendix completion.
+
+    The paper's method rests on equations used as left-to-right rewrite
+    rules; completion is the classical procedure that turns a set of
+    equations into a {e confluent} and terminating rule set (when it
+    succeeds), so that rewriting decides the equational theory — the same
+    property CafeOBJ's BOOL enjoys by construction (Hsiang-Dershowitz,
+    the paper's reference [5], is exactly about such rewrite methods).
+
+    The implementation is the textbook procedure: compute critical pairs
+    by unifying left-hand sides into non-variable subterm positions,
+    normalize both sides with the current rules, orient the survivors with
+    the LPO ({!Order.lpo}) and iterate. *)
+
+type failure = {
+  reason : string;
+  unorientable : (Term.t * Term.t) option;
+}
+
+type result =
+  | Completed of Rewrite.rule list
+  | Failed of failure
+
+(** [critical_pairs r1 r2] computes the critical pairs obtained by
+    overlapping [r2]'s left-hand side into non-variable positions of
+    [r1]'s (variables renamed apart; the trivial root self-overlap of a
+    rule with itself is skipped). *)
+val critical_pairs : Rewrite.rule -> Rewrite.rule -> (Term.t * Term.t) list
+
+(** [complete ?max_rules ?max_steps ~prec equations] runs completion.
+    @param max_rules abort when more rules than this are generated
+    (default 64). *)
+val complete :
+  ?max_rules:int ->
+  prec:(Signature.op -> Signature.op -> int) ->
+  (Term.t * Term.t) list ->
+  result
+
+(** [joinable rules t1 t2] — do [t1] and [t2] have the same normal form
+    under [rules]?  With a completed system this decides the equational
+    theory. *)
+val joinable : Rewrite.rule list -> Term.t -> Term.t -> bool

@@ -1,0 +1,42 @@
+module B = Signature.Builtin
+
+(* One lifting rule per liftable argument position of [op]. *)
+let rules_for_op (op : Signature.op) =
+  if B.is_if op then []
+  else
+    let arity = op.Signature.arity in
+    let numbered = List.mapi (fun i s -> i, s) arity in
+    List.filter_map
+      (fun (pos, arg_sort) ->
+        if Sort.equal arg_sort Sort.bool then None
+        else begin
+          let cond = Term.var "C" Sort.bool in
+          let a = Term.var "IFA" arg_sort and b = Term.var "IFB" arg_sort in
+          let others =
+            List.map
+              (fun (i, s) -> Term.var (Printf.sprintf "X%d" i) s)
+              numbered
+          in
+          let place mid =
+            List.mapi (fun i x -> if i = pos then mid else x) others
+          in
+          let lhs = Term.app op (place (Term.ite cond a b)) in
+          let rhs =
+            Term.ite cond (Term.app op (place a)) (Term.app op (place b))
+          in
+          let label = Printf.sprintf "lift-%s-%d" op.Signature.name pos in
+          Some (Rewrite.rule ~label lhs rhs)
+        end)
+      numbered
+
+let rules sg = List.concat_map rules_for_op (Signature.ops sg)
+
+let simplify_rules sort =
+  let c = Term.var "C" Sort.bool in
+  let x = Term.var "X" sort and y = Term.var "Y" sort in
+  let name = sort.Sort.name in
+  [
+    Rewrite.rule ~label:("if-true-" ^ name) (Term.ite Term.tt x y) x;
+    Rewrite.rule ~label:("if-false-" ^ name) (Term.ite Term.ff x y) y;
+    Rewrite.rule ~label:("if-same-" ^ name) (Term.ite c x x) x;
+  ]

@@ -1,0 +1,29 @@
+(** If-lifting: pushing [if_then_else] toward the root.
+
+    Action effects are encoded as unconditional equations whose right-hand
+    sides guard on the effective condition with [if_then_else] (see
+    DESIGN.md).  To let structural rules (projections, membership, equality
+    decomposition) see through those guards, we generate {e lifting} rules
+
+    [f(..., if c then a else b, ...) = if c then f(...,a,...) else f(...,b,...)]
+
+    for every non-[Bool] argument position of every operator.  Once an [if]
+    reaches a [Bool]-sorted position it is absorbed by the boolean ring
+    ({!Boolring.of_term}).
+
+    Lifting terminates: each application strictly decreases the multiset of
+    depths of [if] occurrences. *)
+
+(** [rules_for_op op] generates the lifting rules for each non-[Bool]
+    argument position of [op] (none for [if_then_else] operators
+    themselves). *)
+val rules_for_op : Signature.op -> Rewrite.rule list
+
+(** [rules sg] generates lifting rules for every declared operator of
+    [sg]. *)
+val rules : Signature.t -> Rewrite.rule list
+
+(** [simplify_rules sort] generates
+    [if true then X else Y = X], [if false then X else Y = Y] and
+    [if C then X else X = X] at [sort]. *)
+val simplify_rules : Sort.t -> Rewrite.rule list

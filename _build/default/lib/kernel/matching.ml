@@ -1,0 +1,75 @@
+let commutative o = Signature.is_comm o || Signature.is_ac o
+
+let rec go sub pat subject =
+  match pat, subject with
+  | Term.Var v, _ -> (
+    if not (Sort.equal v.Term.v_sort (Term.sort subject)) then None
+    else
+      match Subst.find sub v with
+      | Some t -> if Term.equal t subject then Some sub else None
+      | None -> Some (Subst.bind sub v subject))
+  | Term.App (po, pargs), Term.App (so, sargs)
+    when Signature.op_equal po so && List.length pargs = List.length sargs -> (
+    match pargs, sargs with
+    | [ p1; p2 ], [ s1; s2 ] when commutative po -> (
+      match go_list sub [ p1; p2 ] [ s1; s2 ] with
+      | Some _ as r -> r
+      | None -> go_list sub [ p1; p2 ] [ s2; s1 ])
+    | _ -> go_list sub pargs sargs)
+  | Term.App _, (Term.App _ | Term.Var _) -> None
+
+and go_list sub pats subjects =
+  match pats, subjects with
+  | [], [] -> Some sub
+  | p :: ps, s :: ss -> (
+    match go sub p s with Some sub' -> go_list sub' ps ss | None -> None)
+  | _, _ -> None
+
+let match_under sub pat subject = go sub pat subject
+let match_ pat subject = go Subst.empty pat subject
+let matches pat subject = Option.is_some (match_ pat subject)
+
+(* Unification with occurs check.  Substitutions are kept idempotent by
+   applying the current bindings before inspecting a term. *)
+
+let rec resolve sub t =
+  match t with
+  | Term.Var v -> (
+    match Subst.find sub v with Some t' -> resolve sub t' | None -> t)
+  | Term.App _ -> t
+
+let rec unify_go sub t1 t2 =
+  let t1 = resolve sub t1 and t2 = resolve sub t2 in
+  match t1, t2 with
+  | Term.Var v1, Term.Var v2
+    when String.equal v1.v_name v2.v_name && Sort.equal v1.v_sort v2.v_sort ->
+    Some sub
+  | Term.Var v, t | t, Term.Var v ->
+    if not (Sort.equal v.Term.v_sort (Term.sort t)) then None
+    else
+      let t' = Subst.apply sub t in
+      if Term.occurs ~inside:t' (Term.Var v) then None
+      else Some (Subst.bind sub v t')
+  | Term.App (o1, a1), Term.App (o2, a2)
+    when Signature.op_equal o1 o2 && List.length a1 = List.length a2 ->
+    List.fold_left2
+      (fun acc x y -> match acc with None -> None | Some s -> unify_go s x y)
+      (Some sub) a1 a2
+  | Term.App _, Term.App _ -> None
+
+let unify t1 t2 =
+  match unify_go Subst.empty t1 t2 with
+  | None -> None
+  | Some sub ->
+    (* Close the substitution so it can be applied in one pass. *)
+    let close (v, t) = v, Subst.apply sub (resolve sub t) in
+    let rec fix sub =
+      let closed = Subst.of_list (List.map close (Subst.bindings sub)) in
+      if
+        List.for_all2
+          (fun (_, t1) (_, t2) -> Term.equal t1 t2)
+          (Subst.bindings sub) (Subst.bindings closed)
+      then sub
+      else fix closed
+    in
+    Some (fix sub)

@@ -1,0 +1,26 @@
+(** Syntactic (one-way) matching.
+
+    [match_ pattern subject] finds a substitution [s] with
+    [Subst.apply s pattern = subject], treating variables of [pattern] as
+    match variables and [subject] as a closed term (its variables, if any,
+    are constants for the purpose of matching).  This is the matching used by
+    left-to-right rewriting with CafeOBJ's [red].
+
+    Operators declared [Comm] are matched modulo commutativity; full AC
+    matching lives in {!Ac}. *)
+
+(** [match_ pat subject] is the most general matcher, if one exists. *)
+val match_ : Term.t -> Term.t -> Subst.t option
+
+(** [match_under sub pat subject] extends the pre-existing bindings [sub];
+    used for matching several patterns sharing variables (e.g. the two sides
+    of a conditional rule). *)
+val match_under : Subst.t -> Term.t -> Term.t -> Subst.t option
+
+(** [matches pat subject] is [true] iff some matcher exists. *)
+val matches : Term.t -> Term.t -> bool
+
+(** [unify t1 t2] computes a most general unifier of [t1] and [t2] (both
+    sides' variables may be instantiated; occurs-check included).  Used by
+    the critical-pair computation in {!Completion}. *)
+val unify : Term.t -> Term.t -> Subst.t option

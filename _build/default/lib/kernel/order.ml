@@ -1,0 +1,49 @@
+let var_equal (v1 : Term.var) (v2 : Term.var) =
+  String.equal v1.v_name v2.v_name && Sort.equal v1.v_sort v2.v_sort
+
+(* Lexicographic path order.  s > t iff
+   - t is a variable occurring in s with s <> t; or, for s = f(s1..sm):
+   - some si >= t; or
+   - t = g(t1..tn) with f > g and s > tj for all j; or
+   - t = f(t1..tn) with (s1..sm) >lex (t1..tn) and s > tj for all j. *)
+let lpo ~prec s t =
+  let rec gt s t =
+    match s, t with
+    | Term.Var _, _ -> false
+    | Term.App _, Term.Var v ->
+      List.exists (var_equal v) (Term.vars s)
+    | Term.App (f, ss), Term.App (g, ts) ->
+      List.exists (fun si -> ge si t) ss
+      ||
+      let c = prec f g in
+      if c > 0 then List.for_all (gt s) ts
+      else if c = 0 then lex ss ts && List.for_all (gt s) ts
+      else false
+  and ge s t = Term.equal s t || gt s t
+  and lex ss ts =
+    match ss, ts with
+    | s1 :: ss', t1 :: ts' ->
+      if Term.equal s1 t1 then lex ss' ts' else gt s1 t1
+    | [], _ :: _ | _ :: _, [] | [], [] -> false
+  in
+  gt s t
+
+let precedence_of_list ops o1 o2 =
+  let index o =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if Signature.op_equal x o then Some i else go (i + 1) rest
+    in
+    go 0 ops
+  in
+  match index o1, index o2 with
+  | Some i, Some j -> compare i j
+  | Some _, None -> 1
+  | None, Some _ -> -1
+  | None, None -> Signature.op_compare o1 o2
+
+let orients ~prec (lhs, rhs) =
+  if lpo ~prec lhs rhs then `Lr else if lpo ~prec rhs lhs then `Rl else `No
+
+let terminating ~prec rules =
+  List.for_all (fun (r : Rewrite.rule) -> lpo ~prec r.Rewrite.lhs r.Rewrite.rhs) rules

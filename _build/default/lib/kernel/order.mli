@@ -1,0 +1,30 @@
+(** Reduction orders for orienting equations.
+
+    The lexicographic path order (LPO) over a total operator precedence: a
+    simplification order, so [lpo ~prec s t = true] guarantees that the
+    rule [s -> t] terminates (in combination with any other LPO-oriented
+    rules under the same precedence).  Used by {!Completion} and available
+    for termination-checking hand-written systems. *)
+
+(** [lpo ~prec s t] — is [s] strictly greater than [t]?  [prec] must be a
+    total order on operators (compare by name, by a user list, …). *)
+val lpo :
+  prec:(Signature.op -> Signature.op -> int) -> Term.t -> Term.t -> bool
+
+(** [precedence_of_list ops] builds a precedence from a list, {e later}
+    operators being greater; operators not listed compare by name below
+    all listed ones. *)
+val precedence_of_list :
+  Signature.op list -> Signature.op -> Signature.op -> int
+
+(** [orients ~prec (lhs, rhs)] — can the equation be oriented left to
+    right ([`Lr]), right to left ([`Rl]), or not at all ([`No])? *)
+val orients :
+  prec:(Signature.op -> Signature.op -> int) ->
+  Term.t * Term.t ->
+  [ `Lr | `Rl | `No ]
+
+(** [terminating ~prec rules] — [true] if every rule is LPO-decreasing
+    under [prec] (a sufficient termination check). *)
+val terminating :
+  prec:(Signature.op -> Signature.op -> int) -> Rewrite.rule list -> bool

@@ -1,0 +1,159 @@
+type rule = {
+  label : string;
+  lhs : Term.t;
+  rhs : Term.t;
+  cond : Term.t option;
+}
+
+let var_subset small big =
+  let inside = Term.vars big in
+  List.for_all
+    (fun (v : Term.var) ->
+      List.exists
+        (fun (w : Term.var) ->
+          String.equal v.v_name w.v_name && Sort.equal v.v_sort w.v_sort)
+        inside)
+    (Term.vars small)
+
+let rule ?cond ~label lhs rhs =
+  (match lhs with
+  | Term.Var _ -> invalid_arg (Printf.sprintf "Rewrite.rule %s: variable lhs" label)
+  | Term.App _ -> ());
+  if not (Sort.equal (Term.sort lhs) (Term.sort rhs)) then
+    invalid_arg (Printf.sprintf "Rewrite.rule %s: sorts differ" label);
+  if not (var_subset rhs lhs) then
+    invalid_arg
+      (Printf.sprintf "Rewrite.rule %s: rhs has variables not in lhs" label);
+  (match cond with
+  | Some c ->
+    if not (Sort.equal (Term.sort c) Sort.bool) then
+      invalid_arg (Printf.sprintf "Rewrite.rule %s: non-boolean condition" label);
+    if not (var_subset c lhs) then
+      invalid_arg
+        (Printf.sprintf "Rewrite.rule %s: condition has variables not in lhs"
+           label)
+  | None -> ());
+  { label; lhs; rhs; cond }
+
+type system = {
+  ordered : rule list;
+  index : (string, rule list) Hashtbl.t;  (** head operator name -> rules *)
+  cache : Term.t Term.Tbl.t;
+  mutable step_limit : int;
+  steps_total : int ref;  (** shared with systems derived by [extend] *)
+  mutable budget : int;
+}
+
+let head_name r =
+  match r.lhs with
+  | Term.App (o, _) -> o.Signature.name
+  | Term.Var _ -> assert false
+
+let build_index rules =
+  let index = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let key = head_name r in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt index key) in
+      Hashtbl.replace index key (existing @ [ r ]))
+    rules;
+  index
+
+let make rules =
+  {
+    ordered = rules;
+    index = build_index rules;
+    cache = Term.Tbl.create 1024;
+    step_limit = 5_000_000;
+    steps_total = ref 0;
+    budget = 0;
+  }
+
+let rules sys = sys.ordered
+
+let extend sys extra =
+  let rules = extra @ sys.ordered in
+  {
+    ordered = rules;
+    index = build_index rules;
+    cache = Term.Tbl.create 1024;
+    step_limit = sys.step_limit;
+    steps_total = sys.steps_total;
+    budget = 0;
+  }
+
+exception Step_limit_exceeded
+
+let set_step_limit sys n = sys.step_limit <- n
+let steps sys = !(sys.steps_total)
+let reset_steps sys = sys.steps_total := 0
+let clear_cache sys = Term.Tbl.reset sys.cache
+
+let tick sys =
+  incr sys.steps_total;
+  sys.budget <- sys.budget - 1;
+  if sys.budget <= 0 then raise Step_limit_exceeded
+
+(* Leftmost-innermost normalization with memoization.  Children are
+   normalized first; then root rules are tried until none applies.  A rule's
+   condition is normalized recursively and must reach the literal [true]. *)
+let rec norm sys t =
+  match Term.Tbl.find_opt sys.cache t with
+  | Some nf -> nf
+  | None ->
+    let nf =
+      match t with
+      | Term.Var _ -> t
+      | Term.App (o, args) ->
+        let t' = Term.App (o, List.map (norm sys) args) in
+        let t' =
+          if Signature.is_ac o || Signature.is_comm o then Ac.normalize t'
+          else t'
+        in
+        reduce_root sys t'
+    in
+    Term.Tbl.replace sys.cache t nf;
+    nf
+
+and reduce_root sys t =
+  match t with
+  | Term.Var _ -> t
+  | Term.App (o, _) -> (
+    match Hashtbl.find_opt sys.index o.Signature.name with
+    | None -> t
+    | Some candidates -> try_rules sys t candidates)
+
+and try_rules sys t = function
+  | [] -> t
+  | r :: rest -> (
+    let matcher =
+      match r.lhs, t with
+      | Term.App (po, _), Term.App (so, _)
+        when Signature.is_ac po && Signature.op_equal po so ->
+        Ac.match_first r.lhs t
+      | _ -> Matching.match_ r.lhs t
+    in
+    match matcher with
+    | None -> try_rules sys t rest
+    | Some sub -> (
+      let fires =
+        match r.cond with
+        | None -> true
+        | Some c -> Term.equal (norm sys (Subst.apply sub c)) Term.tt
+      in
+      if not fires then try_rules sys t rest
+      else begin
+        tick sys;
+        norm sys (Subst.apply sub r.rhs)
+      end))
+
+let normalize sys t =
+  sys.budget <- sys.step_limit;
+  norm sys t
+
+let pp_rule ppf r =
+  match r.cond with
+  | None -> Format.fprintf ppf "[%s] %a = %a" r.label Term.pp r.lhs Term.pp r.rhs
+  | Some c ->
+    Format.fprintf ppf "[%s] %a = %a if %a" r.label Term.pp r.lhs Term.pp r.rhs
+      Term.pp c

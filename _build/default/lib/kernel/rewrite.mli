@@ -1,0 +1,60 @@
+(** Left-to-right term rewriting — the kernel of CafeOBJ's [red] command.
+
+    Equations are oriented left-to-right as rewrite rules (Section 2.1) and
+    a term is normalized with a leftmost-innermost strategy.  Conditional
+    rules (CafeOBJ's [ceq]) apply only when their condition normalizes to
+    [true].
+
+    Systems are immutable; proof passages extend a base system with their
+    assumption equations ({!extend}), which mirrors CafeOBJ's
+    [open ... close] temporary modules.  Each system carries a memoization
+    table and rewrite-step counters used by the benchmarks. *)
+
+type rule = private {
+  label : string;
+  lhs : Term.t;
+  rhs : Term.t;
+  cond : Term.t option;  (** [Some c]: rule fires only when [c] reduces to [true] *)
+}
+
+(** [rule ?cond ~label lhs rhs] builds a rule.
+    @raise Invalid_argument if [lhs] is a variable, if the two sides have
+    different sorts, or if [rhs] (or [cond]) contains variables not occurring
+    in [lhs]. *)
+val rule : ?cond:Term.t -> label:string -> Term.t -> Term.t -> rule
+
+type system
+
+(** [make rules] builds a system; rules are tried in list order. *)
+val make : rule list -> system
+
+val rules : system -> rule list
+
+(** [extend sys rules] is a new system with [rules] appended (tried first,
+    so passage assumptions take precedence over the base spec — matching
+    CafeOBJ, where the innermost module's equations shadow imports). *)
+val extend : system -> rule list -> system
+
+(** [normalize sys t] is the normal form of [t].
+    @raise Step_limit_exceeded if the step budget is exhausted (a safety
+    net against non-terminating rule sets). *)
+val normalize : system -> Term.t -> Term.t
+
+exception Step_limit_exceeded
+
+(** [set_step_limit sys n] caps the number of rule applications in a single
+    [normalize] call (default [5_000_000]). *)
+val set_step_limit : system -> int -> unit
+
+(** [steps sys] is the cumulative number of rule applications performed by
+    this system since creation. *)
+val steps : system -> int
+
+(** [reset_steps sys] zeroes the counter. *)
+val reset_steps : system -> unit
+
+(** [clear_cache sys] drops the memoization table (normal forms remain
+    valid; this is only for memory control in long benchmark runs). *)
+val clear_cache : system -> unit
+
+val pp_rule : Format.formatter -> rule -> unit

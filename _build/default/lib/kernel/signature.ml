@@ -1,0 +1,95 @@
+type attr = Ctor | Ac | Comm
+
+type op = {
+  name : string;
+  arity : Sort.t list;
+  sort : Sort.t;
+  attrs : attr list;
+  index : int;
+}
+
+let counter = ref 0
+
+let mk_op name arity sort attrs =
+  incr counter;
+  { name; arity; sort; attrs; index = !counter }
+
+type t = { table : (string, op) Hashtbl.t; mutable order : op list }
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let same_profile o1 o2 =
+  List.length o1.arity = List.length o2.arity
+  && List.for_all2 Sort.equal o1.arity o2.arity
+  && Sort.equal o1.sort o2.sort
+
+let declare sg name arity sort ~attrs =
+  match Hashtbl.find_opt sg.table name with
+  | Some o ->
+    if same_profile o (mk_op name arity sort attrs) then o
+    else invalid_arg (Printf.sprintf "Signature.declare: %S redeclared" name)
+  | None ->
+    let o = mk_op name arity sort attrs in
+    Hashtbl.add sg.table name o;
+    sg.order <- o :: sg.order;
+    o
+
+let find sg name = Hashtbl.find sg.table name
+let find_opt sg name = Hashtbl.find_opt sg.table name
+let mem sg name = Hashtbl.mem sg.table name
+let ops sg = List.rev sg.order
+
+let constructors_of sg sort =
+  List.filter (fun o -> List.mem Ctor o.attrs && Sort.equal o.sort sort) (ops sg)
+
+let is_ctor o = List.mem Ctor o.attrs
+let is_ac o = List.mem Ac o.attrs
+let is_comm o = List.mem Comm o.attrs
+let op_equal o1 o2 = o1 == o2 || String.equal o1.name o2.name
+let op_compare o1 o2 = String.compare o1.name o2.name
+
+let pp_op ppf o =
+  Format.fprintf ppf "op %s : %a -> %a" o.name
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Sort.pp)
+    o.arity Sort.pp o.sort
+
+module Builtin = struct
+  let b = Sort.bool
+  let tt = mk_op "true" [] b []
+  let ff = mk_op "false" [] b []
+  let not_ = mk_op "not" [ b ] b []
+  let and_ = mk_op "and" [ b; b ] b [ Ac ]
+  let or_ = mk_op "or" [ b; b ] b [ Ac ]
+  let xor = mk_op "xor" [ b; b ] b [ Ac ]
+  let implies = mk_op "implies" [ b; b ] b []
+  let iff = mk_op "iff" [ b; b ] b []
+
+  let poly_table : (string, op) Hashtbl.t = Hashtbl.create 32
+
+  let poly prefix mk sort =
+    let key = prefix ^ ":" ^ sort.Sort.name in
+    match Hashtbl.find_opt poly_table key with
+    | Some o -> o
+    | None ->
+      let o = mk key in
+      Hashtbl.add poly_table key o;
+      o
+
+  let if_ sort =
+    let mk key = mk_op key [ b; sort; sort ] sort [] in
+    poly "if" mk sort
+
+  let eq sort =
+    let mk key = mk_op key [ sort; sort ] b [] in
+    poly "=" mk sort
+
+  let has_prefix p o =
+    String.length o.name > String.length p
+    && String.sub o.name 0 (String.length p + 1) = p ^ ":"
+
+  let is_if o = has_prefix "if" o
+  let is_eq o = has_prefix "=" o
+
+  let fixed = [ tt; ff; not_; and_; or_; xor; implies; iff ]
+  let is_builtin o = List.exists (op_equal o) fixed || is_if o || is_eq o
+end

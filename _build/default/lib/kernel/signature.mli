@@ -1,0 +1,88 @@
+(** Operators and signatures.
+
+    An operator declaration gives a name, an arity (list of argument sorts)
+    and a coarity (result sort), as in CafeOBJ's
+    [op f : S1 ... Sn -> S].  Operators carry attributes:
+
+    - [Ctor]: the operator is a free data constructor.  Terms built from
+      constructors enjoy the no-confusion/no-junk properties used by the
+      perfect-cryptography assumption (Section 4.1): two constructor terms
+      are equal iff they have the same constructor and equal arguments.
+    - [Ac]: associative-commutative (e.g. the bag union of the network).
+    - [Comm]: commutative only.
+
+    A signature is a mutable collection of operator declarations with unique
+    names (we do not support overloading; the paper's overloaded [k] is split
+    into [pk] and [hkey] in our TLS model). *)
+
+type attr = Ctor | Ac | Comm
+
+type op = private {
+  name : string;
+  arity : Sort.t list;
+  sort : Sort.t;
+  attrs : attr list;
+  index : int;  (** creation index, used for fast total orders *)
+}
+
+type t
+
+(** [create ()] makes an empty signature (the builtin boolean operators are
+    always reachable through {!Builtin}). *)
+val create : unit -> t
+
+(** [declare sg name arity sort ~attrs] adds an operator.
+    @raise Invalid_argument if [name] is already declared in [sg] with a
+    different profile. Re-declaring the identical profile is idempotent. *)
+val declare : t -> string -> Sort.t list -> Sort.t -> attrs:attr list -> op
+
+(** [find sg name] looks an operator up by name.
+    @raise Not_found if absent. *)
+val find : t -> string -> op
+
+val find_opt : t -> string -> op option
+val mem : t -> string -> bool
+
+(** [ops sg] lists the declared operators in declaration order. *)
+val ops : t -> op list
+
+(** [constructors_of sg sort] lists the [Ctor] operators whose coarity is
+    [sort], in declaration order.  This drives constructor case-splitting in
+    the prover. *)
+val constructors_of : t -> Sort.t -> op list
+
+val is_ctor : op -> bool
+val is_ac : op -> bool
+val is_comm : op -> bool
+val op_equal : op -> op -> bool
+val op_compare : op -> op -> int
+val pp_op : Format.formatter -> op -> unit
+
+(** Builtin operators of the [Bool] sort, shared by every signature.  Their
+    rewrite theory lives in {!Boolring}; [if_then_else] is polymorphic and is
+    interned per result sort. *)
+module Builtin : sig
+  val tt : op
+  val ff : op
+  val not_ : op
+  val and_ : op
+  val or_ : op
+  val xor : op
+  val implies : op
+  val iff : op
+
+  (** [if_ sort] is the [if_then_else_fi] operator at result sort [sort]. *)
+  val if_ : Sort.t -> op
+
+  (** [eq sort] is the equality predicate [_=_] at argument sort [sort],
+      with coarity [Bool]. *)
+  val eq : Sort.t -> op
+
+  (** [is_if op] / [is_eq op] recognize the polymorphic builtins. *)
+  val is_if : op -> bool
+
+  val is_eq : op -> bool
+
+  (** [is_builtin op] is true for every operator created by this module. *)
+  val is_builtin : op -> bool
+end

@@ -1,0 +1,33 @@
+type t = { name : string; hidden : bool }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+let order : t list ref = ref []
+
+let intern ~hidden name =
+  match Hashtbl.find_opt table name with
+  | Some s ->
+    if s.hidden <> hidden then
+      invalid_arg
+        (Printf.sprintf "Sort.%s: %S already interned with other visibility"
+           (if hidden then "hidden" else "visible")
+           name);
+    s
+  | None ->
+    let s = { name; hidden } in
+    Hashtbl.add table name s;
+    order := s :: !order;
+    s
+
+let visible name = intern ~hidden:false name
+let hidden name = intern ~hidden:true name
+let find name = Hashtbl.find table name
+let mem name = Hashtbl.mem table name
+let equal s1 s2 = s1 == s2 || String.equal s1.name s2.name
+let compare s1 s2 = String.compare s1.name s2.name
+
+let pp ppf s =
+  Format.pp_print_string ppf s.name;
+  if s.hidden then Format.pp_print_char ppf '*'
+
+let bool = visible "Bool"
+let all () = List.rev !order

@@ -1,0 +1,40 @@
+(** Sorts of an order-sorted signature.
+
+    CafeOBJ distinguishes {e visible} sorts (abstract data types) from
+    {e hidden} sorts (state spaces of abstract machines, Section 2.1 of the
+    paper).  A sort is a name tagged with that distinction.  Sorts are
+    interned: two sorts with the same name are physically equal, which makes
+    comparison cheap throughout the kernel. *)
+
+type t = private {
+  name : string;  (** unique sort name, e.g. ["Pms"] or ["Protocol"] *)
+  hidden : bool;  (** [true] for state-space sorts declared with [*[ ... ]*] *)
+}
+
+(** [visible name] interns the visible sort called [name]. *)
+val visible : string -> t
+
+(** [hidden name] interns the hidden sort called [name]. *)
+val hidden : string -> t
+
+(** [find name] returns the sort previously interned under [name].
+    @raise Not_found if no such sort exists. *)
+val find : string -> t
+
+(** [mem name] is [true] iff a sort called [name] has been interned. *)
+val mem : string -> bool
+
+(** [equal s1 s2] — physical/name equality of sorts. *)
+val equal : t -> t -> bool
+
+(** [compare] orders sorts by name. *)
+val compare : t -> t -> int
+
+(** Pretty-printer: prints the sort name, suffixed with [*] when hidden. *)
+val pp : Format.formatter -> t -> unit
+
+(** The builtin boolean sort [Bool] (always available, visible). *)
+val bool : t
+
+(** [all ()] lists every interned sort, in creation order. *)
+val all : unit -> t list

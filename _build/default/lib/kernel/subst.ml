@@ -1,0 +1,43 @@
+module M = Map.Make (struct
+  type t = Term.var
+
+  let compare (v1 : Term.var) (v2 : Term.var) =
+    let c = String.compare v1.v_name v2.v_name in
+    if c <> 0 then c else Sort.compare v1.v_sort v2.v_sort
+end)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+let bind sub (v : Term.var) t =
+  if not (Sort.equal v.v_sort (Term.sort t)) then
+    invalid_arg
+      (Printf.sprintf "Subst.bind: %s:%s := term of sort %s" v.v_name
+         v.v_sort.Sort.name (Term.sort t).Sort.name);
+  match M.find_opt v sub with
+  | Some t' when not (Term.equal t t') ->
+    invalid_arg (Printf.sprintf "Subst.bind: %s bound twice" v.v_name)
+  | _ -> M.add v t sub
+
+let find sub v = M.find_opt v sub
+let of_list bindings = List.fold_left (fun s (v, t) -> bind s v t) empty bindings
+let bindings sub = M.bindings sub
+
+let rec apply sub t =
+  match t with
+  | Term.Var v -> ( match M.find_opt v sub with Some t' -> t' | None -> t)
+  | Term.App (o, args) -> Term.App (o, List.map (apply sub) args)
+
+let domain sub = List.map fst (M.bindings sub)
+
+let pp ppf sub =
+  let pp_binding ppf ((v : Term.var), t) =
+    Format.fprintf ppf "%s := %a" v.v_name Term.pp t
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_binding)
+    (M.bindings sub)

@@ -1,0 +1,28 @@
+(** Substitutions: finite maps from variables to terms. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** [bind sub v t] extends [sub] with [v := t].
+    @raise Invalid_argument if the sorts of [v] and [t] differ, or if [v] is
+    already bound to a different term. *)
+val bind : t -> Term.var -> Term.t -> t
+
+(** [find sub v] is the binding of [v], if any. *)
+val find : t -> Term.var -> Term.t option
+
+(** [of_list bindings] builds a substitution from scratch. *)
+val of_list : (Term.var * Term.t) list -> t
+
+val bindings : t -> (Term.var * Term.t) list
+
+(** [apply sub t] replaces every bound variable of [t] by its image
+    (simultaneous, not iterated). *)
+val apply : t -> Term.t -> Term.t
+
+(** [domain sub] lists the bound variables. *)
+val domain : t -> Term.var list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+type var = { v_name : string; v_sort : Sort.t }
+
+type t =
+  | Var of var
+  | App of Signature.op * t list
+
+let var v_name v_sort = Var { v_name; v_sort }
+
+let sort = function
+  | Var v -> v.v_sort
+  | App (o, _) -> o.Signature.sort
+
+let app op args =
+  let arity = op.Signature.arity in
+  if List.length arity <> List.length args then
+    invalid_arg
+      (Printf.sprintf "Term.app: %s expects %d arguments, got %d"
+         op.Signature.name (List.length arity) (List.length args));
+  List.iter2
+    (fun s a ->
+      if not (Sort.equal s (sort a)) then
+        invalid_arg
+          (Printf.sprintf "Term.app: %s: argument of sort %s where %s expected"
+             op.Signature.name (sort a).Sort.name s.Sort.name))
+    arity args;
+  App (op, args)
+
+let const op = app op []
+
+module B = Signature.Builtin
+
+let tt = const B.tt
+let ff = const B.ff
+let bool_ b = if b then tt else ff
+let not_ t = app B.not_ [ t ]
+let and_ t1 t2 = app B.and_ [ t1; t2 ]
+let or_ t1 t2 = app B.or_ [ t1; t2 ]
+let xor t1 t2 = app B.xor [ t1; t2 ]
+let implies t1 t2 = app B.implies [ t1; t2 ]
+let iff t1 t2 = app B.iff [ t1; t2 ]
+
+let conj = function [] -> tt | t :: ts -> List.fold_left and_ t ts
+let disj = function [] -> ff | t :: ts -> List.fold_left or_ t ts
+
+let eq t1 t2 =
+  let s1 = sort t1 and s2 = sort t2 in
+  if not (Sort.equal s1 s2) then
+    invalid_arg
+      (Printf.sprintf "Term.eq: sorts %s and %s differ" s1.Sort.name
+         s2.Sort.name);
+  app (B.eq s1) [ t1; t2 ]
+
+let ite c t e = app (B.if_ (sort t)) [ c; t; e ]
+
+let var_equal v1 v2 =
+  String.equal v1.v_name v2.v_name && Sort.equal v1.v_sort v2.v_sort
+
+let rec equal t1 t2 =
+  t1 == t2
+  ||
+  match t1, t2 with
+  | Var v1, Var v2 -> var_equal v1 v2
+  | App (o1, a1), App (o2, a2) ->
+    Signature.op_equal o1 o2 && List.for_all2 equal a1 a2
+  | Var _, App _ | App _, Var _ -> false
+
+let rec compare t1 t2 =
+  if t1 == t2 then 0
+  else
+    match t1, t2 with
+    | Var v1, Var v2 ->
+      let c = String.compare v1.v_name v2.v_name in
+      if c <> 0 then c else Sort.compare v1.v_sort v2.v_sort
+    | Var _, App _ -> -1
+    | App _, Var _ -> 1
+    | App (o1, a1), App (o2, a2) ->
+      let c = Signature.op_compare o1 o2 in
+      if c <> 0 then c else List.compare compare a1 a2
+
+let rec hash t =
+  match t with
+  | Var v -> Hashtbl.hash (0, v.v_name, v.v_sort.Sort.name)
+  | App (o, args) -> Hashtbl.hash (1, o.Signature.name, List.map hash args)
+
+let vars t =
+  let rec go acc = function
+    | Var v -> if List.exists (var_equal v) acc then acc else v :: acc
+    | App (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec is_ground = function
+  | Var _ -> false
+  | App (_, args) -> List.for_all is_ground args
+
+let rec size = function
+  | Var _ -> 1
+  | App (_, args) -> List.fold_left (fun n a -> n + size a) 1 args
+
+let rec depth = function
+  | Var _ -> 1
+  | App (_, args) -> 1 + List.fold_left (fun n a -> max n (depth a)) 0 args
+
+let subterms t =
+  let rec go acc t =
+    let acc = t :: acc in
+    match t with Var _ -> acc | App (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec occurs ~inside t =
+  equal inside t
+  ||
+  match inside with
+  | Var _ -> false
+  | App (_, args) -> List.exists (fun a -> occurs ~inside:a t) args
+
+let rec replace ~old ~by t =
+  if equal t old then by
+  else
+    match t with
+    | Var _ -> t
+    | App (o, args) -> App (o, List.map (replace ~old ~by) args)
+
+let map_children f = function
+  | Var _ as t -> t
+  | App (o, args) -> App (o, List.map f args)
+
+let rec pp ppf = function
+  | Var v -> Format.fprintf ppf "%s:%s" v.v_name v.v_sort.Sort.name
+  | App (o, []) -> Format.pp_print_string ppf o.Signature.name
+  | App (o, args) ->
+    Format.fprintf ppf "%s(%a)" o.Signature.name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp)
+      args
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

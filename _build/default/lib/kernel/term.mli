@@ -1,0 +1,101 @@
+(** First-order terms over an order-sorted signature.
+
+    A term is either a sorted variable or the application of an operator to
+    argument terms (constants are nullary applications).  Terms are the
+    universal currency of the kernel: protocol states, messages, boolean
+    formulas and proof goals are all terms. *)
+
+type var = { v_name : string; v_sort : Sort.t }
+
+type t =
+  | Var of var
+  | App of Signature.op * t list
+
+(** {1 Construction} *)
+
+(** [var name sort] builds a variable. *)
+val var : string -> Sort.t -> t
+
+(** [app op args] builds an application.
+    @raise Invalid_argument if the number of arguments does not match the
+    operator's arity (sorts of the arguments are checked too). *)
+val app : Signature.op -> t list -> t
+
+(** [const op] is [app op []]. *)
+val const : Signature.op -> t
+
+(** {1 Builtin sugar} *)
+
+val tt : t
+val ff : t
+val bool_ : bool -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor : t -> t -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+
+(** [conj ts] folds [and_] over [ts] ([tt] when empty). *)
+val conj : t list -> t
+
+(** [disj ts] folds [or_] over [ts] ([ff] when empty). *)
+val disj : t list -> t
+
+(** [eq t1 t2] is the equality atom at the (common) sort of [t1], [t2].
+    @raise Invalid_argument on sort mismatch. *)
+val eq : t -> t -> t
+
+(** [ite c t e] is [if_then_else_fi] at the sort of [t]. *)
+val ite : t -> t -> t -> t
+
+(** {1 Inspection} *)
+
+(** [sort t] is the sort of [t]. *)
+val sort : t -> Sort.t
+
+(** [equal]/[compare] are structural (variables by name and sort, operators
+    by name). *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [hash t] is a structural hash consistent with {!equal}. *)
+val hash : t -> int
+
+(** [vars t] lists the distinct variables of [t], left-to-right. *)
+val vars : t -> var list
+
+(** [is_ground t] is [true] iff [t] has no variables. *)
+val is_ground : t -> bool
+
+(** [size t] counts operator and variable occurrences. *)
+val size : t -> int
+
+(** [depth t] is the height of the term tree ([1] for leaves). *)
+val depth : t -> int
+
+(** [subterms t] lists every subterm of [t] including [t] itself
+    (pre-order). *)
+val subterms : t -> t list
+
+(** [occurs ~inside t] tests whether [t] occurs as a subterm of [inside]. *)
+val occurs : inside:t -> t -> bool
+
+(** [replace ~old ~by t] replaces every occurrence of the subterm [old] by
+    [by] in [t] (used for congruence-by-substitution in the prover). *)
+val replace : old:t -> by:t -> t -> t
+
+(** [map_children f t] applies [f] to the immediate children of [t]. *)
+val map_children : (t -> t) -> t -> t
+
+(** {1 Printing} *)
+
+(** Prefix pretty-printer: [f(a, b)], variables as [X:Sort]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,143 @@
+type ('state, 'action) system = {
+  initial : 'state;
+  next : 'state -> ('action * 'state) list;
+  key : 'state -> string;
+  show_action : 'action -> string;
+}
+
+type stats = {
+  states_explored : int;
+  transitions_fired : int;
+  max_depth : int;
+  elapsed : float;
+}
+
+type 'action violation = {
+  property : string;
+  trace : 'action list;
+  depth : int;
+}
+
+type 'action outcome =
+  | No_violation of stats
+  | Violation of 'action violation * stats
+  | Out_of_bounds of stats
+
+exception Found of string * int
+
+(* Shared BFS core: explores until exhaustion or a state satisfying [stop].
+   Parent pointers (by state key) reconstruct traces. *)
+type 'a node = { parent_key : string option; via : 'a option; depth : int }
+
+let explore ?(max_states = 1_000_000) ?(max_depth = max_int) system ~stop =
+  let t0 = Unix.gettimeofday () in
+  let seen : (string, 'a node) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let deepest = ref 0 in
+  let complete = ref true in
+  let trace_to key =
+    let rec go key acc =
+      match Hashtbl.find seen key with
+      | { parent_key = None; _ } -> acc
+      | { parent_key = Some pk; via = Some a; _ } -> go pk (a :: acc)
+      | { parent_key = Some _; via = None; _ } -> acc
+    in
+    go key []
+  in
+  let enqueue state parent_key via depth =
+    let k = system.key state in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k { parent_key; via; depth };
+      incr states;
+      if depth > !deepest then deepest := depth;
+      (match stop state with
+      | Some (_ : string) -> raise (Found (k, depth))
+      | None -> ());
+      if depth < max_depth then Queue.add (state, k, depth) queue
+      else complete := false
+    end
+  in
+  let mk_stats () =
+    {
+      states_explored = !states;
+      transitions_fired = !transitions;
+      max_depth = !deepest;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  try
+    enqueue system.initial None None 0;
+    while not (Queue.is_empty queue) do
+      if !states > max_states then begin
+        complete := false;
+        Queue.clear queue
+      end
+      else begin
+        let state, k, depth = Queue.pop queue in
+        List.iter
+          (fun (a, s') ->
+            incr transitions;
+            enqueue s' (Some k) (Some a) (depth + 1))
+          (system.next state)
+      end
+    done;
+    `Exhausted (mk_stats (), !complete)
+  with Found (key, depth) ->
+    `Stopped (mk_stats (), trace_to key, depth)
+
+let bfs ?max_states ?max_depth system ~props =
+  let stop state =
+    List.find_map
+      (fun (name, pred) -> if pred state then None else Some name)
+      props
+  in
+  (* [stop] returns the name of a *violated* property. *)
+  let violated = ref "" in
+  let stop state =
+    match stop state with
+    | Some name ->
+      violated := name;
+      Some name
+    | None -> None
+  in
+  match explore ?max_states ?max_depth system ~stop with
+  | `Exhausted (stats, true) -> No_violation stats
+  | `Exhausted (stats, false) -> Out_of_bounds stats
+  | `Stopped (stats, trace, depth) ->
+    Violation ({ property = !violated; trace; depth }, stats)
+
+let reachable ?max_states ?max_depth system ~goal =
+  let witness = ref None in
+  let stop state =
+    if goal state then begin
+      witness := Some state;
+      Some "goal"
+    end
+    else None
+  in
+  match explore ?max_states ?max_depth system ~stop with
+  | `Exhausted _ -> None
+  | `Stopped (_, trace, _) -> (
+    match !witness with Some s -> Some (trace, s) | None -> None)
+
+let outcome_stats = function
+  | No_violation s -> s
+  | Violation (_, s) -> s
+  | Out_of_bounds s -> s
+
+let pp_stats ppf s =
+  Format.fprintf ppf "states=%d transitions=%d depth=%d %.3fs"
+    s.states_explored s.transitions_fired s.max_depth s.elapsed
+
+let pp_outcome pp_action ppf = function
+  | No_violation s ->
+    Format.fprintf ppf "no violation (exhaustive; %a)" pp_stats s
+  | Out_of_bounds s ->
+    Format.fprintf ppf "no violation within bounds (%a)" pp_stats s
+  | Violation (v, s) ->
+    Format.fprintf ppf "@[<v2>violation of %s at depth %d (%a):" v.property
+      v.depth pp_stats s;
+    List.iter (fun a -> Format.fprintf ppf "@,%a" pp_action a) v.trace;
+    Format.fprintf ppf "@]"

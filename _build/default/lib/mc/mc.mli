@@ -1,0 +1,67 @@
+(** An explicit-state model checker à la Murφ.
+
+    This is the reproduction of the paper's related-work baseline (Mitchell,
+    Shmatikov and Stern's finite-state analysis of SSL 3.0, Section 6):
+    exhaustive breadth-first exploration of a finite protocol scenario,
+    invariant checking at every reachable state, and counterexample trace
+    reconstruction.
+
+    The checker is generic: a system is a record of initial state, enabled
+    transitions and state identity.  States are deduplicated with a hash
+    table over a caller-supplied canonical key. *)
+
+type ('state, 'action) system = {
+  initial : 'state;
+  next : 'state -> ('action * 'state) list;
+      (** enabled transitions in the given state *)
+  key : 'state -> string;
+      (** canonical identity: two states with the same key are merged *)
+  show_action : 'action -> string;
+}
+
+type stats = {
+  states_explored : int;
+  transitions_fired : int;
+  max_depth : int;
+  elapsed : float;  (** seconds *)
+}
+
+type 'action violation = {
+  property : string;
+  trace : 'action list;  (** action labels from the initial state *)
+  depth : int;
+}
+
+type 'action outcome =
+  | No_violation of stats  (** the full (bounded) space satisfied everything *)
+  | Violation of 'action violation * stats
+  | Out_of_bounds of stats
+      (** a bound was hit before exhaustion and no violation found *)
+
+(** [bfs ?max_states ?max_depth system ~props] explores breadth-first and
+    checks each named predicate at every state, returning the first
+    violation (whose trace is minimal by BFS) or exhaustion.  Defaults:
+    [max_states = 1_000_000], [max_depth = max_int]. *)
+val bfs :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ('s, 'a) system ->
+  props:(string * ('s -> bool)) list ->
+  'a outcome
+
+(** [reachable ?max_states ?max_depth system ~goal] searches for a state
+    satisfying [goal]; returns the (BFS-minimal) witness trace, if any.
+    Used to answer “can the protocol reach a completed handshake?” style
+    questions positively. *)
+val reachable :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ('s, 'a) system ->
+  goal:('s -> bool) ->
+  ('a list * 's) option
+
+val outcome_stats : 'a outcome -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_outcome :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit

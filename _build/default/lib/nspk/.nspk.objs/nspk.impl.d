@@ -1,0 +1,1 @@
+lib/nspk/nspk.ml: Buffer Cafeobj Dolevyao Format Kernel Lazy List Mc Nspk_model Nspk_proofs Printf Signature String Term Tls

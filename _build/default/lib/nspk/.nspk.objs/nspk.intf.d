@@ -1,0 +1,1 @@
+lib/nspk/nspk.mli: Format Kernel Mc Nspk_model Nspk_proofs Term

@@ -1,0 +1,1 @@
+lib/nspk/nspk_model.ml: Cafeobj Core Induction Kernel Lazy List Option Ots Printf Signature Sort Specgen Term Tls

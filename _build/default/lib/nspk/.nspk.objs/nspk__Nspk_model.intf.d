@@ -1,0 +1,1 @@
+lib/nspk/nspk_model.mli: Cafeobj Core Induction Kernel Ots Sort Term

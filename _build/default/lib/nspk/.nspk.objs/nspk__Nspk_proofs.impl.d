@@ -1,0 +1,1 @@
+lib/nspk/nspk_proofs.ml: Core Induction Kernel Lazy List Nspk_model String Term Tls

@@ -1,0 +1,1 @@
+lib/nspk/nspk_proofs.mli: Core Induction Nspk_model Prover

@@ -1,0 +1,355 @@
+open Kernel
+open Core
+module D = Tls.Data
+
+type variant = Classic | Lowe_fixed
+module Spec = Cafeobj.Spec
+module Datatype = Cafeobj.Datatype
+
+(* ------------------------------------------------------------------ *)
+(* Data *)
+
+let spec = Spec.create ~imports:[ D.spec ] "NSPK-SYM"
+let nonce = Spec.declare_sort spec "Nonce"
+let nseed = Spec.declare_sort spec "NSeed"
+let nenc1 = Spec.declare_sort spec "SNEnc1"
+let nenc2 = Spec.declare_sort spec "SNEnc2"
+let nenc3 = Spec.declare_sort spec "SNEnc3"
+let nmsg = Spec.declare_sort spec "SNMsg"
+let nnet = Spec.declare_sort spec "NNet"
+let useed = Spec.declare_sort spec "USeed"
+
+let nonce_op =
+  Datatype.declare_ctor spec ~sort:nonce "nonce"
+    [ "nonce-owner", D.prin; "nonce-peer", D.prin; "nonce-seed", nseed ]
+
+let enc1_op =
+  Datatype.declare_ctor spec ~sort:nenc1 "senc1"
+    [ "e1-key", D.pub_key; "e1-nonce", nonce; "e1-prin", D.prin ]
+
+let enc2_op =
+  Datatype.declare_ctor spec ~sort:nenc2 "senc2"
+    [
+      "e2-key", D.pub_key; "e2-n1", nonce; "e2-n2", nonce; "e2-prin", D.prin;
+    ]
+
+let enc3_op =
+  Datatype.declare_ctor spec ~sort:nenc3 "senc3"
+    [ "e3-key", D.pub_key; "e3-nonce", nonce ]
+
+let hdr = [ "ncrt", D.prin; "nsrc", D.prin; "ndst", D.prin ]
+let m1_op = Datatype.declare_ctor spec ~sort:nmsg "sm1" (hdr @ [ "pl1", nenc1 ])
+let m2_op = Datatype.declare_ctor spec ~sort:nmsg "sm2" (hdr @ [ "pl2", nenc2 ])
+let m3_op = Datatype.declare_ctor spec ~sort:nmsg "sm3" (hdr @ [ "pl3", nenc3 ])
+let nvoid_op = Datatype.declare_ctor spec ~sort:nnet "nvoid" []
+
+let nadd_op =
+  Datatype.declare_ctor spec ~sort:nnet "nadd" [ "nhead", nmsg; "ntail", nnet ]
+
+let useed_nil_op = Datatype.declare_ctor spec ~sort:useed "unil" []
+
+let useed_add_op =
+  Datatype.declare_ctor spec ~sort:useed "uadd" [ "uhead", nseed; "utail", useed ]
+
+let () =
+  List.iter (Datatype.finalize_sort spec) [ nonce; nenc1; nenc2; nenc3; nmsg ];
+  List.iter
+    (fun srt ->
+      Spec.add_rule spec (List.hd (Datatype.equality_rules_for ~ctors:[] srt)))
+    [ nseed; nnet; useed ]
+
+let nonce_ ~owner ~peer seed = Term.app nonce_op [ owner; peer; seed ]
+let enc1_ k n p = Term.app enc1_op [ k; n; p ]
+let enc2_ k n1 n2 r = Term.app enc2_op [ k; n1; n2; r ]
+let enc3_ k n = Term.app enc3_op [ k; n ]
+let m1_ ~crt ~src ~dst e = Term.app m1_op [ crt; src; dst; e ]
+let m2_ ~crt ~src ~dst e = Term.app m2_op [ crt; src; dst; e ]
+let m3_ ~crt ~src ~dst e = Term.app m3_op [ crt; src; dst; e ]
+let proj name t = Term.app (Option.get (Spec.find_op spec name)) [ t ]
+let nonce_owner t = proj "nonce-owner" t
+let nonce_peer t = proj "nonce-peer" t
+let e1_key t = proj "e1-key" t
+let e1_nonce t = proj "e1-nonce" t
+let e1_prin t = proj "e1-prin" t
+let e2_key t = proj "e2-key" t
+let e2_n1 t = proj "e2-n1" t
+let e2_n2 t = proj "e2-n2" t
+let e2_prin t = proj "e2-prin" t
+let e3_key t = proj "e3-key" t
+let e3_nonce t = proj "e3-nonce" t
+let is_m1 t = proj "sm1?" t
+let is_m2 t = proj "sm2?" t
+let is_m3 t = proj "sm3?" t
+let payload1 t = proj "pl1" t
+let payload2 t = proj "pl2" t
+let payload3 t = proj "pl3" t
+
+(* Membership and gleaning (same construction as Tls.Data). *)
+let declare_membership name elem container ~empty ~cons_op =
+  let op = Spec.declare_op spec name [ elem; container ] Sort.bool ~attrs:[] in
+  let x = Term.var "X" elem in
+  let y = Term.var "Y" elem in
+  let tail = Term.var "TAIL" container in
+  Spec.add_eq spec ~label:(name ^ "-empty") (Term.app op [ x; empty ]) Term.ff;
+  Spec.add_eq spec ~label:(name ^ "-cons")
+    (Term.app op [ x; Term.app cons_op [ y; tail ] ])
+    (Term.or_ (Term.eq x y) (Term.app op [ x; tail ]));
+  op
+
+let nmsg_in_op =
+  declare_membership "nmsg-in" nmsg nnet ~empty:(Term.const nvoid_op)
+    ~cons_op:nadd_op
+
+let seed_in_op =
+  declare_membership "seed-in" nseed useed ~empty:(Term.const useed_nil_op)
+    ~cons_op:useed_add_op
+
+let nmsg_in m n = Term.app nmsg_in_op [ m; n ]
+let seed_in s u = Term.app seed_in_op [ s; u ]
+
+let msg_ctors = [ m1_op; m2_op; m3_op ]
+
+let ctor_vars (op : Signature.op) =
+  List.mapi (fun i srt -> Term.var (Printf.sprintf "A%d" i) srt) op.Signature.arity
+
+let declare_collection name elem ~void_case ~glean =
+  let op = Spec.declare_op spec name [ elem; nnet ] Sort.bool ~attrs:[] in
+  let x = Term.var "X" elem in
+  let tail = Term.var "TAIL" nnet in
+  Spec.add_eq spec ~label:(name ^ "-void")
+    (Term.app op [ x; Term.const nvoid_op ])
+    (void_case x);
+  List.iter
+    (fun mc ->
+      let vars = ctor_vars mc in
+      let m = Term.app mc vars in
+      let rest = Term.app op [ x; tail ] in
+      let rhs =
+        match glean mc x vars with
+        | None -> rest
+        | Some found -> Term.or_ found rest
+      in
+      Spec.add_eq spec
+        ~label:(Printf.sprintf "%s-%s" name mc.Signature.name)
+        (Term.app op [ x; Term.app nadd_op [ m; tail ] ])
+        rhs)
+    msg_ctors;
+  op
+
+let payload_of vars = List.nth vars 3
+let under_intruder_key key = Term.eq key (D.pk_ D.intruder)
+
+(* Gleanable nonces: the intruder's own nonces always; otherwise the
+   contents of ciphertexts under its public key. *)
+let in_cn_op =
+  declare_collection "in-cn" nonce
+    ~void_case:(fun x -> Term.eq (nonce_owner x) D.intruder)
+    ~glean:(fun mc x vars ->
+      let e = payload_of vars in
+      if Signature.op_equal mc m1_op then
+        Some (Term.and_ (under_intruder_key (e1_key e)) (Term.eq x (e1_nonce e)))
+      else if Signature.op_equal mc m2_op then
+        Some
+          (Term.and_
+             (under_intruder_key (e2_key e))
+             (Term.or_ (Term.eq x (e2_n1 e)) (Term.eq x (e2_n2 e))))
+      else
+        Some (Term.and_ (under_intruder_key (e3_key e)) (Term.eq x (e3_nonce e))))
+
+let simple_collection name elem selector =
+  declare_collection name elem
+    ~void_case:(fun _ -> Term.ff)
+    ~glean:(fun mc x vars ->
+      if Signature.op_equal mc selector then
+        Some (Term.eq x (payload_of vars))
+      else None)
+
+let in_ce1_op = simple_collection "in-ce1" nenc1 m1_op
+let in_ce2_op = simple_collection "in-ce2" nenc2 m2_op
+let in_ce3_op = simple_collection "in-ce3" nenc3 m3_op
+let in_cn x n = Term.app in_cn_op [ x; n ]
+let in_ce1 x n = Term.app in_ce1_op [ x; n ]
+let in_ce2 x n = Term.app in_ce2_op [ x; n ]
+let in_ce3 x n = Term.app in_ce3_op [ x; n ]
+
+(* ------------------------------------------------------------------ *)
+(* The transition systems *)
+
+let nproto = Sort.hidden "NProto"
+
+let make variant =
+  let sg = Signature.create () in
+  let suffix = match variant with Classic -> "c" | Lowe_fixed -> "l" in
+  let decl name arity sort =
+    Signature.declare sg (name ^ "-" ^ suffix) arity sort ~attrs:[]
+  in
+  let nw_op = decl "nnw" [ nproto ] nnet in
+  let usd_op = decl "nusd" [ nproto ] useed in
+  let init_op = decl "ninit" [] nproto in
+  let nw_obs : Ots.observer =
+    { obs_op = nw_op; obs_params = []; obs_result = nnet }
+  in
+  let usd_obs : Ots.observer =
+    { obs_op = usd_op; obs_params = []; obs_result = useed }
+  in
+  let sv = Term.var "S" nproto in
+  let nw_ = Term.app nw_op [ sv ] in
+  let usd_ = Term.app usd_op [ sv ] in
+  let send m : Ots.effect_ =
+    { eff_observer = nw_obs; eff_value = Term.app nadd_op [ m; nw_ ] }
+  in
+  let use_seed x : Ots.effect_ =
+    { eff_observer = usd_obs; eff_value = Term.app useed_add_op [ x; usd_ ] }
+  in
+  let actions = ref [] in
+  let act name params cond effects =
+    let op = decl name (nproto :: List.map snd params) nproto in
+    actions :=
+      { Ots.act_op = op; act_params = params; act_cond = cond; act_effects = effects }
+      :: !actions
+  in
+  let a = Term.var "A" D.prin in
+  let b = Term.var "B" D.prin in
+  let sd = Term.var "SD" nseed in
+  let m1 = Term.var "M1" nmsg in
+  let m2 = Term.var "M2" nmsg in
+  let n = Term.var "N" nonce in
+  let n2 = Term.var "N2" nonce in
+  let e1 = Term.var "E" nenc1 in
+  let e2 = Term.var "E" nenc2 in
+  let e3 = Term.var "E" nenc3 in
+  let in_nw m = nmsg_in m nw_ in
+  let fresh_seed = Term.not_ (seed_in sd usd_) in
+  let name_field resp = match variant with
+    | Classic -> D.ca  (* "absent" *)
+    | Lowe_fixed -> resp
+  in
+
+  (* A starts a run with B. *)
+  act "start"
+    [ "A", D.prin; "B", D.prin; "SD", nseed ]
+    fresh_seed
+    [
+      send
+        (m1_ ~crt:a ~src:a ~dst:b
+           (enc1_ (D.pk_ b) (nonce_ ~owner:a ~peer:b sd) a));
+      use_seed sd;
+    ];
+
+  (* B answers a message 1 addressed to (and readable by) it. *)
+  let pl1 = payload1 m1 in
+  act "respond"
+    [ "B", D.prin; "SD", nseed; "M1", nmsg ]
+    (Term.conj
+       [
+         in_nw m1;
+         is_m1 m1;
+         Term.eq (proj "ndst" m1) b;
+         Term.eq (e1_key pl1) (D.pk_ b);
+         fresh_seed;
+       ])
+    [
+      send
+        (m2_ ~crt:b ~src:b ~dst:(e1_prin pl1)
+           (enc2_
+              (D.pk_ (e1_prin pl1))
+              (e1_nonce pl1)
+              (nonce_ ~owner:b ~peer:(e1_prin pl1) sd)
+              (name_field b)));
+      use_seed sd;
+    ];
+
+  (* A, having started a run (its own message 1), accepts a matching
+     message 2 and finishes.  In the Lowe-fixed variant A checks the
+     responder name. *)
+  let pl2 = payload2 m2 in
+  let peer = proj "ndst" m1 in
+  act "finishInit"
+    [ "A", D.prin; "M1", nmsg; "M2", nmsg ]
+    (Term.conj
+       ([
+          in_nw m1;
+          is_m1 m1;
+          Term.eq (proj "ncrt" m1) a;
+          Term.eq (proj "nsrc" m1) a;
+          in_nw m2;
+          is_m2 m2;
+          Term.eq (proj "ndst" m2) a;
+          Term.eq (proj "nsrc" m2) peer;
+          Term.eq (e2_key pl2) (D.pk_ a);
+          Term.eq (e2_n1 pl2) (e1_nonce (payload1 m1));
+        ]
+       @
+       match variant with
+       | Classic -> []
+       | Lowe_fixed -> [ Term.eq (e2_prin pl2) peer ]))
+    [ send (m3_ ~crt:a ~src:a ~dst:peer (enc3_ (D.pk_ peer) (e2_n2 pl2))) ];
+
+  (* The intruder: construct from gleanable nonces, or replay gleaned
+     ciphertexts, with arbitrary headers. *)
+  act "fakeM1c"
+    [ "A", D.prin; "B", D.prin; "N", nonce ]
+    (in_cn n nw_)
+    [ send (m1_ ~crt:D.intruder ~src:a ~dst:b (enc1_ (D.pk_ b) n a)) ];
+  act "fakeM1r"
+    [ "A", D.prin; "B", D.prin; "E", nenc1 ]
+    (in_ce1 e1 nw_)
+    [ send (m1_ ~crt:D.intruder ~src:a ~dst:b e1) ];
+  act "fakeM2c"
+    [ "B", D.prin; "A", D.prin; "N", nonce; "N2", nonce; "R", D.prin ]
+    (Term.and_ (in_cn n nw_) (in_cn n2 nw_))
+    [
+      send
+        (m2_ ~crt:D.intruder ~src:b ~dst:a
+           (enc2_ (D.pk_ a) n n2 (Term.var "R" D.prin)));
+    ];
+  act "fakeM2r"
+    [ "B", D.prin; "A", D.prin; "E", nenc2 ]
+    (in_ce2 e2 nw_)
+    [ send (m2_ ~crt:D.intruder ~src:b ~dst:a e2) ];
+  act "fakeM3c"
+    [ "A", D.prin; "B", D.prin; "N", nonce ]
+    (in_cn n nw_)
+    [ send (m3_ ~crt:D.intruder ~src:a ~dst:b (enc3_ (D.pk_ b) n)) ];
+  act "fakeM3r"
+    [ "A", D.prin; "B", D.prin; "E", nenc3 ]
+    (in_ce3 e3 nw_)
+    [ send (m3_ ~crt:D.intruder ~src:a ~dst:b e3) ];
+
+  {
+    Ots.ots_name =
+      (match variant with Classic -> "NSPK" | Lowe_fixed -> "NSL");
+    hidden = nproto;
+    init = init_op;
+    observers = [ nw_obs; usd_obs ];
+    actions = List.rev !actions;
+    init_equations =
+      [
+        Term.app nw_op [ Term.const init_op ], Term.const nvoid_op;
+        Term.app usd_op [ Term.const init_op ], Term.const useed_nil_op;
+      ];
+  }
+
+let classic = lazy (make Classic)
+let fixed = lazy (make Lowe_fixed)
+
+let ots = function
+  | Classic -> Lazy.force classic
+  | Lowe_fixed -> Lazy.force fixed
+
+let spec_classic = lazy (Specgen.generate ~data:spec (ots Classic))
+let spec_fixed = lazy (Specgen.generate ~data:spec (ots Lowe_fixed))
+
+let gen_spec = function
+  | Classic -> Lazy.force spec_classic
+  | Lowe_fixed -> Lazy.force spec_fixed
+
+let proof_env variant =
+  Induction.make_env ~spec:(gen_spec variant) ~ots:(ots variant) ()
+
+let observe i variant state =
+  let o = ots variant in
+  Ots.obs o (List.nth o.Ots.observers i).Ots.obs_op.Signature.name [] state
+
+let nw variant state = observe 0 variant state
+let usd variant state = observe 1 variant state

@@ -1,0 +1,94 @@
+(** The NSPK / NSL protocols as observational transition systems — the same
+    symbolic treatment the paper gives TLS, applied to its comparison
+    protocol (Section 3.2, Lowe [6]).
+
+    Nonces are structured, [nonce(owner, peer, seed)], so that secrecy is
+    expressible exactly like the paper's inv1 for pre-master secrets: a
+    gleanable nonce involves the intruder.  In the [Classic] variant the
+    responder-identity field of message 2 carries the inert constant [ca]
+    ("absent"); in [Lowe_fixed] it names the responder and initiators check
+    it.  The proof campaign in {!Nspk_proofs} then refutes nonce secrecy
+    for [Classic] — at the initiator's message-3 transition, which is
+    precisely where Lowe's attack bites — and proves it for [Lowe_fixed]. *)
+
+open Kernel
+open Core
+
+(** The two protocol variants: the original NSPK and Lowe's fixed NSL. *)
+type variant = Classic | Lowe_fixed
+
+(** Sorts (fresh, shared by both variants; [Prin]/[PubKey] come from
+    {!Tls.Data}). *)
+
+val nonce : Sort.t
+val nseed : Sort.t
+val nenc1 : Sort.t
+val nenc2 : Sort.t
+val nenc3 : Sort.t
+val nmsg : Sort.t
+val nnet : Sort.t
+val useed : Sort.t
+
+(** The data module holding the declarations. *)
+val spec : Cafeobj.Spec.t
+
+(** {1 Term builders} *)
+
+val nonce_ : owner:Term.t -> peer:Term.t -> Term.t -> Term.t
+val nonce_owner : Term.t -> Term.t
+val nonce_peer : Term.t -> Term.t
+
+(** [enc1_ key nonce claimed] *)
+val enc1_ : Term.t -> Term.t -> Term.t -> Term.t
+
+(** [enc2_ key n1 n2 responder] — [responder] is [Tls.Data.ca] in the
+    classic variant *)
+val enc2_ : Term.t -> Term.t -> Term.t -> Term.t -> Term.t
+
+(** [enc3_ key nonce] *)
+val enc3_ : Term.t -> Term.t -> Term.t
+
+val m1_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+val m2_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+val m3_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+
+val e1_key : Term.t -> Term.t
+val e1_nonce : Term.t -> Term.t
+val e1_prin : Term.t -> Term.t
+val e2_key : Term.t -> Term.t
+val e2_n1 : Term.t -> Term.t
+val e2_n2 : Term.t -> Term.t
+val e2_prin : Term.t -> Term.t
+val e3_key : Term.t -> Term.t
+val e3_nonce : Term.t -> Term.t
+val is_m1 : Term.t -> Term.t
+val is_m2 : Term.t -> Term.t
+val is_m3 : Term.t -> Term.t
+val payload1 : Term.t -> Term.t
+val payload2 : Term.t -> Term.t
+val payload3 : Term.t -> Term.t
+
+(** Membership / gleaning (mirrors {!Tls.Data}): [nmsg_in] over the
+    network, [in_cn] the gleanable nonces, [in_ce1/2/3] the replayable
+    ciphertexts. *)
+
+val nmsg_in : Term.t -> Term.t -> Term.t
+val in_cn : Term.t -> Term.t -> Term.t
+val in_ce1 : Term.t -> Term.t -> Term.t
+val in_ce2 : Term.t -> Term.t -> Term.t
+val in_ce3 : Term.t -> Term.t -> Term.t
+val seed_in : Term.t -> Term.t -> Term.t
+
+(** {1 The transition systems} *)
+
+(** [ots variant] — memoized; observers [nw : NProto -> NNet] and
+    [usd : NProto -> USeed]; transitions [start], [respond], [finishInit]
+    plus six intruder fakes (construct/replay per message kind). *)
+val ots : variant -> Ots.t
+
+(** [proof_env variant] — a fresh proof environment over the generated
+    equational theory. *)
+val proof_env : variant -> Induction.env
+
+val nw : variant -> Term.t -> Term.t
+val usd : variant -> Term.t -> Term.t

@@ -1,0 +1,188 @@
+open Kernel
+open Core
+module M = Nspk_model
+module D = Tls.Data
+
+type proof = {
+  name : string;
+  invariant : Induction.invariant;
+  hints : Induction.hint list;
+}
+
+let build variant =
+  let nw s = M.nw variant s in
+  let not_intruder t = Term.not_ (Term.eq t D.intruder) in
+  let inv name params body : Induction.invariant =
+    { inv_name = name; inv_params = params; inv_body = body }
+  in
+
+  (* Ties between a ciphertext's fields and the structure of the nonce it
+     carries.  [owner_tie] says the claimed sender really owns the nonce;
+     [peer_tie] says the encryption key is the nonce's intended peer's. *)
+  let e1_ties e =
+    Term.and_
+      (Term.eq (M.e1_prin e) (M.nonce_owner (M.e1_nonce e)))
+      (Term.eq (M.e1_key e) (D.pk_ (M.nonce_peer (M.e1_nonce e))))
+  in
+  let e2_n1_tie e =
+    (* The first nonce of a message 2 belongs to the key's owner: honest
+       responders echo the initiator's nonce back to it. *)
+    Term.eq (D.pk_ (M.nonce_owner (M.e2_n1 e))) (M.e2_key e)
+  in
+  let e2_n2_tie e =
+    let peer = Term.eq (D.pk_ (M.nonce_peer (M.e2_n2 e))) (M.e2_key e) in
+    match variant with
+    | M.Classic -> peer
+    | M.Lowe_fixed ->
+      (* Lowe's fix: the named responder owns the fresh nonce. *)
+      Term.and_ (Term.eq (M.nonce_owner (M.e2_n2 e)) (M.e2_prin e)) peer
+  in
+  let e3_tie e =
+    Term.eq (D.pk_ (M.nonce_owner (M.e3_nonce e))) (M.e3_key e)
+  in
+
+  let m1_origin =
+    inv "m1-origin"
+      [ "M", M.nmsg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          let e = M.payload1 m in
+          Term.implies
+            (Term.and_ (M.nmsg_in m (nw s)) (M.is_m1 m))
+            (Term.or_ (M.in_cn (M.e1_nonce e) (nw s)) (e1_ties e))
+        | _ -> assert false)
+  in
+  let ce1_origin =
+    inv "ce1-origin"
+      [ "E", M.nenc1 ]
+      (fun s args ->
+        match args with
+        | [ e ] ->
+          Term.implies
+            (M.in_ce1 e (nw s))
+            (Term.or_ (M.in_cn (M.e1_nonce e) (nw s)) (e1_ties e))
+        | _ -> assert false)
+  in
+  (* The two nonce clauses of the message-2 origin lemma are proved as
+     separate invariants: together they double the atom space of every
+     case and slow the splitting exponentially. *)
+  let m2_origin_clause suffix tie =
+    inv ("m2-origin-" ^ suffix)
+      [ "M", M.nmsg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          let e = M.payload2 m in
+          let nonce = if suffix = "n1" then M.e2_n1 e else M.e2_n2 e in
+          Term.implies
+            (Term.and_ (M.nmsg_in m (nw s)) (M.is_m2 m))
+            (Term.or_ (M.in_cn nonce (nw s)) (tie e))
+        | _ -> assert false)
+  in
+  let m2_origin_n1 = m2_origin_clause "n1" e2_n1_tie in
+  let m2_origin_n2 = m2_origin_clause "n2" e2_n2_tie in
+  let ce2_origin_clause suffix tie =
+    inv ("ce2-origin-" ^ suffix)
+      [ "E", M.nenc2 ]
+      (fun s args ->
+        match args with
+        | [ e ] ->
+          let nonce = if suffix = "n1" then M.e2_n1 e else M.e2_n2 e in
+          Term.implies
+            (M.in_ce2 e (nw s))
+            (Term.or_ (M.in_cn nonce (nw s)) (tie e))
+        | _ -> assert false)
+  in
+  let ce2_origin_n1 = ce2_origin_clause "n1" e2_n1_tie in
+  let ce2_origin_n2 = ce2_origin_clause "n2" e2_n2_tie in
+  let ce3_origin =
+    inv "ce3-origin"
+      [ "E", M.nenc3 ]
+      (fun s args ->
+        match args with
+        | [ e ] ->
+          Term.implies
+            (M.in_ce3 e (nw s))
+            (Term.or_ (M.in_cn (M.e3_nonce e) (nw s)) (e3_tie e))
+        | _ -> assert false)
+  in
+  let secrecy =
+    inv "nonce-secrecy"
+      [ "N", M.nonce ]
+      (fun s args ->
+        match args with
+        | [ n ] ->
+          Term.implies
+            (M.in_cn n (nw s))
+            (Term.or_
+               (Term.eq (M.nonce_owner n) D.intruder)
+               (Term.eq (M.nonce_peer n) D.intruder))
+        | _ -> assert false)
+  in
+  ignore not_intruder;
+
+  let suffix = match variant with M.Classic -> "-c" | M.Lowe_fixed -> "-l" in
+  let hint action lemma args_of =
+    {
+      Induction.hint_action = action ^ suffix;
+      hint_instances =
+        (fun s ~inv_args:_ ~act_args ->
+          match args_of act_args with
+          | Some arg -> [ lemma.Induction.inv_body s [ arg ] ]
+          | None -> []);
+    }
+  in
+  let last_arg args = Some (List.nth args (List.length args - 1)) in
+  let m1_of args = match args with [ _; _; m1 ] -> Some m1 | _ -> None in
+  let m2_of args = match args with [ _; _; m2 ] -> Some m2 | _ -> None in
+
+  let replay_hints =
+    [
+      hint "fakeM1r" ce1_origin last_arg;
+      hint "fakeM2r" ce2_origin_n1 last_arg;
+      hint "fakeM2r" ce2_origin_n2 last_arg;
+      hint "fakeM3r" ce3_origin last_arg;
+    ]
+  in
+  let m1_origin_hints = [ hint "fakeM1r" ce1_origin last_arg ] in
+  let respond_hint =
+    (* respond builds message 2 from a received message 1. *)
+    hint "respond" m1_origin m1_of
+  in
+  let ce3_hints = [ hint "finishInit" m2_origin_n2 m2_of ] in
+  let secrecy_hints =
+    replay_hints
+    @ [ respond_hint; hint "finishInit" m2_origin_n2 m2_of ]
+  in
+  [
+    { name = "m1-origin"; invariant = m1_origin; hints = m1_origin_hints };
+    { name = "ce1-origin"; invariant = ce1_origin; hints = [ hint "fakeM1r" ce1_origin last_arg ] };
+    { name = "m2-origin-n1"; invariant = m2_origin_n1;
+      hints = [ respond_hint; hint "fakeM2r" ce2_origin_n1 last_arg ] };
+    { name = "m2-origin-n2"; invariant = m2_origin_n2;
+      hints = [ respond_hint; hint "fakeM2r" ce2_origin_n2 last_arg ] };
+    { name = "ce2-origin-n1"; invariant = ce2_origin_n1;
+      hints = [ respond_hint; hint "fakeM2r" ce2_origin_n1 last_arg ] };
+    { name = "ce2-origin-n2"; invariant = ce2_origin_n2;
+      hints = [ respond_hint; hint "fakeM2r" ce2_origin_n2 last_arg ] };
+  ]
+  @ (match variant with
+    | M.Classic -> []
+    | M.Lowe_fixed ->
+      [ { name = "ce3-origin"; invariant = ce3_origin; hints = ce3_hints @ [ hint "fakeM3r" ce3_origin last_arg ] } ])
+  @ [ { name = "nonce-secrecy"; invariant = secrecy; hints = secrecy_hints } ]
+
+let classic = lazy (build M.Classic)
+let fixed = lazy (build M.Lowe_fixed)
+
+let campaign = function
+  | M.Classic -> Lazy.force classic
+  | M.Lowe_fixed -> Lazy.force fixed
+
+let find variant name =
+  List.find (fun p -> String.equal p.name name) (campaign variant)
+
+let run ?config ?env variant proof =
+  let env = match env with Some e -> e | None -> M.proof_env variant in
+  Induction.prove_invariant ?config env ~hints:proof.hints proof.invariant

@@ -1,0 +1,29 @@
+(** Symbolic verification of NSPK / NSL nonce secrecy, mirroring the
+    paper's inv1 campaign for TLS.
+
+    For [Lowe_fixed] (NSL) the whole campaign is proved; for [Classic]
+    NSPK the secrecy invariant is {e refuted}, and the refuting transition
+    is [finishInit] — the initiator returning the responder's nonce to an
+    unauthenticated peer, which is exactly where Lowe's man-in-the-middle
+    lives. *)
+
+open Core
+
+(** Names: ["m1-origin"], ["ce1-origin"], ["m2-origin-n1"/"-n2"],
+    ["ce2-origin-n1"/"-n2"], ["ce3-origin"] (NSL only),
+    ["nonce-secrecy"]. *)
+type proof = { name : string; invariant : Induction.invariant; hints : Induction.hint list }
+
+(** [campaign variant] — the lemmas in dependency order, secrecy last. *)
+val campaign : Nspk_model.variant -> proof list
+
+val find : Nspk_model.variant -> string -> proof
+
+(** [run ?config variant proof] executes one proof in a fresh environment
+    (or pass [env] to share one). *)
+val run :
+  ?config:Prover.config ->
+  ?env:Induction.env ->
+  Nspk_model.variant ->
+  proof ->
+  Induction.result

@@ -1,0 +1,1 @@
+lib/proofs/tls_invariants.ml: Core Induction Kernel Lazy List String Term Tls

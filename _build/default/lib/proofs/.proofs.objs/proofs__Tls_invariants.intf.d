@@ -1,0 +1,1 @@
+lib/proofs/tls_invariants.mli: Core Induction Kernel Prover Term Tls

@@ -1,0 +1,554 @@
+open Kernel
+open Core
+module D = Tls.Data
+
+type proof =
+  | Inductive of Induction.invariant * Induction.hint list
+  | Derived of Induction.invariant * (Term.t -> Term.t list -> Term.t list)
+
+let name_of = function
+  | Inductive (inv, _) -> inv.Induction.inv_name
+  | Derived (inv, _) -> inv.Induction.inv_name
+
+let main_properties = [ "inv1"; "inv2"; "inv3"; "inv4"; "inv5" ]
+
+let auxiliary =
+  [
+    "sig-genuine"; "ct-gleans-sig"; "sf-gleans-esfin"; "sf2-gleans-esfin2";
+    "cepms-key"; "esfin-genuine"; "esfin2-genuine"; "sf-history";
+    "sf2-history"; "ch-rand-used"; "sh-rand-used"; "kx-secret-used";
+    "sh-sid-used";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Campaign construction, parameterized by the protocol style. *)
+
+let build style =
+  let o =
+    match style with
+    | Tls.Model.Original -> Tls.Model.ots ()
+    | Tls.Model.Cf2First -> Tls.Model.variant_ots ()
+  in
+  let nw s = Tls.Model.nw o s in
+  let ur s = Tls.Model.ur o s in
+  let ui s = Tls.Model.ui o s in
+  let us s = Tls.Model.us o s in
+  let inv name params body : Induction.invariant =
+    { inv_name = name; inv_params = params; inv_body = body }
+  in
+  let not_intruder t = Term.not_ (Term.eq t D.intruder) in
+
+  (* --- the full-handshake ServerFinished ciphertext for parameters
+     (a, b, se, r1, r2, i, l, c) --- *)
+  let esfin_of a b se r1 r2 i l c =
+    let pmsv = D.pms_ ~client:a ~server:b se in
+    D.esfin_ (D.hkey_ b pmsv r1 r2) (D.sfin_ [ a; b; i; l; c; r1; r2; pmsv ])
+  in
+  let esfin2_of a b se r1 r2 i c =
+    let pmsv = D.pms_ ~client:a ~server:b se in
+    D.esfin2_ (D.hkey_ b pmsv r1 r2) (D.sfin2_ [ a; b; i; c; r1; r2; pmsv ])
+  in
+  let genuine_cert b = D.cert_of b (D.pk_ b) (D.sig_of ~signer:D.ca ~subject:b (D.pk_ b)) in
+
+  (* ================= auxiliary invariants ================= *)
+
+  (* Gleanable CA signatures certify the subject's own key: the intruder
+     cannot sign with the CA's private key. *)
+  let sig_genuine =
+    inv "sig-genuine"
+      [ "B", D.prin; "K", D.pub_key ]
+      (fun s args ->
+        match args with
+        | [ b; k ] ->
+          Term.implies
+            (D.in_csig (D.sig_of ~signer:D.ca ~subject:b k) (nw s))
+            (Term.eq k (D.pk_ b))
+        | _ -> assert false)
+  in
+
+  (* Coherence: a Certificate message in the network makes its signature
+     gleanable. *)
+  let ct_gleans_sig =
+    inv "ct-gleans-sig"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.and_ (D.msg_in m (nw s)) (D.is_ct m))
+            (D.in_csig (D.cert_sig (D.msg_cert m)) (nw s))
+        | _ -> assert false)
+  in
+  let sf_gleans_esfin =
+    inv "sf-gleans-esfin"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.and_ (D.msg_in m (nw s)) (D.is_sf m))
+            (D.in_cesfin (D.msg_esfin m) (nw s))
+        | _ -> assert false)
+  in
+  let sf2_gleans_esfin2 =
+    inv "sf2-gleans-esfin2"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.and_ (D.msg_in m (nw s)) (D.is_sf2 m))
+            (D.in_cesfin2 (D.msg_esfin2 m) (nw s))
+        | _ -> assert false)
+  in
+
+  (* A gleanable encrypted pre-master secret under the intruder's public key
+     has a gleanable payload (the intruder can decrypt it). *)
+  let cepms_key =
+    inv "cepms-key"
+      [ "E", D.enc_pms ]
+      (fun s args ->
+        match args with
+        | [ e ] ->
+          Term.implies
+            (Term.and_
+               (D.in_cepms e (nw s))
+               (Term.eq (D.epms_key e) (D.pk_ D.intruder)))
+            (D.in_cpms (D.epms_pms e) (nw s))
+        | _ -> assert false)
+  in
+
+  (* ================= inv1 ================= *)
+  let inv1 =
+    inv "inv1"
+      [ "PMS", D.pms ]
+      (fun s args ->
+        match args with
+        | [ p ] ->
+          Term.implies
+            (D.in_cpms p (nw s))
+            (Term.or_
+               (Term.eq (D.pms_client p) D.intruder)
+               (Term.eq (D.pms_server p) D.intruder))
+        | _ -> assert false)
+  in
+  let inv1_hints : Induction.hint list =
+    [
+      {
+        hint_action = "kexch";
+        hint_instances =
+          (fun s ~inv_args:_ ~act_args ->
+            match act_args with
+            | [ _a; _se; _m1; m2; m3 ] ->
+              [
+                ct_gleans_sig.Induction.inv_body s [ m3 ];
+                sig_genuine.Induction.inv_body s
+                  [ D.src m2; D.cert_key (D.msg_cert m3) ];
+              ]
+            | _ -> []);
+      };
+      {
+        hint_action = "fakeKx1";
+        hint_instances =
+          (fun s ~inv_args:_ ~act_args ->
+            match act_args with
+            | [ _a; _b; e ] -> [ cepms_key.Induction.inv_body s [ e ] ]
+            | _ -> []);
+      };
+    ]
+  in
+
+  (* ================= the inductive hearts of inv2 / inv3 ================= *)
+  let esfin_params =
+    [
+      "A", D.prin; "B", D.prin; "SE", D.secret; "R1", D.rand; "R2", D.rand;
+      "I", D.sid; "L", D.list_of_choices; "C", D.choice;
+    ]
+  in
+  let esfin_genuine =
+    inv "esfin-genuine" esfin_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; l; c ] ->
+          let e = esfin_of a b se r1 r2 i l c in
+          Term.implies
+            (Term.and_ (not_intruder a) (D.in_cesfin e (nw s)))
+            (D.msg_in (D.sf_ ~crt:b ~src:b ~dst:a e) (nw s))
+        | _ -> assert false)
+  in
+  let pms_hint action =
+    (* fakeSf2 / fakeSf22 construct Finished ciphertexts from a known pms:
+       inv1 rules the honest pms out. *)
+    {
+      Induction.hint_action = action;
+      hint_instances =
+        (fun s ~inv_args:_ ~act_args ->
+          match List.rev act_args with
+          | p :: _ -> [ inv1.Induction.inv_body s [ p ] ]
+          | [] -> []);
+    }
+  in
+  let esfin_genuine_hints = [ pms_hint "fakeSf2" ] in
+
+  let esfin2_params =
+    [
+      "A", D.prin; "B", D.prin; "SE", D.secret; "R1", D.rand; "R2", D.rand;
+      "I", D.sid; "C", D.choice;
+    ]
+  in
+  let esfin2_genuine =
+    inv "esfin2-genuine" esfin2_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; c ] ->
+          let e = esfin2_of a b se r1 r2 i c in
+          Term.implies
+            (Term.and_ (not_intruder a) (D.in_cesfin2 e (nw s)))
+            (D.msg_in (D.sf2_ ~crt:b ~src:b ~dst:a e) (nw s))
+        | _ -> assert false)
+  in
+  let esfin2_genuine_hints = [ pms_hint "fakeSf22" ] in
+
+  (* ================= server-history lemmas ================= *)
+  let sf_history =
+    inv "sf-history" esfin_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; l; c ] ->
+          let e = esfin_of a b se r1 r2 i l c in
+          Term.implies
+            (Term.and_ (not_intruder b)
+               (D.msg_in (D.sf_ ~crt:b ~src:b ~dst:a e) (nw s)))
+            (Term.and_
+               (D.msg_in (D.sh_ ~crt:b ~src:b ~dst:a r2 i c) (nw s))
+               (D.msg_in (D.ct_ ~crt:b ~src:b ~dst:a (genuine_cert b)) (nw s)))
+        | _ -> assert false)
+  in
+  let sf2_history =
+    inv "sf2-history" esfin2_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; c ] ->
+          let e = esfin2_of a b se r1 r2 i c in
+          Term.implies
+            (Term.and_ (not_intruder b)
+               (D.msg_in (D.sf2_ ~crt:b ~src:b ~dst:a e) (nw s)))
+            (D.msg_in (D.sh2_ ~crt:b ~src:b ~dst:a r2 i c) (nw s))
+        | _ -> assert false)
+  in
+
+  (* ================= freshness bookkeeping ================= *)
+  let honest m = Term.not_ (Term.eq (D.crt m) D.intruder) in
+  let ch_rand_used =
+    inv "ch-rand-used"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_ch m; honest m ])
+            (D.rand_in (D.msg_rand m) (ur s))
+        | _ -> assert false)
+  in
+  let sh_rand_used =
+    inv "sh-rand-used"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_sh m; honest m ])
+            (D.rand_in (D.msg_rand m) (ur s))
+        | _ -> assert false)
+  in
+  let kx_secret_used =
+    inv "kx-secret-used"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_kx m; honest m ])
+            (D.secret_in (D.pms_secret (D.epms_pms (D.msg_epms m))) (us s))
+        | _ -> assert false)
+  in
+  let sh_sid_used =
+    inv "sh-sid-used"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_sh m; honest m ])
+            (D.sid_in (D.msg_sid m) (ui s))
+        | _ -> assert false)
+  in
+
+  (* ================= the main authenticity properties ================= *)
+  let inv2_params = esfin_params @ [ "B1", D.prin ] in
+  let inv2 =
+    inv "inv2" inv2_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; l; c; b1 ] ->
+          let e = esfin_of a b se r1 r2 i l c in
+          Term.implies
+            (Term.and_ (not_intruder a)
+               (D.msg_in (D.sf_ ~crt:b1 ~src:b ~dst:a e) (nw s)))
+            (D.msg_in (D.sf_ ~crt:b ~src:b ~dst:a e) (nw s))
+        | _ -> assert false)
+  in
+  let inv2_hyps s args =
+    match args with
+    | [ a; b; se; r1; r2; i; l; c; b1 ] ->
+      let e = esfin_of a b se r1 r2 i l c in
+      [
+        sf_gleans_esfin.Induction.inv_body s [ D.sf_ ~crt:b1 ~src:b ~dst:a e ];
+        esfin_genuine.Induction.inv_body s [ a; b; se; r1; r2; i; l; c ];
+      ]
+    | _ -> []
+  in
+
+  let inv3_params = esfin2_params @ [ "B1", D.prin ] in
+  let inv3 =
+    inv "inv3" inv3_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; c; b1 ] ->
+          let e = esfin2_of a b se r1 r2 i c in
+          Term.implies
+            (Term.and_ (not_intruder a)
+               (D.msg_in (D.sf2_ ~crt:b1 ~src:b ~dst:a e) (nw s)))
+            (D.msg_in (D.sf2_ ~crt:b ~src:b ~dst:a e) (nw s))
+        | _ -> assert false)
+  in
+  let inv3_hyps s args =
+    match args with
+    | [ a; b; se; r1; r2; i; c; b1 ] ->
+      let e = esfin2_of a b se r1 r2 i c in
+      [
+        sf2_gleans_esfin2.Induction.inv_body s [ D.sf2_ ~crt:b1 ~src:b ~dst:a e ];
+        esfin2_genuine.Induction.inv_body s [ a; b; se; r1; r2; i; c ];
+      ]
+    | _ -> []
+  in
+
+  let inv4_params =
+    esfin_params @ [ "B1", D.prin; "B2", D.prin; "B3", D.prin; "K", D.pub_key ]
+  in
+  let inv4 =
+    inv "inv4" inv4_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; l; c; b1; b2; b3; k ] ->
+          let e = esfin_of a b se r1 r2 i l c in
+          let recv_cert = D.cert_of b k (D.sig_of ~signer:D.ca ~subject:b k) in
+          Term.implies
+            (Term.conj
+               [
+                 not_intruder a;
+                 not_intruder b;
+                 D.msg_in (D.sf_ ~crt:b3 ~src:b ~dst:a e) (nw s);
+                 D.msg_in (D.sh_ ~crt:b1 ~src:b ~dst:a r2 i c) (nw s);
+                 D.msg_in (D.ct_ ~crt:b2 ~src:b ~dst:a recv_cert) (nw s);
+               ])
+            (Term.and_
+               (D.msg_in (D.sh_ ~crt:b ~src:b ~dst:a r2 i c) (nw s))
+               (D.msg_in (D.ct_ ~crt:b ~src:b ~dst:a recv_cert) (nw s)))
+        | _ -> assert false)
+  in
+  let inv4_hyps s args =
+    match args with
+    | [ a; b; se; r1; r2; i; l; c; b1; b2; b3; k ] ->
+      ignore b1;
+      let recv_cert = D.cert_of b k (D.sig_of ~signer:D.ca ~subject:b k) in
+      inv2_hyps s [ a; b; se; r1; r2; i; l; c; b3 ]
+      @ [
+          inv2.Induction.inv_body s [ a; b; se; r1; r2; i; l; c; b3 ];
+          sf_history.Induction.inv_body s [ a; b; se; r1; r2; i; l; c ];
+          ct_gleans_sig.Induction.inv_body s
+            [ D.ct_ ~crt:b2 ~src:b ~dst:a recv_cert ];
+          sig_genuine.Induction.inv_body s [ b; k ];
+        ]
+    | _ -> []
+  in
+
+  let inv5_params = esfin2_params @ [ "B1", D.prin; "B3", D.prin ] in
+  let inv5 =
+    inv "inv5" inv5_params (fun s args ->
+        match args with
+        | [ a; b; se; r1; r2; i; c; b1; b3 ] ->
+          let e = esfin2_of a b se r1 r2 i c in
+          Term.implies
+            (Term.conj
+               [
+                 not_intruder a;
+                 not_intruder b;
+                 D.msg_in (D.sf2_ ~crt:b3 ~src:b ~dst:a e) (nw s);
+                 D.msg_in (D.sh2_ ~crt:b1 ~src:b ~dst:a r2 i c) (nw s);
+               ])
+            (D.msg_in (D.sh2_ ~crt:b ~src:b ~dst:a r2 i c) (nw s))
+        | _ -> assert false)
+  in
+  let inv5_hyps s args =
+    match args with
+    | [ a; b; se; r1; r2; i; c; _b1; b3 ] ->
+      inv3_hyps s [ a; b; se; r1; r2; i; c; b3 ]
+      @ [
+          inv3.Induction.inv_body s [ a; b; se; r1; r2; i; c; b3 ];
+          sf2_history.Induction.inv_body s [ a; b; se; r1; r2; i; c ];
+        ]
+    | _ -> []
+  in
+
+  (* ================= the failing properties (Section 5.3) ================= *)
+  let ecfin_of a b se_pms r1 r2 i l c =
+    D.ecfin_ (D.hkey_ a se_pms r1 r2) (D.cfin_ [ a; b; i; l; c; r1; r2; se_pms ])
+  in
+  let prop2' =
+    inv "prop2'"
+      [
+        "A", D.prin; "B", D.prin; "PMS", D.pms; "R1", D.rand; "R2", D.rand;
+        "I", D.sid; "L", D.list_of_choices; "C", D.choice; "A1", D.prin;
+      ]
+      (fun s args ->
+        match args with
+        | [ a; b; p; r1; r2; i; l; c; a1 ] ->
+          let e = ecfin_of a b p r1 r2 i l c in
+          Term.implies
+            (Term.and_ (not_intruder b)
+               (D.msg_in (D.cf_ ~crt:a1 ~src:a ~dst:b e) (nw s)))
+            (D.msg_in (D.cf_ ~crt:a ~src:a ~dst:b e) (nw s))
+        | _ -> assert false)
+  in
+  let prop3' =
+    inv "prop3'"
+      [
+        "A", D.prin; "B", D.prin; "PMS", D.pms; "R1", D.rand; "R2", D.rand;
+        "I", D.sid; "C", D.choice; "A1", D.prin;
+      ]
+      (fun s args ->
+        match args with
+        | [ a; b; p; r1; r2; i; c; a1 ] ->
+          let e =
+            D.ecfin2_ (D.hkey_ a p r1 r2) (D.cfin2_ [ a; b; i; c; r1; r2; p ])
+          in
+          Term.implies
+            (Term.and_ (not_intruder b)
+               (D.msg_in (D.cf2_ ~crt:a1 ~src:a ~dst:b e) (nw s)))
+            (D.msg_in (D.cf2_ ~crt:a ~src:a ~dst:b e) (nw s))
+        | _ -> assert false)
+  in
+
+  (* Extensions beyond the paper's 18: well-formedness of honestly created
+     key-exchange and Finished messages (the kind of sanity invariant the
+     OTS method makes cheap once the scaffolding exists). *)
+  let kx_own_pms =
+    inv "kx-own-pms"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_kx m; honest m ])
+            (Term.and_
+               (Term.eq (D.pms_client (D.epms_pms (D.msg_epms m))) (D.crt m))
+               (Term.eq (D.pms_server (D.epms_pms (D.msg_epms m))) (D.dst m)))
+        | _ -> assert false)
+  in
+  let cf_own_key =
+    inv "cf-own-key"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          let key = D.ecfin_key (D.msg_ecfin m) in
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_cf m; honest m ])
+            (Term.and_
+               (Term.eq (D.hkey_prin key) (D.crt m))
+               (Term.eq (D.pms_client (D.hkey_pms key)) (D.crt m)))
+        | _ -> assert false)
+  in
+  let ch2_rand_used =
+    inv "ch2-rand-used"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_ch2 m; honest m ])
+            (D.rand_in (D.msg_rand m) (ur s))
+        | _ -> assert false)
+  in
+  let sh2_rand_used =
+    inv "sh2-rand-used"
+      [ "M", D.msg ]
+      (fun s args ->
+        match args with
+        | [ m ] ->
+          Term.implies
+            (Term.conj [ D.msg_in m (nw s); D.is_sh2 m; honest m ])
+            (D.rand_in (D.msg_rand m) (ur s))
+        | _ -> assert false)
+  in
+  let campaign =
+    [
+      Inductive (sig_genuine, []);
+      Inductive (ct_gleans_sig, []);
+      Inductive (sf_gleans_esfin, []);
+      Inductive (sf2_gleans_esfin2, []);
+      Inductive (cepms_key, []);
+      Inductive (inv1, inv1_hints);
+      Inductive (esfin_genuine, esfin_genuine_hints);
+      Inductive (esfin2_genuine, esfin2_genuine_hints);
+      Inductive (sf_history, []);
+      Inductive (sf2_history, []);
+      Inductive (ch_rand_used, []);
+      Inductive (sh_rand_used, []);
+      Inductive (kx_secret_used, []);
+      Inductive (sh_sid_used, []);
+      Derived (inv2, inv2_hyps);
+      Derived (inv3, inv3_hyps);
+      Derived (inv4, inv4_hyps);
+      Derived (inv5, inv5_hyps);
+    ]
+  in
+  let extensions =
+    [
+      Inductive (kx_own_pms, []);
+      Inductive (cf_own_key, []);
+      Inductive (ch2_rand_used, []);
+      Inductive (sh2_rand_used, []);
+    ]
+  in
+  (campaign, extensions), Inductive (prop2', []), Inductive (prop3', [])
+
+let original_entry = lazy (build Tls.Model.Original)
+let variant_entry = lazy (build Tls.Model.Cf2First)
+
+let get = function
+  | Tls.Model.Original -> Lazy.force original_entry
+  | Tls.Model.Cf2First -> Lazy.force variant_entry
+
+let all style =
+  let (campaign, _), _, _ = get style in
+  campaign
+
+let extensions style =
+  let (_, ext), _, _ = get style in
+  ext
+
+let find style name =
+  List.find
+    (fun p -> String.equal (name_of p) name)
+    (all style @ extensions style)
+
+let prop2' style =
+  let _, p, _ = get style in
+  p
+
+let prop3' style =
+  let _, _, p = get style in
+  p
+
+let run ?config env = function
+  | Inductive (inv, hints) -> Induction.prove_invariant ?config env ~hints inv
+  | Derived (inv, hyps) -> Induction.prove_derived ?config env ~hyps inv
+
+let campaign ?config style =
+  let env = Tls.Model.env style in
+  List.map (run ?config env) (all style)

@@ -1,0 +1,80 @@
+(** The verification campaign of Section 5: eighteen invariants.
+
+    Five main properties (Section 5.1):
+    - [inv1] — pre-master secrets cannot be leaked;
+    - [inv2] — a ServerFinished accepted by a trustable client really
+      originates from the server;
+    - [inv3] — likewise for ServerFinished2 (abbreviated handshake);
+    - [inv4] — the ServerHello and Certificate behind an accepted full
+      handshake really originate from the server;
+    - [inv5] — likewise for ServerHello2.
+
+    Thirteen auxiliary invariants strengthen the induction (the paper
+    reports 18 invariants total, 13 of them supporting):
+    - [sig-genuine] — every gleanable CA signature certifies the subject's
+      own public key (signatures cannot be forged);
+    - [ct-gleans-sig], [sf-gleans-esfin], [sf2-gleans-esfin2] — coherence
+      between messages in the network and the gleaning collections;
+    - [cepms-key] — a gleanable encrypted pre-master secret under the
+      intruder's key has a gleanable payload;
+    - [esfin-genuine], [esfin2-genuine] — the inductive hearts of inv2/inv3:
+      a well-formed Finished ciphertext for an honest client's pre-master
+      secret can only have been produced by the server;
+    - [sf-history], [sf2-history] — a genuine ServerFinished(2) presupposes
+      the server's own Hello (and Certificate) messages;
+    - [ch-rand-used], [sh-rand-used], [kx-secret-used], [sh-sid-used] —
+      freshness bookkeeping: honestly created messages only use values
+      recorded in [ur]/[ui]/[us].
+
+    [inv2]–[inv5] are proved by case analysis from the others (the paper:
+    “Five of the properties … have been proved by case analyses with other
+    properties”); the rest by simultaneous induction with the listed
+    strengthening hints. *)
+
+open Kernel
+open Core
+
+(** One entry of the campaign: an invariant together with how to prove it. *)
+type proof =
+  | Inductive of Induction.invariant * Induction.hint list
+  | Derived of Induction.invariant * (Term.t -> Term.t list -> Term.t list)
+      (** hypothesis instances from (state, parameter constants) *)
+
+val name_of : proof -> string
+
+(** [all style] is the campaign for the given protocol style, in dependency
+    order (auxiliary lemmas first). *)
+val all : Tls.Model.style -> proof list
+
+(** [main_properties] / [auxiliary] — the names partitioning {!all}. *)
+val main_properties : string list
+
+val auxiliary : string list
+
+(** [extensions style] — well-formedness invariants beyond the paper's
+    eighteen ([kx-own-pms], [cf-own-key], [ch2-rand-used],
+    [sh2-rand-used]): honest principals' key-exchange and Finished messages
+    carry their own identities and pre-master secrets, and abbreviated-
+    handshake hellos only use recorded randoms. *)
+val extensions : Tls.Model.style -> proof list
+
+(** [find style name] retrieves one proof entry.
+    @raise Not_found on unknown names. *)
+val find : Tls.Model.style -> string -> proof
+
+(** [run ?config env proof] executes one proof entry. *)
+val run :
+  ?config:Prover.config -> Induction.env -> proof -> Induction.result
+
+(** [campaign ?config style] runs everything and returns the results in
+    order. *)
+val campaign :
+  ?config:Prover.config -> Tls.Model.style -> Induction.result list
+
+(** {1 The failing properties (Section 5.3)}
+
+    The servers' counterparts of inv2/inv3.  [run] on these returns a
+    refutation; the concrete traces are in {!Tls.Scenario}. *)
+
+val prop2' : Tls.Model.style -> proof
+val prop3' : Tls.Model.style -> proof

@@ -1,0 +1,1 @@
+lib/tls/concrete.ml: Buffer Data Dolevyao Format Kernel List Mc Model Printf Scenario Signature String Term

@@ -1,0 +1,1 @@
+lib/tls/concrete.mli: Format Kernel Mc Model Term

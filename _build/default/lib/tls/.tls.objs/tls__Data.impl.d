@@ -1,0 +1,1 @@
+lib/tls/data.ml: Cafeobj Kernel List Option Printf Signature Sort Term

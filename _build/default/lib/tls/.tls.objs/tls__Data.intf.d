@@ -1,0 +1,1 @@
+lib/tls/data.mli: Cafeobj Kernel Sort Term

@@ -1,0 +1,1 @@
+lib/tls/model.ml: Core Data Induction Kernel Lazy List Ots Signature Sort Specgen Term

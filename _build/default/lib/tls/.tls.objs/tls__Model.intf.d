@@ -1,0 +1,1 @@
+lib/tls/model.mli: Cafeobj Core Kernel Ots Sort Term

@@ -1,0 +1,1 @@
+lib/tls/scenario.ml: Cafeobj Core Data Kernel List Model Ots Rewrite Signature Subst Term

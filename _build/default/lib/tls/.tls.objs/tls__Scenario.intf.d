@@ -1,0 +1,1 @@
+lib/tls/scenario.mli: Core Kernel Model Ots Rewrite Term

@@ -1,0 +1,91 @@
+(** Concrete finite-scenario semantics of the abstract handshake, for the
+    explicit-state model checker (the Murφ-style baseline of Section 6).
+
+    States carry the monotone network (a set of ground message terms from
+    {!Data}), the used-value sets, the principals' session tables, and the
+    intruder's knowledge is recomputed as the Dolev-Yao closure of what is
+    gleanable from the network.  Transitions enumerate the same 12 + 15
+    rules as the symbolic model ({!Model}), instantiated over a finite
+    scenario. *)
+
+open Kernel
+
+(** A finite scenario: the value pools transitions may draw from.
+    Principals always additionally include the intruder; [ca] never acts. *)
+type scenario = {
+  clients : Term.t list;
+  servers : Term.t list;
+  rands : Term.t list;  (** honest principals take fresh ones, the intruder any *)
+  sids : Term.t list;
+  suites : Term.t list;
+  lists : Term.t list;
+  secrets : Term.t list;  (** honest clients' pre-master-secret seeds *)
+  intruder_secrets : Term.t list;
+  intruder_rands : Term.t list;
+      (** rands used in the intruder's faked clear messages (one is enough:
+          distinct guessable values only add symmetric states) *)
+  oops : bool;
+      (** enable Paulson's Oops rule: the Finished-protection keys of
+          established sessions may leak to the intruder.  Paulson's TLS
+          analysis (discussed in the paper's Section 6) showed resumption
+          stays safe under such leaks; see the [oops] tests/bench. *)
+  style : Model.style;
+}
+
+(** [default_scenario ()] — Alice vs Bob with the cast of {!Scenario}:
+    one honest client, one honest server, enough fresh values for one full
+    handshake plus one resumption, and the intruder. *)
+val default_scenario : unit -> scenario
+
+type state
+
+val initial : scenario -> state
+
+(** [network st] / [knowledge st] expose the state for property writing. *)
+val network : state -> Term.t list
+
+val knows : state -> Term.t -> bool
+
+(** [derivable st t] — can the intruder synthesize [t]? *)
+val derivable : state -> Term.t -> bool
+
+(** [session st ~owner ~peer ~sid] is the stored session quadruple
+    [(suite, rand1, rand2, pms)] if established. *)
+val session :
+  state -> owner:Term.t -> peer:Term.t -> sid:Term.t -> (Term.t * Term.t * Term.t * Term.t) option
+
+(** An action label: transition name plus a rendering of its arguments. *)
+type label = { rule : string; info : string }
+
+val pp_label : Format.formatter -> label -> unit
+
+(** [system scenario] packages everything for {!Mc.bfs}. *)
+val system : scenario -> (state, label) Mc.system
+
+(** {1 The paper's properties as state predicates} *)
+
+(** [prop_pms_secrecy st]: no pre-master secret of two honest principals is
+    derivable by the intruder (property 1). *)
+val prop_pms_secrecy : scenario -> state -> bool
+
+(** [prop_sf_authentic st]: every ServerFinished that a trustable client
+    would accept originates from the server (property 2; [prop_sf2_authentic]
+    is property 3). *)
+val prop_sf_authentic : state -> bool
+
+val prop_sf2_authentic : state -> bool
+
+(** Properties 2' and 3' — the client-authentication mirror images; the
+    checker finds the paper's four-message counterexamples. *)
+val prop_cf_authentic : state -> bool
+
+val prop_cf2_authentic : state -> bool
+
+(** [handshake_complete scenario st]: some honest client and server both
+    established the same session (used with {!Mc.reachable} as a sanity
+    witness that the scenario can actually finish a handshake). *)
+val handshake_complete : scenario -> state -> bool
+
+(** [resumption_complete scenario st]: a session was established and later
+    refreshed (both Finished2 messages exchanged). *)
+val resumption_complete : scenario -> state -> bool

@@ -1,0 +1,383 @@
+open Kernel
+module Spec = Cafeobj.Spec
+module Datatype = Cafeobj.Datatype
+
+let spec = Spec.create "TLS-DATA"
+
+(* ------------------------------------------------------------------ *)
+(* Sorts *)
+
+let s name = Spec.declare_sort spec name
+let prin = s "Prin"
+let rand = s "Rand"
+let choice = s "Choice"
+let sid = s "Sid"
+let list_of_choices = s "ListOfChoices"
+let secret = s "Secret"
+let pms = s "Pms"
+let pub_key = s "PubKey"
+let sig_ = s "Sig"
+let cert_s = s "Cert"
+let key = s "Key"
+let cfinish = s "CFinish"
+let sfinish = s "SFinish"
+let cfinish2 = s "CFinish2"
+let sfinish2 = s "SFinish2"
+let enc_pms = s "EncPms"
+let enc_cfin = s "EncCFin"
+let enc_sfin = s "EncSFin"
+let enc_cfin2 = s "EncCFin2"
+let enc_sfin2 = s "EncSFin2"
+let session = s "Session"
+let msg = s "Msg"
+let network = s "Network"
+let urand = s "URand"
+let usid = s "USid"
+let usecret = s "USecret"
+
+(* ------------------------------------------------------------------ *)
+(* Constructors with projections *)
+
+let ctor = Datatype.declare_ctor spec
+
+let intruder_op = ctor ~sort:prin "intruder" []
+let ca_op = ctor ~sort:prin "ca" []
+let intruder = Term.const intruder_op
+let ca = Term.const ca_op
+
+let pms_op =
+  ctor ~sort:pms "pms" [ "client", prin; "server", prin; "secret", secret ]
+
+let pk_op = ctor ~sort:pub_key "pk" [ "owner", prin ]
+
+let sig_op =
+  ctor ~sort:sig_ "sig" [ "signer", prin; "subject", prin; "sigkey", pub_key ]
+
+let cert_op =
+  ctor ~sort:cert_s "cert" [ "cprin", prin; "ckey", pub_key; "csig", sig_ ]
+
+let hkey_op =
+  ctor ~sort:key "hkey"
+    [ "kprin", prin; "kpms", pms; "krand1", rand; "krand2", rand ]
+
+let finish_fields prefix ~with_list =
+  [ prefix ^ "-a", prin; prefix ^ "-b", prin; prefix ^ "-i", sid ]
+  @ (if with_list then [ prefix ^ "-l", list_of_choices ] else [])
+  @ [
+      prefix ^ "-c", choice;
+      prefix ^ "-r1", rand;
+      prefix ^ "-r2", rand;
+      prefix ^ "-pms", pms;
+    ]
+
+let cfin_op = ctor ~sort:cfinish "cfin" (finish_fields "cfin" ~with_list:true)
+let sfin_op = ctor ~sort:sfinish "sfin" (finish_fields "sfin" ~with_list:true)
+
+let cfin2_op =
+  ctor ~sort:cfinish2 "cfin2" (finish_fields "cfin2" ~with_list:false)
+
+let sfin2_op =
+  ctor ~sort:sfinish2 "sfin2" (finish_fields "sfin2" ~with_list:false)
+
+let epms_op =
+  ctor ~sort:enc_pms "epms" [ "epms-key", pub_key; "epms-body", pms ]
+
+let ecfin_op =
+  ctor ~sort:enc_cfin "ecfin" [ "ecfin-key", key; "ecfin-body", cfinish ]
+
+let esfin_op =
+  ctor ~sort:enc_sfin "esfin" [ "esfin-key", key; "esfin-body", sfinish ]
+
+let ecfin2_op =
+  ctor ~sort:enc_cfin2 "ecfin2" [ "ecfin2-key", key; "ecfin2-body", cfinish2 ]
+
+let esfin2_op =
+  ctor ~sort:enc_sfin2 "esfin2" [ "esfin2-key", key; "esfin2-body", sfinish2 ]
+
+let st_op =
+  ctor ~sort:session "st"
+    [ "st-choice", choice; "st-rand1", rand; "st-rand2", rand; "st-pms", pms ]
+
+let nosession_op = ctor ~sort:session "nosession" []
+let no_session = Term.const nosession_op
+
+(* Lists of cipher suites are real lists so that concrete executions can
+   evaluate the membership check in [shello]/[cert]; in symbolic proofs they
+   stay opaque constants and [choice-in] atoms are split by the prover. *)
+let lnil_op = ctor ~sort:list_of_choices "lnil" []
+
+let lcons_op =
+  ctor ~sort:list_of_choices "lcons"
+    [ "lhead", choice; "ltail", list_of_choices ]
+
+(* The ten message constructors (Section 4.2); every message leads with
+   creator, seeming sender, receiver. *)
+let hdr = [ "crt", prin; "src", prin; "dst", prin ]
+let ch_op = ctor ~sort:msg "ch" (hdr @ [ "rand", rand; "list", list_of_choices ])
+let sh_op = ctor ~sort:msg "sh" (hdr @ [ "rand", rand; "sid", sid; "choice", choice ])
+let ct_op = ctor ~sort:msg "ct" (hdr @ [ "cert-of", cert_s ])
+let kx_op = ctor ~sort:msg "kx" (hdr @ [ "epms-of", enc_pms ])
+let cf_op = ctor ~sort:msg "cf" (hdr @ [ "ecfin-of", enc_cfin ])
+let sf_op = ctor ~sort:msg "sf" (hdr @ [ "esfin-of", enc_sfin ])
+let ch2_op = ctor ~sort:msg "ch2" (hdr @ [ "rand", rand; "sid", sid ])
+let sh2_op = ctor ~sort:msg "sh2" (hdr @ [ "rand", rand; "sid", sid; "choice", choice ])
+let cf2_op = ctor ~sort:msg "cf2" (hdr @ [ "ecfin2-of", enc_cfin2 ])
+let sf2_op = ctor ~sort:msg "sf2" (hdr @ [ "esfin2-of", enc_sfin2 ])
+
+(* The network and the used-value sets. *)
+let void_op = ctor ~sort:network "void" []
+let net_add_op = ctor ~sort:network "_,_" [ "net-head", msg; "net-tail", network ]
+let empty_ur_op = ctor ~sort:urand "empty-ur" []
+let ur_add_op = ctor ~sort:urand "ur-add" [ "ur-head", rand; "ur-tail", urand ]
+let empty_ui_op = ctor ~sort:usid "empty-ui" []
+let ui_add_op = ctor ~sort:usid "ui-add" [ "ui-head", sid; "ui-tail", usid ]
+let empty_us_op = ctor ~sort:usecret "empty-us" []
+
+let us_add_op =
+  ctor ~sort:usecret "us-add" [ "us-head", secret; "us-tail", usecret ]
+
+(* Finalize the free datatypes: recognizers + no-confusion equality.  The
+   container sorts (Network, URand, …) only get reflexivity: their equality
+   is never decomposed (the paper compares them by membership only), and the
+   message sets they hold are semantically bags. *)
+let () =
+  List.iter
+    (Datatype.finalize_sort spec)
+    [
+      prin; pms; pub_key; sig_; cert_s; key; cfinish; sfinish; cfinish2;
+      sfinish2; enc_pms; enc_cfin; enc_sfin; enc_cfin2; enc_sfin2; session;
+      msg; list_of_choices;
+    ];
+  List.iter
+    (fun srt ->
+      Spec.add_rule spec
+        (List.hd (Datatype.equality_rules_for ~ctors:[] srt)))
+    [ rand; choice; sid; secret; network; urand; usid; usecret ]
+
+(* ------------------------------------------------------------------ *)
+(* Typed term builders *)
+
+let pms_ ~client ~server secret_v = Term.app pms_op [ client; server; secret_v ]
+let pk_ owner = Term.app pk_op [ owner ]
+let sig_of ~signer ~subject k = Term.app sig_op [ signer; subject; k ]
+let cert_of p k g = Term.app cert_op [ p; k; g ]
+let hkey_ p pm r1 r2 = Term.app hkey_op [ p; pm; r1; r2 ]
+let cfin_ args = Term.app cfin_op args
+let sfin_ args = Term.app sfin_op args
+let cfin2_ args = Term.app cfin2_op args
+let sfin2_ args = Term.app sfin2_op args
+let epms_ k p = Term.app epms_op [ k; p ]
+let ecfin_ k f = Term.app ecfin_op [ k; f ]
+let esfin_ k f = Term.app esfin_op [ k; f ]
+let ecfin2_ k f = Term.app ecfin2_op [ k; f ]
+let esfin2_ k f = Term.app esfin2_op [ k; f ]
+let st_ c r1 r2 p = Term.app st_op [ c; r1; r2; p ]
+
+let ch_ ~crt ~src ~dst r l = Term.app ch_op [ crt; src; dst; r; l ]
+let sh_ ~crt ~src ~dst r i c = Term.app sh_op [ crt; src; dst; r; i; c ]
+let ct_ ~crt ~src ~dst cert = Term.app ct_op [ crt; src; dst; cert ]
+let kx_ ~crt ~src ~dst e = Term.app kx_op [ crt; src; dst; e ]
+let cf_ ~crt ~src ~dst e = Term.app cf_op [ crt; src; dst; e ]
+let sf_ ~crt ~src ~dst e = Term.app sf_op [ crt; src; dst; e ]
+let ch2_ ~crt ~src ~dst r i = Term.app ch2_op [ crt; src; dst; r; i ]
+let sh2_ ~crt ~src ~dst r i c = Term.app sh2_op [ crt; src; dst; r; i; c ]
+let cf2_ ~crt ~src ~dst e = Term.app cf2_op [ crt; src; dst; e ]
+let sf2_ ~crt ~src ~dst e = Term.app sf2_op [ crt; src; dst; e ]
+
+(* ------------------------------------------------------------------ *)
+(* Projections and recognizers *)
+
+let proj name t = Term.app (Option.get (Spec.find_op spec name)) [ t ]
+let crt t = proj "crt" t
+let src t = proj "src" t
+let dst t = proj "dst" t
+let msg_rand t = proj "rand" t
+let msg_list t = proj "list" t
+let msg_sid t = proj "sid" t
+let msg_choice t = proj "choice" t
+let msg_cert t = proj "cert-of" t
+let msg_epms t = proj "epms-of" t
+let msg_ecfin t = proj "ecfin-of" t
+let msg_esfin t = proj "esfin-of" t
+let msg_ecfin2 t = proj "ecfin2-of" t
+let msg_esfin2 t = proj "esfin2-of" t
+let is_ch t = proj "ch?" t
+let is_sh t = proj "sh?" t
+let is_ct t = proj "ct?" t
+let is_kx t = proj "kx?" t
+let is_cf t = proj "cf?" t
+let is_sf t = proj "sf?" t
+let is_ch2 t = proj "ch2?" t
+let is_sh2 t = proj "sh2?" t
+let is_cf2 t = proj "cf2?" t
+let is_sf2 t = proj "sf2?" t
+let pms_client t = proj "client" t
+let pms_server t = proj "server" t
+let pms_secret t = proj "secret" t
+let pk_owner t = proj "owner" t
+let sig_signer t = proj "signer" t
+let sig_subject t = proj "subject" t
+let sig_key t = proj "sigkey" t
+let cert_prin t = proj "cprin" t
+let cert_key t = proj "ckey" t
+let cert_sig t = proj "csig" t
+let epms_key t = proj "epms-key" t
+let epms_pms t = proj "epms-body" t
+let ecfin_key t = proj "ecfin-key" t
+let ecfin_body t = proj "ecfin-body" t
+let esfin_key t = proj "esfin-key" t
+let esfin_body t = proj "esfin-body" t
+let ecfin2_key t = proj "ecfin2-key" t
+let ecfin2_body t = proj "ecfin2-body" t
+let esfin2_key t = proj "esfin2-key" t
+let esfin2_body t = proj "esfin2-body" t
+let hkey_prin t = proj "kprin" t
+let hkey_pms t = proj "kpms" t
+let hkey_rand1 t = proj "krand1" t
+let hkey_rand2 t = proj "krand2" t
+let st_choice t = proj "st-choice" t
+let st_rand1 t = proj "st-rand1" t
+let st_rand2 t = proj "st-rand2" t
+let st_pms t = proj "st-pms" t
+
+(* ------------------------------------------------------------------ *)
+(* Membership predicates *)
+
+let empty_network = Term.const void_op
+let net_add m nw = Term.app net_add_op [ m; nw ]
+let empty_urand = Term.const empty_ur_op
+let ur_add r u = Term.app ur_add_op [ r; u ]
+let empty_usid = Term.const empty_ui_op
+let ui_add i u = Term.app ui_add_op [ i; u ]
+let empty_usecret = Term.const empty_us_op
+let us_add x u = Term.app us_add_op [ x; u ]
+
+(* Generic membership over a cons-like container: one rule for the empty
+   container, one peeling a cons cell. *)
+let declare_membership name elem_sort container_sort ~empty ~cons_op =
+  let op = Spec.declare_op spec name [ elem_sort; container_sort ] Sort.bool ~attrs:[] in
+  let x = Term.var "X" elem_sort in
+  let y = Term.var "Y" elem_sort in
+  let tail = Term.var "TAIL" container_sort in
+  Spec.add_eq spec ~label:(name ^ "-empty") (Term.app op [ x; empty ]) Term.ff;
+  Spec.add_eq spec ~label:(name ^ "-cons")
+    (Term.app op [ x; Term.app cons_op [ y; tail ] ])
+    (Term.or_ (Term.eq x y) (Term.app op [ x; tail ]));
+  op
+
+let msg_in_op =
+  declare_membership "msg-in" msg network ~empty:empty_network ~cons_op:net_add_op
+
+let rand_in_op =
+  declare_membership "rand-in" rand urand ~empty:empty_urand ~cons_op:ur_add_op
+
+let sid_in_op =
+  declare_membership "sid-in" sid usid ~empty:empty_usid ~cons_op:ui_add_op
+
+let secret_in_op =
+  declare_membership "secret-in" secret usecret ~empty:empty_usecret
+    ~cons_op:us_add_op
+
+let msg_in m nw = Term.app msg_in_op [ m; nw ]
+let rand_in r u = Term.app rand_in_op [ r; u ]
+let sid_in i u = Term.app sid_in_op [ i; u ]
+let secret_in x u = Term.app secret_in_op [ x; u ]
+
+let choice_in_op =
+  declare_membership "choice-in" choice list_of_choices
+    ~empty:(Term.const lnil_op) ~cons_op:lcons_op
+
+let choice_in c l = Term.app choice_in_op [ c; l ]
+let lnil = Term.const lnil_op
+let lcons c l = Term.app lcons_op [ c; l ]
+let list_of cs = List.fold_right lcons cs lnil
+
+(* ------------------------------------------------------------------ *)
+(* Gleaning collections (Section 4.3)
+
+   Each collection is a membership predicate defined by structural recursion
+   over the network.  For every message constructor there is one equation:
+   either the message kind contributes a gleanable quantity or it passes
+   through.  [in-cpms] additionally knows that every pre-master secret
+   generated by the intruder is available at any time (its [void] case). *)
+
+let msg_ctors =
+  [ ch_op; sh_op; ct_op; kx_op; cf_op; sf_op; ch2_op; sh2_op; cf2_op; sf2_op ]
+
+let ctor_vars (op : Signature.op) =
+  List.mapi (fun i srt -> Term.var (Printf.sprintf "A%d" i) srt) op.Signature.arity
+
+let declare_collection name elem_sort ~void_case ~glean =
+  let op =
+    Spec.declare_op spec name [ elem_sort; network ] Sort.bool ~attrs:[]
+  in
+  let x = Term.var "X" elem_sort in
+  let tail = Term.var "TAIL" network in
+  Spec.add_eq spec ~label:(name ^ "-void") (Term.app op [ x; empty_network ])
+    (void_case x);
+  List.iter
+    (fun mc ->
+      let vars = ctor_vars mc in
+      let m = Term.app mc vars in
+      let rest = Term.app op [ x; tail ] in
+      let rhs =
+        match glean mc x vars with
+        | None -> rest
+        | Some found -> Term.or_ found rest
+      in
+      Spec.add_eq spec
+        ~label:(Printf.sprintf "%s-%s" name mc.Signature.name)
+        (Term.app op [ x; net_add m tail ])
+        rhs)
+    msg_ctors;
+  op
+
+let payload (op : Signature.op) vars =
+  (* Last field of the message constructor (the non-header payload used by
+     the gleaning equations). *)
+  ignore op;
+  List.nth vars (List.length vars - 1)
+
+let in_cpms_op =
+  declare_collection "in-cpms" pms
+    ~void_case:(fun x -> Term.eq (pms_client x) intruder)
+    ~glean:(fun mc x vars ->
+      if Signature.op_equal mc kx_op then
+        let e = payload mc vars in
+        Some
+          (Term.and_
+             (Term.eq (epms_key e) (pk_ intruder))
+             (Term.eq x (epms_pms e)))
+      else None)
+
+let in_csig_op =
+  declare_collection "in-csig" sig_
+    ~void_case:(fun x ->
+      (* The intruder owns a genuine certificate, hence its signature. *)
+      Term.eq x (sig_of ~signer:ca ~subject:intruder (pk_ intruder)))
+    ~glean:(fun mc x vars ->
+      if Signature.op_equal mc ct_op then
+        Some (Term.eq x (cert_sig (payload mc vars)))
+      else None)
+
+let simple_collection name elem_sort selector_ctor =
+  declare_collection name elem_sort
+    ~void_case:(fun _ -> Term.ff)
+    ~glean:(fun mc x vars ->
+      if Signature.op_equal mc selector_ctor then
+        Some (Term.eq x (payload mc vars))
+      else None)
+
+let in_cepms_op = simple_collection "in-cepms" enc_pms kx_op
+let in_cecfin_op = simple_collection "in-cecfin" enc_cfin cf_op
+let in_cesfin_op = simple_collection "in-cesfin" enc_sfin sf_op
+let in_cecfin2_op = simple_collection "in-cecfin2" enc_cfin2 cf2_op
+let in_cesfin2_op = simple_collection "in-cesfin2" enc_sfin2 sf2_op
+
+let in_cpms x nw = Term.app in_cpms_op [ x; nw ]
+let in_csig x nw = Term.app in_csig_op [ x; nw ]
+let in_cepms x nw = Term.app in_cepms_op [ x; nw ]
+let in_cecfin x nw = Term.app in_cecfin_op [ x; nw ]
+let in_cesfin x nw = Term.app in_cesfin_op [ x; nw ]
+let in_cecfin2 x nw = Term.app in_cecfin2_op [ x; nw ]
+let in_cesfin2 x nw = Term.app in_cesfin2_op [ x; nw ]

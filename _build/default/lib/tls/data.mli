@@ -1,0 +1,224 @@
+(** Data universe of the abstract TLS handshake protocol (Section 4.2).
+
+    Declares the visible sorts, their free constructors with projections, the
+    ten message constructors with recognizers, the network (a monotone
+    collection of messages), the used-value sets, and the intruder's gleaning
+    collections (Section 4.3) as membership predicates.
+
+    Deviations from the paper's presentation, recorded in DESIGN.md:
+    - the paper's overloaded [k] is split into [pk] (public keys) and [hkey]
+      (the hash used as a symmetric key);
+    - the collections [cpms], [csig], … of sort [ColX] are represented by
+      membership predicates [X \in cX(nw)] fused into single operators
+      [in-cpms : X Network -> Bool] etc.; the paper only ever uses the
+      collections through membership, so the theories are isomorphic;
+    - the network is a monotone cons-list rather than a bag: the paper's
+      proofs only use membership (never bag equality), and list membership
+      modulo the generated equations coincides with bag membership.
+
+    All constructors are free: the perfect-cryptography assumption makes two
+    hashes/ciphertexts equal exactly when their arguments are. *)
+
+open Kernel
+
+(** The specification module holding every declaration below. *)
+val spec : Cafeobj.Spec.t
+
+(** {1 Sorts} *)
+
+val prin : Sort.t
+val rand : Sort.t
+val choice : Sort.t
+val sid : Sort.t
+val list_of_choices : Sort.t
+val secret : Sort.t
+val pms : Sort.t
+val pub_key : Sort.t
+val sig_ : Sort.t
+val cert_s : Sort.t
+val key : Sort.t
+val cfinish : Sort.t
+val sfinish : Sort.t
+val cfinish2 : Sort.t
+val sfinish2 : Sort.t
+val enc_pms : Sort.t
+val enc_cfin : Sort.t
+val enc_sfin : Sort.t
+val enc_cfin2 : Sort.t
+val enc_sfin2 : Sort.t
+val session : Sort.t
+val msg : Sort.t
+val network : Sort.t
+val urand : Sort.t
+val usid : Sort.t
+val usecret : Sort.t
+
+(** {1 Principals} *)
+
+(** The two distinguished principals (free constants; [intruder <> ca] is a
+    consequence of the no-confusion theory). *)
+val intruder : Term.t
+
+val ca : Term.t
+
+(** {1 Term builders}
+
+    Thin typed wrappers over the constructors; argument order follows the
+    paper's notation. *)
+
+val pms_ : client:Term.t -> server:Term.t -> Term.t -> Term.t
+val pk_ : Term.t -> Term.t
+val sig_of : signer:Term.t -> subject:Term.t -> Term.t -> Term.t
+val cert_of : Term.t -> Term.t -> Term.t -> Term.t
+val hkey_ : Term.t -> Term.t -> Term.t -> Term.t -> Term.t
+
+(** [cfin_ [a; b; i; l; c; r1; r2; pms]] — argument order as in the paper. *)
+val cfin_ : Term.t list -> Term.t
+
+(** [sfin_ [a; b; i; l; c; r1; r2; pms]] *)
+val sfin_ : Term.t list -> Term.t
+
+(** [cfin2_ [a; b; i; c; r1; r2; pms]] *)
+val cfin2_ : Term.t list -> Term.t
+
+(** [sfin2_ [a; b; i; c; r1; r2; pms]] *)
+val sfin2_ : Term.t list -> Term.t
+
+val epms_ : Term.t -> Term.t -> Term.t
+val ecfin_ : Term.t -> Term.t -> Term.t
+val esfin_ : Term.t -> Term.t -> Term.t
+val ecfin2_ : Term.t -> Term.t -> Term.t
+val esfin2_ : Term.t -> Term.t -> Term.t
+val st_ : Term.t -> Term.t -> Term.t -> Term.t -> Term.t
+val no_session : Term.t
+
+(** {1 Messages}
+
+    Every message starts with creator (meta-information), seeming sender and
+    receiver (Section 4.2). *)
+
+val ch_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t -> Term.t
+(** [ch_ ~crt ~src ~dst rand list] *)
+
+val sh_ :
+  crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t -> Term.t -> Term.t
+(** [sh_ ~crt ~src ~dst rand sid choice] *)
+
+val ct_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+val kx_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+val cf_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+val sf_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+
+val ch2_ :
+  crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t -> Term.t
+(** [ch2_ ~crt ~src ~dst rand sid] *)
+
+val sh2_ :
+  crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t -> Term.t -> Term.t
+(** [sh2_ ~crt ~src ~dst rand sid choice] *)
+
+val cf2_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+val sf2_ : crt:Term.t -> src:Term.t -> dst:Term.t -> Term.t -> Term.t
+
+(** {1 Projections and recognizers} *)
+
+val crt : Term.t -> Term.t
+val src : Term.t -> Term.t
+val dst : Term.t -> Term.t
+val msg_rand : Term.t -> Term.t
+val msg_list : Term.t -> Term.t
+val msg_sid : Term.t -> Term.t
+val msg_choice : Term.t -> Term.t
+val msg_cert : Term.t -> Term.t
+val msg_epms : Term.t -> Term.t
+val msg_ecfin : Term.t -> Term.t
+val msg_esfin : Term.t -> Term.t
+val msg_ecfin2 : Term.t -> Term.t
+val msg_esfin2 : Term.t -> Term.t
+
+(** [is_ch m] is the recognizer atom [ch?(m)], etc. *)
+val is_ch : Term.t -> Term.t
+
+val is_sh : Term.t -> Term.t
+val is_ct : Term.t -> Term.t
+val is_kx : Term.t -> Term.t
+val is_cf : Term.t -> Term.t
+val is_sf : Term.t -> Term.t
+val is_ch2 : Term.t -> Term.t
+val is_sh2 : Term.t -> Term.t
+val is_cf2 : Term.t -> Term.t
+val is_sf2 : Term.t -> Term.t
+
+val pms_client : Term.t -> Term.t
+val pms_server : Term.t -> Term.t
+val pms_secret : Term.t -> Term.t
+val pk_owner : Term.t -> Term.t
+val sig_signer : Term.t -> Term.t
+val sig_subject : Term.t -> Term.t
+val sig_key : Term.t -> Term.t
+val cert_prin : Term.t -> Term.t
+val cert_key : Term.t -> Term.t
+val cert_sig : Term.t -> Term.t
+val epms_key : Term.t -> Term.t
+val epms_pms : Term.t -> Term.t
+val ecfin_key : Term.t -> Term.t
+val ecfin_body : Term.t -> Term.t
+val esfin_key : Term.t -> Term.t
+val esfin_body : Term.t -> Term.t
+val ecfin2_key : Term.t -> Term.t
+val ecfin2_body : Term.t -> Term.t
+val esfin2_key : Term.t -> Term.t
+val esfin2_body : Term.t -> Term.t
+val hkey_prin : Term.t -> Term.t
+val hkey_pms : Term.t -> Term.t
+val hkey_rand1 : Term.t -> Term.t
+val hkey_rand2 : Term.t -> Term.t
+val st_choice : Term.t -> Term.t
+val st_rand1 : Term.t -> Term.t
+val st_rand2 : Term.t -> Term.t
+val st_pms : Term.t -> Term.t
+
+(** {1 The network and the used-value sets} *)
+
+(** [empty_network] is the paper's [void]. *)
+val empty_network : Term.t
+
+(** [net_add m nw] is the paper's [m , nw]. *)
+val net_add : Term.t -> Term.t -> Term.t
+
+(** [msg_in m nw] is the membership predicate [m \in nw]. *)
+val msg_in : Term.t -> Term.t -> Term.t
+
+val empty_urand : Term.t
+val ur_add : Term.t -> Term.t -> Term.t
+val rand_in : Term.t -> Term.t -> Term.t
+val empty_usid : Term.t
+val ui_add : Term.t -> Term.t -> Term.t
+val sid_in : Term.t -> Term.t -> Term.t
+val empty_usecret : Term.t
+val us_add : Term.t -> Term.t -> Term.t
+val secret_in : Term.t -> Term.t -> Term.t
+
+(** [choice_in c l] is list-of-choices membership.  Lists are real cons
+    lists ({!lnil}/{!lcons}) so that concrete executions can evaluate the
+    check; symbolic proofs keep lists opaque and split on the atom. *)
+val choice_in : Term.t -> Term.t -> Term.t
+
+val lnil : Term.t
+val lcons : Term.t -> Term.t -> Term.t
+
+(** [list_of cs] builds the list of cipher suites [cs]. *)
+val list_of : Term.t list -> Term.t
+
+(** {1 Gleaning collections (Section 4.3)}
+
+    The seven collections of quantities the intruder extracts from the
+    network, as membership predicates over the network term. *)
+
+val in_cpms : Term.t -> Term.t -> Term.t
+val in_csig : Term.t -> Term.t -> Term.t
+val in_cepms : Term.t -> Term.t -> Term.t
+val in_cecfin : Term.t -> Term.t -> Term.t
+val in_cesfin : Term.t -> Term.t -> Term.t
+val in_cecfin2 : Term.t -> Term.t -> Term.t
+val in_cesfin2 : Term.t -> Term.t -> Term.t

@@ -1,0 +1,710 @@
+open Kernel
+open Core
+module D = Data
+
+type style = Original | Cf2First
+
+let protocol_sort = Sort.hidden "Protocol"
+
+(* ------------------------------------------------------------------ *)
+(* One transition system instance *)
+
+let make style =
+  let sg = Signature.create () in
+  let proto = protocol_sort in
+  let decl name arity sort = Signature.declare sg name arity sort ~attrs:[] in
+  (* Observers. *)
+  let nw_op = decl "nw" [ proto ] D.network in
+  let ss_op = decl "ss" [ proto; D.prin; D.prin; D.sid ] D.session in
+  let ur_op = decl "ur" [ proto ] D.urand in
+  let ui_op = decl "ui" [ proto ] D.usid in
+  let us_op = decl "us" [ proto ] D.usecret in
+  let init_op = decl "tls-init" [] proto in
+  let nw_obs : Ots.observer =
+    { obs_op = nw_op; obs_params = []; obs_result = D.network }
+  in
+  let ss_obs : Ots.observer =
+    {
+      obs_op = ss_op;
+      obs_params = [ "OP1", D.prin; "OP2", D.prin; "OI", D.sid ];
+      obs_result = D.session;
+    }
+  in
+  let ur_obs : Ots.observer =
+    { obs_op = ur_op; obs_params = []; obs_result = D.urand }
+  in
+  let ui_obs : Ots.observer =
+    { obs_op = ui_op; obs_params = []; obs_result = D.usid }
+  in
+  let us_obs : Ots.observer =
+    { obs_op = us_op; obs_params = []; obs_result = D.usecret }
+  in
+  let sv = Term.var "S" proto in
+  let nw_ = Term.app nw_op [ sv ] in
+  let ur_ = Term.app ur_op [ sv ] in
+  let ui_ = Term.app ui_op [ sv ] in
+  let us_ = Term.app us_op [ sv ] in
+  let ss_ owner peer i = Term.app ss_op [ sv; owner; peer; i ] in
+  let op1 = Term.var "OP1" D.prin in
+  let op2 = Term.var "OP2" D.prin in
+  let oi = Term.var "OI" D.sid in
+
+  (* Effect helpers. *)
+  let send m : Ots.effect_ =
+    { eff_observer = nw_obs; eff_value = D.net_add m nw_ }
+  in
+  let use_rand r : Ots.effect_ =
+    { eff_observer = ur_obs; eff_value = D.ur_add r ur_ }
+  in
+  let use_sid i : Ots.effect_ =
+    { eff_observer = ui_obs; eff_value = D.ui_add i ui_ }
+  in
+  let use_secret x : Ots.effect_ =
+    { eff_observer = us_obs; eff_value = D.us_add x us_ }
+  in
+  let set_session ~owner ~peer ~sid value : Ots.effect_ =
+    {
+      eff_observer = ss_obs;
+      eff_value =
+        Term.ite
+          (Term.conj [ Term.eq op1 owner; Term.eq op2 peer; Term.eq oi sid ])
+          value
+          (Term.app ss_op [ sv; op1; op2; oi ]);
+    }
+  in
+  let actions = ref [] in
+  let act name params cond effects =
+    let op = decl name (proto :: List.map snd params) proto in
+    let a : Ots.action =
+      { act_op = op; act_params = params; act_cond = cond; act_effects = effects }
+    in
+    actions := a :: !actions
+  in
+  (* Common variables. *)
+  let a = Term.var "A" D.prin in
+  let b = Term.var "B" D.prin in
+  let r = Term.var "R" D.rand in
+  let r1 = Term.var "R1" D.rand in
+  let r2 = Term.var "R2" D.rand in
+  let i = Term.var "I" D.sid in
+  let c = Term.var "C" D.choice in
+  let l = Term.var "L" D.list_of_choices in
+  let se = Term.var "SE" D.secret in
+  let m1 = Term.var "M1" D.msg in
+  let m2 = Term.var "M2" D.msg in
+  let m3 = Term.var "M3" D.msg in
+  let m4 = Term.var "M4" D.msg in
+  let m5 = Term.var "M5" D.msg in
+  let e_pms = Term.var "E" D.enc_pms in
+  let e_cf = Term.var "E" D.enc_cfin in
+  let e_sf = Term.var "E" D.enc_sfin in
+  let e_cf2 = Term.var "E" D.enc_cfin2 in
+  let e_sf2 = Term.var "E" D.enc_sfin2 in
+  let k = Term.var "K" D.pub_key in
+  let p = Term.var "P" D.pms in
+  let g = Term.var "G" D.sig_ in
+  let in_nw m = D.msg_in m nw_ in
+  let fresh_rand x = Term.not_ (D.rand_in x ur_) in
+  let fresh_sid x = Term.not_ (D.sid_in x ui_) in
+  let fresh_secret x = Term.not_ (D.secret_in x us_) in
+  let own m who = Term.and_ (Term.eq (D.crt m) who) (Term.eq (D.src m) who) in
+
+  (* ---------------- Trustable principals (Section 4.4) ---------------- *)
+
+  (* A client initiates a handshake with a fresh random number. *)
+  act "chello"
+    [ "A", D.prin; "B", D.prin; "R", D.rand; "L", D.list_of_choices ]
+    (fresh_rand r)
+    [ send (D.ch_ ~crt:a ~src:a ~dst:b r l); use_rand r ];
+
+  (* The server answers a ClientHello with fresh random number and session
+     id, picking a suite from the offered list. *)
+  act "shello"
+    [ "B", D.prin; "R", D.rand; "I", D.sid; "C", D.choice; "M1", D.msg ]
+    (Term.conj
+       [
+         in_nw m1;
+         D.is_ch m1;
+         Term.eq (D.dst m1) b;
+         fresh_rand r;
+         fresh_sid i;
+         D.choice_in c (D.msg_list m1);
+       ])
+    [ send (D.sh_ ~crt:b ~src:b ~dst:(D.src m1) r i c); use_rand r; use_sid i ];
+
+  (* The server sends its certificate (conditions follow the paper's
+     [c-cert] verbatim). *)
+  act "cert"
+    [ "B", D.prin; "M1", D.msg; "M2", D.msg ]
+    (Term.conj
+       [
+         in_nw m1;
+         in_nw m2;
+         D.is_ch m1;
+         D.is_sh m2;
+         Term.eq (D.dst m1) b;
+         own m2 b;
+         Term.eq (D.src m1) (D.dst m2);
+         D.choice_in (D.msg_choice m2) (D.msg_list m1);
+       ])
+    [
+      send
+        (D.ct_ ~crt:b ~src:b ~dst:(D.dst m2)
+           (D.cert_of b (D.pk_ b) (D.sig_of ~signer:D.ca ~subject:b (D.pk_ b))));
+    ];
+
+  (* The client checks the certificate against the only trusted CA and
+     sends the encrypted pre-master secret. *)
+  let m3cert = D.msg_cert m3 in
+  act "kexch"
+    [ "A", D.prin; "SE", D.secret; "M1", D.msg; "M2", D.msg; "M3", D.msg ]
+    (Term.conj
+       [
+         in_nw m1;
+         in_nw m2;
+         in_nw m3;
+         D.is_ch m1;
+         own m1 a;
+         D.is_sh m2;
+         Term.eq (D.dst m2) a;
+         Term.eq (D.src m2) (D.dst m1);
+         D.is_ct m3;
+         Term.eq (D.dst m3) a;
+         Term.eq (D.src m3) (D.src m2);
+         Term.eq (D.cert_prin m3cert) (D.src m2);
+         Term.eq (D.cert_sig m3cert)
+           (D.sig_of ~signer:D.ca ~subject:(D.src m2) (D.cert_key m3cert));
+         fresh_secret se;
+       ])
+    [
+      send
+        (D.kx_ ~crt:a ~src:a ~dst:(D.src m2)
+           (D.epms_ (D.cert_key m3cert)
+              (D.pms_ ~client:a ~server:(D.src m2) se)));
+      use_secret se;
+    ];
+
+  (* The client's Finished message, keyed by ClientKey = hash(A, pms, randA,
+     randB). *)
+  let cfin_pms = D.pms_ ~client:a ~server:(D.src m2) se in
+  act "cfin"
+    [ "A", D.prin; "SE", D.secret; "M1", D.msg; "M2", D.msg; "M3", D.msg ]
+    (Term.conj
+       [
+         in_nw m1;
+         in_nw m2;
+         in_nw m3;
+         D.is_ch m1;
+         own m1 a;
+         D.is_sh m2;
+         Term.eq (D.dst m2) a;
+         Term.eq (D.src m2) (D.dst m1);
+         D.is_kx m3;
+         own m3 a;
+         Term.eq (D.dst m3) (D.src m2);
+         Term.eq (D.epms_pms (D.msg_epms m3)) cfin_pms;
+       ])
+    [
+      send
+        (D.cf_ ~crt:a ~src:a ~dst:(D.src m2)
+           (D.ecfin_
+              (D.hkey_ a cfin_pms (D.msg_rand m1) (D.msg_rand m2))
+              (D.cfin_
+                 [
+                   a;
+                   D.src m2;
+                   D.msg_sid m2;
+                   D.msg_list m1;
+                   D.msg_choice m2;
+                   D.msg_rand m1;
+                   D.msg_rand m2;
+                   cfin_pms;
+                 ])));
+    ];
+
+  (* The server decrypts the pre-master secret, checks the client Finished
+     and answers with its own, establishing the session (for resumption).
+     The own-certificate conjunct is the network-as-memory check that the
+     server completed its half of the exchange (Section 4.3). *)
+  let sfin_pms = D.epms_pms (D.msg_epms m4) in
+  act "sfin"
+    [
+      "B", D.prin; "M1", D.msg; "M2", D.msg; "M3", D.msg; "M4", D.msg;
+      "M5", D.msg;
+    ]
+    (Term.conj
+       [
+         in_nw m1;
+         in_nw m2;
+         in_nw m3;
+         in_nw m4;
+         in_nw m5;
+         D.is_ch m1;
+         Term.eq (D.dst m1) b;
+         D.is_sh m2;
+         own m2 b;
+         Term.eq (D.dst m2) (D.src m1);
+         D.is_ct m3;
+         own m3 b;
+         Term.eq (D.dst m3) (D.dst m2);
+         Term.eq (D.msg_cert m3)
+           (D.cert_of b (D.pk_ b) (D.sig_of ~signer:D.ca ~subject:b (D.pk_ b)));
+         D.is_kx m4;
+         Term.eq (D.dst m4) b;
+         Term.eq (D.epms_key (D.msg_epms m4)) (D.pk_ b);
+         D.is_cf m5;
+         Term.eq (D.dst m5) b;
+         Term.eq (D.msg_ecfin m5)
+           (D.ecfin_
+              (D.hkey_ (D.dst m2) sfin_pms (D.msg_rand m1) (D.msg_rand m2))
+              (D.cfin_
+                 [
+                   D.dst m2;
+                   b;
+                   D.msg_sid m2;
+                   D.msg_list m1;
+                   D.msg_choice m2;
+                   D.msg_rand m1;
+                   D.msg_rand m2;
+                   sfin_pms;
+                 ]));
+       ])
+    [
+      send
+        (D.sf_ ~crt:b ~src:b ~dst:(D.dst m2)
+           (D.esfin_
+              (D.hkey_ b sfin_pms (D.msg_rand m1) (D.msg_rand m2))
+              (D.sfin_
+                 [
+                   D.dst m2;
+                   b;
+                   D.msg_sid m2;
+                   D.msg_list m1;
+                   D.msg_choice m2;
+                   D.msg_rand m1;
+                   D.msg_rand m2;
+                   sfin_pms;
+                 ])));
+      set_session ~owner:b ~peer:(D.dst m2) ~sid:(D.msg_sid m2)
+        (D.st_ (D.msg_choice m2) (D.msg_rand m1) (D.msg_rand m2) sfin_pms);
+    ];
+
+  (* The client checks the server Finished; on success the handshake is
+     complete and the client records the session. *)
+  let compl_pms = D.pms_ ~client:a ~server:(D.src m2) se in
+  act "compl"
+    [
+      "A", D.prin; "SE", D.secret; "M1", D.msg; "M2", D.msg; "M3", D.msg;
+      "M4", D.msg;
+    ]
+    (Term.conj
+       [
+         in_nw m1;
+         in_nw m2;
+         in_nw m3;
+         in_nw m4;
+         D.is_ch m1;
+         own m1 a;
+         D.is_sh m2;
+         Term.eq (D.dst m2) a;
+         Term.eq (D.src m2) (D.dst m1);
+         D.is_kx m3;
+         own m3 a;
+         Term.eq (D.dst m3) (D.src m2);
+         Term.eq (D.epms_pms (D.msg_epms m3)) compl_pms;
+         D.is_sf m4;
+         Term.eq (D.dst m4) a;
+         Term.eq (D.src m4) (D.src m2);
+         Term.eq (D.msg_esfin m4)
+           (D.esfin_
+              (D.hkey_ (D.src m2) compl_pms (D.msg_rand m1) (D.msg_rand m2))
+              (D.sfin_
+                 [
+                   a;
+                   D.src m2;
+                   D.msg_sid m2;
+                   D.msg_list m1;
+                   D.msg_choice m2;
+                   D.msg_rand m1;
+                   D.msg_rand m2;
+                   compl_pms;
+                 ]));
+       ])
+    [
+      set_session ~owner:a ~peer:(D.src m2) ~sid:(D.msg_sid m2)
+        (D.st_ (D.msg_choice m2) (D.msg_rand m1) (D.msg_rand m2) compl_pms);
+    ];
+
+  (* ---------------- Abbreviated handshake ---------------- *)
+
+  (* The client asks to resume the session identified by I. *)
+  act "chello2"
+    [ "A", D.prin; "B", D.prin; "R", D.rand; "I", D.sid ]
+    (Term.conj
+       [ Term.not_ (Term.eq (ss_ a b i) D.no_session); fresh_rand r ])
+    [ send (D.ch2_ ~crt:a ~src:a ~dst:b r i); use_rand r ];
+
+  (* The willing server replies with a fresh random number and the session's
+     cipher suite. *)
+  let sh2_sess = ss_ b (D.src m1) (D.msg_sid m1) in
+  act "shello2"
+    [ "B", D.prin; "R", D.rand; "M1", D.msg ]
+    (Term.conj
+       [
+         in_nw m1;
+         D.is_ch2 m1;
+         Term.eq (D.dst m1) b;
+         Term.not_ (Term.eq sh2_sess D.no_session);
+         fresh_rand r;
+       ])
+    [
+      send
+        (D.sh2_ ~crt:b ~src:b ~dst:(D.src m1) r (D.msg_sid m1)
+           (D.st_choice sh2_sess));
+      use_rand r;
+    ];
+
+  (* Finished2 messages.  In the [Original] style (Figure 2) the server's
+     Finished2 comes first and the client answers; in the [Cf2First] variant
+     (Section 5.3) the order is swapped. *)
+  let sess_bs = ss_ b (D.src m1) (D.msg_sid m1) in
+  let sf2_body dst_client server sess chosen rA rB =
+    (* The Finished2 hash covers the cipher suite the server announced in
+       its ServerHello2 (identical to the session's suite in any reachable
+       state). *)
+    D.esfin2_
+      (D.hkey_ server (D.st_pms sess) rA rB)
+      (D.sfin2_
+         [ dst_client; server; D.msg_sid m1; chosen; rA; rB; D.st_pms sess ])
+  in
+  let cf2_body client server sess rA rB chosen =
+    D.ecfin2_
+      (D.hkey_ client (D.st_pms sess) rA rB)
+      (D.cfin2_ [ client; server; D.msg_sid m1; chosen; rA; rB; D.st_pms sess ])
+  in
+  let ch2_sh2_pair ~server =
+    (* M1 is the ch2 addressed to [server], M2 is [server]'s own sh2 reply. *)
+    [
+      in_nw m1;
+      in_nw m2;
+      D.is_ch2 m1;
+      Term.eq (D.dst m1) server;
+      D.is_sh2 m2;
+      own m2 server;
+      Term.eq (D.dst m2) (D.src m1);
+      Term.eq (D.msg_sid m2) (D.msg_sid m1);
+    ]
+  in
+  let client_ch2_sh2 =
+    (* M1 is A's own ch2, M2 the sh2 answer from the contacted server. *)
+    [
+      in_nw m1;
+      in_nw m2;
+      D.is_ch2 m1;
+      own m1 a;
+      D.is_sh2 m2;
+      Term.eq (D.dst m2) a;
+      Term.eq (D.src m2) (D.dst m1);
+      Term.eq (D.msg_sid m2) (D.msg_sid m1);
+    ]
+  in
+  let sess_a = ss_ a (D.src m2) (D.msg_sid m1) in
+  (match style with
+  | Original ->
+    (* Server sends ServerFinished2 right after its ServerHello2. *)
+    act "sfin2"
+      [ "B", D.prin; "M1", D.msg; "M2", D.msg ]
+      (Term.conj
+         (ch2_sh2_pair ~server:b
+         @ [ Term.not_ (Term.eq sess_bs D.no_session) ]))
+      [
+        send
+          (D.sf2_ ~crt:b ~src:b ~dst:(D.src m1)
+             (sf2_body (D.src m1) b sess_bs (D.msg_choice m2) (D.msg_rand m1)
+                (D.msg_rand m2)));
+      ];
+    (* Client checks it and answers with ClientFinished2, refreshing its
+       session parameters. *)
+    act "cfin2"
+      [ "A", D.prin; "M1", D.msg; "M2", D.msg; "M3", D.msg ]
+      (Term.conj
+         (client_ch2_sh2
+         @ [
+             in_nw m3;
+             D.is_sf2 m3;
+             Term.eq (D.dst m3) a;
+             Term.eq (D.src m3) (D.src m2);
+             Term.not_ (Term.eq sess_a D.no_session);
+             Term.eq (D.msg_esfin2 m3)
+               (D.esfin2_
+                  (D.hkey_ (D.src m2) (D.st_pms sess_a) (D.msg_rand m1)
+                     (D.msg_rand m2))
+                  (D.sfin2_
+                     [
+                       a;
+                       D.src m2;
+                       D.msg_sid m1;
+                       D.msg_choice m2;
+                       D.msg_rand m1;
+                       D.msg_rand m2;
+                       D.st_pms sess_a;
+                     ]));
+           ]))
+      [
+        send
+          (D.cf2_ ~crt:a ~src:a ~dst:(D.src m2)
+             (cf2_body a (D.src m2) sess_a (D.msg_rand m1) (D.msg_rand m2)
+                (D.msg_choice m2)));
+        set_session ~owner:a ~peer:(D.src m2) ~sid:(D.msg_sid m1)
+          (D.st_ (D.msg_choice m2) (D.msg_rand m1) (D.msg_rand m2)
+             (D.st_pms sess_a));
+      ];
+    (* Server checks the ClientFinished2; resumption complete. *)
+    act "compl2"
+      [ "B", D.prin; "M1", D.msg; "M2", D.msg; "M3", D.msg ]
+      (Term.conj
+         (ch2_sh2_pair ~server:b
+         @ [
+             in_nw m3;
+             D.is_cf2 m3;
+             Term.eq (D.dst m3) b;
+             Term.not_ (Term.eq sess_bs D.no_session);
+             Term.eq (D.msg_ecfin2 m3)
+               (cf2_body (D.src m1) b sess_bs (D.msg_rand m1) (D.msg_rand m2)
+                  (D.msg_choice m2));
+           ]))
+      [
+        set_session ~owner:b ~peer:(D.src m1) ~sid:(D.msg_sid m1)
+          (D.st_ (D.msg_choice m2) (D.msg_rand m1) (D.msg_rand m2)
+             (D.st_pms sess_bs));
+      ]
+  | Cf2First ->
+    (* Variant: the client's Finished2 comes first. *)
+    act "cfin2"
+      [ "A", D.prin; "M1", D.msg; "M2", D.msg ]
+      (Term.conj
+         (client_ch2_sh2 @ [ Term.not_ (Term.eq sess_a D.no_session) ]))
+      [
+        send
+          (D.cf2_ ~crt:a ~src:a ~dst:(D.src m2)
+             (cf2_body a (D.src m2) sess_a (D.msg_rand m1) (D.msg_rand m2)
+                (D.msg_choice m2)));
+      ];
+    act "sfin2"
+      [ "B", D.prin; "M1", D.msg; "M2", D.msg; "M3", D.msg ]
+      (Term.conj
+         (ch2_sh2_pair ~server:b
+         @ [
+             in_nw m3;
+             D.is_cf2 m3;
+             Term.eq (D.dst m3) b;
+             Term.not_ (Term.eq sess_bs D.no_session);
+             Term.eq (D.msg_ecfin2 m3)
+               (cf2_body (D.src m1) b sess_bs (D.msg_rand m1) (D.msg_rand m2)
+                  (D.msg_choice m2));
+           ]))
+      [
+        send
+          (D.sf2_ ~crt:b ~src:b ~dst:(D.src m1)
+             (sf2_body (D.src m1) b sess_bs (D.msg_choice m2) (D.msg_rand m1)
+                (D.msg_rand m2)));
+        set_session ~owner:b ~peer:(D.src m1) ~sid:(D.msg_sid m1)
+          (D.st_ (D.msg_choice m2) (D.msg_rand m1) (D.msg_rand m2)
+             (D.st_pms sess_bs));
+      ];
+    act "compl2"
+      [ "A", D.prin; "M1", D.msg; "M2", D.msg; "M3", D.msg ]
+      (Term.conj
+         (client_ch2_sh2
+         @ [
+             in_nw m3;
+             D.is_sf2 m3;
+             Term.eq (D.dst m3) a;
+             Term.eq (D.src m3) (D.src m2);
+             Term.not_ (Term.eq sess_a D.no_session);
+             Term.eq (D.msg_esfin2 m3)
+               (D.esfin2_
+                  (D.hkey_ (D.src m2) (D.st_pms sess_a) (D.msg_rand m1)
+                     (D.msg_rand m2))
+                  (D.sfin2_
+                     [
+                       a;
+                       D.src m2;
+                       D.msg_sid m1;
+                       D.msg_choice m2;
+                       D.msg_rand m1;
+                       D.msg_rand m2;
+                       D.st_pms sess_a;
+                     ]));
+           ]))
+      [
+        set_session ~owner:a ~peer:(D.src m2) ~sid:(D.msg_sid m1)
+          (D.st_ (D.msg_choice m2) (D.msg_rand m1) (D.msg_rand m2)
+             (D.st_pms sess_a));
+      ]);
+
+  (* ---------------- The intruder (Section 4.5) ---------------- *)
+
+  (* Clear messages: every quantity is guessable, no condition. *)
+  act "fakeCh"
+    [ "A", D.prin; "B", D.prin; "R", D.rand; "L", D.list_of_choices ]
+    Term.tt
+    [ send (D.ch_ ~crt:D.intruder ~src:a ~dst:b r l) ];
+  act "fakeSh"
+    [ "B", D.prin; "A", D.prin; "R", D.rand; "I", D.sid; "C", D.choice ]
+    Term.tt
+    [ send (D.sh_ ~crt:D.intruder ~src:b ~dst:a r i c) ];
+  act "fakeCh2"
+    [ "A", D.prin; "B", D.prin; "R", D.rand; "I", D.sid ]
+    Term.tt
+    [ send (D.ch2_ ~crt:D.intruder ~src:a ~dst:b r i) ];
+  act "fakeSh2"
+    [ "B", D.prin; "A", D.prin; "R", D.rand; "I", D.sid; "C", D.choice ]
+    Term.tt
+    [ send (D.sh2_ ~crt:D.intruder ~src:b ~dst:a r i c) ];
+
+  (* Certificates: any principal and guessable key, but the signature must
+     have been gleaned. *)
+  act "fakeCt"
+    [ "B", D.prin; "A", D.prin; "P2", D.prin; "K", D.pub_key; "G", D.sig_ ]
+    (D.in_csig g nw_)
+    [
+      send
+        (D.ct_ ~crt:D.intruder ~src:b ~dst:a
+           (D.cert_of (Term.var "P2" D.prin) k g));
+    ];
+
+  (* Ciphertext-carrying messages: replay a gleaned ciphertext... *)
+  act "fakeKx1"
+    [ "A", D.prin; "B", D.prin; "E", D.enc_pms ]
+    (D.in_cepms e_pms nw_)
+    [ send (D.kx_ ~crt:D.intruder ~src:a ~dst:b e_pms) ];
+  act "fakeCf1"
+    [ "A", D.prin; "B", D.prin; "E", D.enc_cfin ]
+    (D.in_cecfin e_cf nw_)
+    [ send (D.cf_ ~crt:D.intruder ~src:a ~dst:b e_cf) ];
+  act "fakeSf1"
+    [ "B", D.prin; "A", D.prin; "E", D.enc_sfin ]
+    (D.in_cesfin e_sf nw_)
+    [ send (D.sf_ ~crt:D.intruder ~src:b ~dst:a e_sf) ];
+  act "fakeCf21"
+    [ "A", D.prin; "B", D.prin; "E", D.enc_cfin2 ]
+    (D.in_cecfin2 e_cf2 nw_)
+    [ send (D.cf2_ ~crt:D.intruder ~src:a ~dst:b e_cf2) ];
+  act "fakeSf21"
+    [ "B", D.prin; "A", D.prin; "E", D.enc_sfin2 ]
+    (D.in_cesfin2 e_sf2 nw_)
+    [ send (D.sf2_ ~crt:D.intruder ~src:b ~dst:a e_sf2) ];
+
+  (* ... or construct one from a known pre-master secret (the symmetric keys
+     are hashes of known quantities, Section 4.3). *)
+  act "fakeKx2"
+    [ "A", D.prin; "B", D.prin; "K", D.pub_key; "P", D.pms ]
+    (D.in_cpms p nw_)
+    [ send (D.kx_ ~crt:D.intruder ~src:a ~dst:b (D.epms_ k p)) ];
+  act "fakeCf2"
+    [
+      "A", D.prin; "B", D.prin; "I", D.sid; "L", D.list_of_choices;
+      "C", D.choice; "R1", D.rand; "R2", D.rand; "P", D.pms;
+    ]
+    (D.in_cpms p nw_)
+    [
+      send
+        (D.cf_ ~crt:D.intruder ~src:a ~dst:b
+           (D.ecfin_ (D.hkey_ a p r1 r2) (D.cfin_ [ a; b; i; l; c; r1; r2; p ])));
+    ];
+  act "fakeSf2"
+    [
+      "B", D.prin; "A", D.prin; "I", D.sid; "L", D.list_of_choices;
+      "C", D.choice; "R1", D.rand; "R2", D.rand; "P", D.pms;
+    ]
+    (D.in_cpms p nw_)
+    [
+      send
+        (D.sf_ ~crt:D.intruder ~src:b ~dst:a
+           (D.esfin_ (D.hkey_ b p r1 r2) (D.sfin_ [ a; b; i; l; c; r1; r2; p ])));
+    ];
+  act "fakeCf22"
+    [
+      "A", D.prin; "B", D.prin; "I", D.sid; "C", D.choice; "R1", D.rand;
+      "R2", D.rand; "P", D.pms;
+    ]
+    (D.in_cpms p nw_)
+    [
+      send
+        (D.cf2_ ~crt:D.intruder ~src:a ~dst:b
+           (D.ecfin2_ (D.hkey_ a p r1 r2) (D.cfin2_ [ a; b; i; c; r1; r2; p ])));
+    ];
+  act "fakeSf22"
+    [
+      "B", D.prin; "A", D.prin; "I", D.sid; "C", D.choice; "R1", D.rand;
+      "R2", D.rand; "P", D.pms;
+    ]
+    (D.in_cpms p nw_)
+    [
+      send
+        (D.sf2_ ~crt:D.intruder ~src:b ~dst:a
+           (D.esfin2_ (D.hkey_ b p r1 r2) (D.sfin2_ [ a; b; i; c; r1; r2; p ])));
+    ];
+
+  let init = Term.const init_op in
+  {
+    Ots.ots_name =
+      (match style with Original -> "TLS" | Cf2First -> "TLS-CF2FIRST");
+    hidden = proto;
+    init = init_op;
+    observers = [ nw_obs; ss_obs; ur_obs; ui_obs; us_obs ];
+    actions = List.rev !actions;
+    init_equations =
+      [
+        Term.app nw_op [ init ], D.empty_network;
+        Term.app ss_op [ init; op1; op2; oi ], D.no_session;
+        Term.app ur_op [ init ], D.empty_urand;
+        Term.app ui_op [ init ], D.empty_usid;
+        Term.app us_op [ init ], D.empty_usecret;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Memoized instances *)
+
+let original = lazy (make Original)
+let cf2first = lazy (make Cf2First)
+let ots () = Lazy.force original
+let variant_ots () = Lazy.force cf2first
+
+let spec_original = lazy (Specgen.generate ~data:Data.spec (ots ()))
+let spec_variant = lazy (Specgen.generate ~data:Data.spec (variant_ots ()))
+
+let spec = function
+  | Original -> Lazy.force spec_original
+  | Cf2First -> Lazy.force spec_variant
+
+let env style =
+  let o = match style with Original -> ots () | Cf2First -> variant_ots () in
+  Induction.make_env ~spec:(spec style) ~ots:o ()
+
+(* ------------------------------------------------------------------ *)
+(* Observer applications *)
+
+let obs1 name o state = Ots.obs o name [] state
+let nw o state = obs1 "nw" o state
+let ur o state = obs1 "ur" o state
+let ui o state = obs1 "ui" o state
+let us o state = obs1 "us" o state
+let ss o state ~owner ~peer ~sid = Ots.obs o "ss" [ owner; peer; sid ] state
+
+let trustable_actions =
+  [
+    "chello"; "shello"; "cert"; "kexch"; "cfin"; "sfin"; "compl"; "chello2";
+    "shello2"; "sfin2"; "cfin2"; "compl2";
+  ]
+
+let intruder_actions =
+  [
+    "fakeCh"; "fakeSh"; "fakeCh2"; "fakeSh2"; "fakeCt"; "fakeKx1"; "fakeCf1";
+    "fakeSf1"; "fakeCf21"; "fakeSf21"; "fakeKx2"; "fakeCf2"; "fakeSf2";
+    "fakeCf22"; "fakeSf22";
+  ]
+
+let action_names = trustable_actions @ intruder_actions

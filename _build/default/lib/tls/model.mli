@@ -1,0 +1,67 @@
+(** The abstract TLS handshake protocol as an OTS (Section 4).
+
+    Observers (Section 4.4):
+    - [nw : Protocol -> Network] — the network / intruder storage /
+      principals' send-memory;
+    - [ss : Protocol Prin Prin Sid -> Session] — session states;
+    - [ur], [ui], [us] — the sets of used random numbers, session IDs and
+      secrets (freshness).
+
+    Twelve transitions model trustable principals ([chello], [shello],
+    [cert], [kexch], [cfin], [sfin], [compl], [chello2], [shello2], [sfin2],
+    [cfin2], [compl2]) and fifteen model the intruder's fakes (Section 4.5):
+    for each of the five ciphertext-carrying message kinds both a replay of a
+    gleaned ciphertext and a construction from a known pre-master secret, and
+    one fake for each of the five clear message kinds.
+
+    Two protocol styles are provided: [Original] follows Figure 2 (in the
+    abbreviated handshake, ServerFinished2 precedes ClientFinished2);
+    [Cf2First] is the variant of Section 5.3 where the order of the two
+    Finished2 messages is swapped.  The paper verifies the same five
+    properties for both. *)
+
+open Kernel
+open Core
+
+type style = Original | Cf2First
+
+(** The hidden state sort [Protocol] (shared by both styles). *)
+val protocol_sort : Sort.t
+
+(** [make style] builds the transition system.  Each call creates fresh
+    observer/action operators in a private signature; the two memoized
+    instances below are what normal clients use. *)
+val make : style -> Ots.t
+
+(** The Figure-2 protocol (memoized). *)
+val ots : unit -> Ots.t
+
+(** The Section-5.3 variant (memoized). *)
+val variant_ots : unit -> Ots.t
+
+(** [spec style] is the generated equational theory (Section 2.3) of the
+    corresponding OTS, importing {!Data.spec} (memoized). *)
+val spec : style -> Cafeobj.Spec.t
+
+(** [env style] is a fresh proof environment for the corresponding OTS.
+    Fresh per call: proof campaigns create fresh constants in the spec, so
+    sharing environments across campaigns is allowed but a fresh one keeps
+    constant names readable. *)
+val env : style -> Core.Induction.env
+
+(** {1 Observer applications} *)
+
+val nw : Ots.t -> Term.t -> Term.t
+val ss : Ots.t -> Term.t -> owner:Term.t -> peer:Term.t -> sid:Term.t -> Term.t
+val ur : Ots.t -> Term.t -> Term.t
+val ui : Ots.t -> Term.t -> Term.t
+val us : Ots.t -> Term.t -> Term.t
+
+(** [action_names] lists the 27 action names in declaration order (12
+    trustable + 15 intruder). *)
+val action_names : string list
+
+(** [trustable_actions] / [intruder_actions] partition {!action_names}. *)
+val trustable_actions : string list
+
+val intruder_actions : string list

@@ -1,0 +1,302 @@
+open Kernel
+open Core
+module D = Data
+
+type cast = {
+  alice : Term.t;
+  bob : Term.t;
+  ra : Term.t;
+  rb : Term.t;
+  rc : Term.t;
+  rd : Term.t;
+  re : Term.t;
+  rf : Term.t;
+  ri : Term.t;
+  sid1 : Term.t;
+  suite1 : Term.t;
+  suite2 : Term.t;
+  clist : Term.t;
+  sec1 : Term.t;
+  sec2 : Term.t;
+}
+
+let cast =
+  let two = Cafeobj.Datatype.distinct_constants D.spec in
+  let alice, bob =
+    match two ~sort:D.prin [ "alice"; "bob" ] with
+    | [ a; b ] -> a, b
+    | _ -> assert false
+  in
+  let rands = two ~sort:D.rand [ "ra"; "rb"; "rc"; "rd"; "re"; "rf"; "ri" ] in
+  let ra, rb, rc, rd, re, rf, ri =
+    match rands with
+    | [ r1; r2; r3; r4; r5; r6; r7 ] -> r1, r2, r3, r4, r5, r6, r7
+    | _ -> assert false
+  in
+  let sid1 =
+    match two ~sort:D.sid [ "sid1" ] with [ i ] -> i | _ -> assert false
+  in
+  let suite1, suite2 =
+    match two ~sort:D.choice [ "suite1"; "suite2" ] with
+    | [ c1; c2 ] -> c1, c2
+    | _ -> assert false
+  in
+  let sec1, sec2 =
+    match two ~sort:D.secret [ "sec1"; "sec2" ] with
+    | [ s1; s2 ] -> s1, s2
+    | _ -> assert false
+  in
+  let clist = D.list_of [ suite1; suite2 ] in
+  {
+    alice; bob; ra; rb; rc; rd; re; rf; ri; sid1; suite1; suite2; clist; sec1;
+    sec2;
+  }
+
+type step = { label : string; state : Term.t }
+
+type run = {
+  run_name : string;
+  ots : Ots.t;
+  sys : Rewrite.system;
+  steps : step list;
+}
+
+let final run =
+  match List.rev run.steps with
+  | last :: _ -> last.state
+  | [] -> invalid_arg "Scenario.final: empty run"
+
+let eval run t = Rewrite.normalize run.sys t
+let holds run t = Term.equal (eval run t) Term.tt
+
+(* A step is effective iff the action's condition holds in the state it was
+   applied to.  Each step's state term is [act(s, args…)], so both the
+   action and its arguments can be read back from it. *)
+let step_fired run { label = _; state } =
+  match state with
+  | Term.App (op, s :: args) ->
+    let a = Ots.action run.ots op.Signature.name in
+    let sub =
+      Subst.of_list
+        (({ Term.v_name = "S"; v_sort = run.ots.Ots.hidden }, s)
+        :: List.map2
+             (fun (n, srt) arg -> { Term.v_name = n; v_sort = srt }, arg)
+             a.Ots.act_params args)
+    in
+    Term.equal (eval run (Subst.apply sub a.Ots.act_cond)) Term.tt
+  | Term.App (_, []) | Term.Var _ -> true
+
+let effective run =
+  List.filter_map
+    (fun step -> if step_fired run step then None else Some step.label)
+    run.steps
+
+(* ------------------------------------------------------------------ *)
+(* Run construction *)
+
+let build ~style ~name actions =
+  let ots = match style with
+    | Model.Original -> Model.ots ()
+    | Model.Cf2First -> Model.variant_ots ()
+  in
+  let sys = Cafeobj.Spec.system (Model.spec style) in
+  let init = Ots.init_state ots in
+  let steps =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (acc, state) (label, act_name, args) ->
+              let state' = Ots.apply ots act_name state args in
+              { label; state = state' } :: acc, state')
+            ([], init) actions))
+  in
+  { run_name = name; ots; sys; steps }
+
+let c = cast
+
+(* The honest messages of the Figure-2 run. *)
+let pms1 = D.pms_ ~client:c.alice ~server:c.bob c.sec1
+let ch_msg = D.ch_ ~crt:c.alice ~src:c.alice ~dst:c.bob c.ra c.clist
+let sh_msg = D.sh_ ~crt:c.bob ~src:c.bob ~dst:c.alice c.rb c.sid1 c.suite1
+
+let bob_cert =
+  D.cert_of c.bob (D.pk_ c.bob) (D.sig_of ~signer:D.ca ~subject:c.bob (D.pk_ c.bob))
+
+let ct_msg = D.ct_ ~crt:c.bob ~src:c.bob ~dst:c.alice bob_cert
+
+let kx_msg =
+  D.kx_ ~crt:c.alice ~src:c.alice ~dst:c.bob (D.epms_ (D.pk_ c.bob) pms1)
+
+let cfin1 =
+  D.cfin_ [ c.alice; c.bob; c.sid1; c.clist; c.suite1; c.ra; c.rb; pms1 ]
+
+let cf_msg =
+  D.cf_ ~crt:c.alice ~src:c.alice ~dst:c.bob
+    (D.ecfin_ (D.hkey_ c.alice pms1 c.ra c.rb) cfin1)
+
+let sfin1 =
+  D.sfin_ [ c.alice; c.bob; c.sid1; c.clist; c.suite1; c.ra; c.rb; pms1 ]
+
+let sf_msg =
+  D.sf_ ~crt:c.bob ~src:c.bob ~dst:c.alice
+    (D.esfin_ (D.hkey_ c.bob pms1 c.ra c.rb) sfin1)
+
+let ch2_msg = D.ch2_ ~crt:c.alice ~src:c.alice ~dst:c.bob c.rc c.sid1
+let sh2_msg = D.sh2_ ~crt:c.bob ~src:c.bob ~dst:c.alice c.rd c.sid1 c.suite1
+
+let sf2_msg =
+  D.sf2_ ~crt:c.bob ~src:c.bob ~dst:c.alice
+    (D.esfin2_
+       (D.hkey_ c.bob pms1 c.rc c.rd)
+       (D.sfin2_ [ c.alice; c.bob; c.sid1; c.suite1; c.rc; c.rd; pms1 ]))
+
+let cf2_msg =
+  D.cf2_ ~crt:c.alice ~src:c.alice ~dst:c.bob
+    (D.ecfin2_
+       (D.hkey_ c.alice pms1 c.rc c.rd)
+       (D.cfin2_ [ c.alice; c.bob; c.sid1; c.suite1; c.rc; c.rd; pms1 ]))
+
+type honest_messages = {
+  ch_msg : Term.t;
+  sh_msg : Term.t;
+  ct_msg : Term.t;
+  kx_msg : Term.t;
+  cf_msg : Term.t;
+  sf_msg : Term.t;
+  ch2_msg : Term.t;
+  sh2_msg : Term.t;
+  sf2_msg : Term.t;
+  cf2_msg : Term.t;
+}
+
+let honest_messages =
+  {
+    ch_msg; sh_msg; ct_msg; kx_msg; cf_msg; sf_msg; ch2_msg; sh2_msg; sf2_msg;
+    cf2_msg;
+  }
+
+let full_handshake_actions =
+  [
+    "ClientHello", "chello", [ c.alice; c.bob; c.ra; c.clist ];
+    "ServerHello", "shello", [ c.bob; c.rb; c.sid1; c.suite1; ch_msg ];
+    "Certificate", "cert", [ c.bob; ch_msg; sh_msg ];
+    "ClientKeyExchange", "kexch", [ c.alice; c.sec1; ch_msg; sh_msg; ct_msg ];
+    "ClientFinished", "cfin", [ c.alice; c.sec1; ch_msg; sh_msg; kx_msg ];
+    "ServerFinished", "sfin", [ c.bob; ch_msg; sh_msg; ct_msg; kx_msg; cf_msg ];
+    "complete", "compl", [ c.alice; c.sec1; ch_msg; sh_msg; kx_msg; sf_msg ];
+  ]
+
+let resumption_actions style =
+  let head =
+    [
+      "ClientHello2", "chello2", [ c.alice; c.bob; c.rc; c.sid1 ];
+      "ServerHello2", "shello2", [ c.bob; c.rd; ch2_msg ];
+    ]
+  in
+  match style with
+  | Model.Original ->
+    head
+    @ [
+        "ServerFinished2", "sfin2", [ c.bob; ch2_msg; sh2_msg ];
+        "ClientFinished2", "cfin2", [ c.alice; ch2_msg; sh2_msg; sf2_msg ];
+        "complete2", "compl2", [ c.bob; ch2_msg; sh2_msg; cf2_msg ];
+      ]
+  | Model.Cf2First ->
+    head
+    @ [
+        "ClientFinished2", "cfin2", [ c.alice; ch2_msg; sh2_msg ];
+        "ServerFinished2", "sfin2", [ c.bob; ch2_msg; sh2_msg; cf2_msg ];
+        "complete2", "compl2", [ c.alice; ch2_msg; sh2_msg; sf2_msg ];
+      ]
+
+let full_handshake ?(style = Model.Original) () =
+  build ~style ~name:"full-handshake" full_handshake_actions
+
+let resumption ?(style = Model.Original) () =
+  build ~style ~name:"resumption"
+    (full_handshake_actions @ resumption_actions style)
+
+(* A second abbreviated handshake on the same session id: the paper's
+   "duplication" of a current session.  Only the Figure-2 order is built
+   concretely (the variant order mirrors it). *)
+let ch2'_msg = D.ch2_ ~crt:c.alice ~src:c.alice ~dst:c.bob c.re c.sid1
+let sh2'_msg = D.sh2_ ~crt:c.bob ~src:c.bob ~dst:c.alice c.rf c.sid1 c.suite1
+
+let sf2'_msg =
+  D.sf2_ ~crt:c.bob ~src:c.bob ~dst:c.alice
+    (D.esfin2_
+       (D.hkey_ c.bob pms1 c.re c.rf)
+       (D.sfin2_ [ c.alice; c.bob; c.sid1; c.suite1; c.re; c.rf; pms1 ]))
+
+let cf2'_msg =
+  D.cf2_ ~crt:c.alice ~src:c.alice ~dst:c.bob
+    (D.ecfin2_
+       (D.hkey_ c.alice pms1 c.re c.rf)
+       (D.cfin2_ [ c.alice; c.bob; c.sid1; c.suite1; c.re; c.rf; pms1 ]))
+
+let duplication () =
+  build ~style:Model.Original ~name:"duplication"
+    (full_handshake_actions
+    @ resumption_actions Model.Original
+    @ [
+        "ClientHello2 (dup)", "chello2", [ c.alice; c.bob; c.re; c.sid1 ];
+        "ServerHello2 (dup)", "shello2", [ c.bob; c.rf; ch2'_msg ];
+        "ServerFinished2 (dup)", "sfin2", [ c.bob; ch2'_msg; sh2'_msg ];
+        "ClientFinished2 (dup)", "cfin2", [ c.alice; ch2'_msg; sh2'_msg; sf2'_msg ];
+        "complete2 (dup)", "compl2", [ c.bob; ch2'_msg; sh2'_msg; cf2'_msg ];
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* The Section 5.3 counterexamples.  The paper's malicious client a' is the
+   intruder; pms' = pms(intruder, bob, sec2) is available to it from the
+   start (it generated it). *)
+
+let pms' = D.pms_ ~client:D.intruder ~server:c.bob c.sec2
+let atk_ch = D.ch_ ~crt:D.intruder ~src:c.alice ~dst:c.bob c.ri c.clist
+let atk_sh = D.sh_ ~crt:c.bob ~src:c.bob ~dst:c.alice c.rb c.sid1 c.suite1
+let atk_ct = D.ct_ ~crt:c.bob ~src:c.bob ~dst:c.alice bob_cert
+
+let atk_kx =
+  D.kx_ ~crt:D.intruder ~src:c.alice ~dst:c.bob (D.epms_ (D.pk_ c.bob) pms')
+
+let atk_cf =
+  D.cf_ ~crt:D.intruder ~src:c.alice ~dst:c.bob
+    (D.ecfin_
+       (D.hkey_ c.alice pms' c.ri c.rb)
+       (D.cfin_ [ c.alice; c.bob; c.sid1; c.clist; c.suite1; c.ri; c.rb; pms' ]))
+
+let attack_2prime_actions =
+  [
+    "ch (faked as alice)", "fakeCh", [ c.alice; c.bob; c.ri; c.clist ];
+    "ServerHello", "shello", [ c.bob; c.rb; c.sid1; c.suite1; atk_ch ];
+    "Certificate", "cert", [ c.bob; atk_ch; atk_sh ];
+    "kx (intruder pms)", "fakeKx2", [ c.alice; c.bob; D.pk_ c.bob; pms' ];
+    "cf (faked as alice)", "fakeCf2",
+    [ c.alice; c.bob; c.sid1; c.clist; c.suite1; c.ri; c.rb; pms' ];
+    "ServerFinished (bob accepts)", "sfin",
+    [ c.bob; atk_ch; atk_sh; atk_ct; atk_kx; atk_cf ];
+  ]
+
+let attack_2prime () =
+  build ~style:Model.Original ~name:"attack-2prime" attack_2prime_actions
+
+let atk_ch2 = D.ch2_ ~crt:D.intruder ~src:c.alice ~dst:c.bob c.rc c.sid1
+let atk_sh2 = D.sh2_ ~crt:c.bob ~src:c.bob ~dst:c.alice c.rd c.sid1 c.suite1
+
+let atk_cf2 =
+  D.cf2_ ~crt:D.intruder ~src:c.alice ~dst:c.bob
+    (D.ecfin2_
+       (D.hkey_ c.alice pms' c.rc c.rd)
+       (D.cfin2_ [ c.alice; c.bob; c.sid1; c.suite1; c.rc; c.rd; pms' ]))
+
+let attack_3prime () =
+  build ~style:Model.Original ~name:"attack-3prime"
+    (attack_2prime_actions
+    @ [
+        "ch2 (faked as alice)", "fakeCh2", [ c.alice; c.bob; c.rc; c.sid1 ];
+        "ServerHello2", "shello2", [ c.bob; c.rd; atk_ch2 ];
+        "ServerFinished2", "sfin2", [ c.bob; atk_ch2; atk_sh2 ];
+        "cf2 (faked as alice)", "fakeCf22",
+        [ c.alice; c.bob; c.sid1; c.suite1; c.rc; c.rd; pms' ];
+        "complete2 (bob accepts)", "compl2", [ c.bob; atk_ch2; atk_sh2; atk_cf2 ];
+      ])

@@ -1,0 +1,105 @@
+(** Concrete protocol runs, executed with the rewriting engine.
+
+    A scenario applies a sequence of transitions to the initial state and
+    lets you observe the result — this is the paper's Figure 2 made
+    executable.  Besides the honest full handshake and session
+    resumption/duplication, the two counterexample runs of Section 5.3 are
+    provided: the paper's malicious client [a'] is our [intruder].
+
+    All scenarios share one set of concrete constants (two honest
+    principals, random numbers, a session id, two cipher suites, secrets),
+    declared as pairwise-distinct constructor constants so that every
+    effective condition evaluates concretely. *)
+
+open Kernel
+open Core
+
+(** The concrete constants of the scenarios. *)
+type cast = {
+  alice : Term.t;
+  bob : Term.t;
+  ra : Term.t;  (** Alice's full-handshake random *)
+  rb : Term.t;  (** Bob's full-handshake random *)
+  rc : Term.t;  (** Alice's resumption random *)
+  rd : Term.t;  (** Bob's resumption random *)
+  re : Term.t;  (** Alice's duplication random *)
+  rf : Term.t;  (** Bob's duplication random *)
+  ri : Term.t;  (** the intruder's random *)
+  sid1 : Term.t;
+  suite1 : Term.t;
+  suite2 : Term.t;
+  clist : Term.t;  (** [lcons(suite1, lcons(suite2, lnil))] *)
+  sec1 : Term.t;
+  sec2 : Term.t;
+}
+
+val cast : cast
+
+(** One applied transition: the action (with arguments) and the state term
+    after it. *)
+type step = { label : string; state : Term.t }
+
+type run = {
+  run_name : string;
+  ots : Ots.t;
+  sys : Rewrite.system;
+  steps : step list;  (** in execution order; last is the final state *)
+}
+
+(** [final run] is the last state term. *)
+val final : run -> Term.t
+
+(** [eval run t] normalizes [t] under the scenario's system. *)
+val eval : run -> Term.t -> Term.t
+
+(** [holds run t] is [true] iff the boolean term [t] normalizes to
+    [true]. *)
+val holds : run -> Term.t -> bool
+
+(** [effective run] checks that every step actually fired: applying a
+    transition whose effective condition is false leaves the state
+    observationally unchanged (Section 2.2), which would make a scenario
+    silently vacuous.  Returns the labels of non-effective steps (empty =
+    all fired). *)
+val effective : run -> string list
+
+(** {1 The scenarios} *)
+
+(** The six-message full handshake of Figure 2 between Alice and Bob,
+    ending with both sides' [compl]/[sfin] session establishment. *)
+val full_handshake : ?style:Model.style -> unit -> run
+
+(** [full_handshake] followed by the four-message abbreviated handshake
+    resuming the same session id. *)
+val resumption : ?style:Model.style -> unit -> run
+
+(** [resumption] followed by a second abbreviated handshake on the same
+    session id — the paper's "duplication" of a current session. *)
+val duplication : unit -> run
+
+(** The Section 5.3 counterexample to property 2′: Bob accepts a
+    ClientFinished that seems to come from Alice but originates from the
+    intruder.  The final state contains
+    [cf(intruder, alice, bob, …)] and Bob's [sfin] fires. *)
+val attack_2prime : unit -> run
+
+(** The Section 5.3 counterexample to property 3′: the hijacked session is
+    then resumed; Bob accepts a ClientFinished2 seemingly from Alice. *)
+val attack_3prime : unit -> run
+
+(** {1 Message terms of the honest run (for assertions and docs)} *)
+
+type honest_messages = {
+  ch_msg : Term.t;
+  sh_msg : Term.t;
+  ct_msg : Term.t;
+  kx_msg : Term.t;
+  cf_msg : Term.t;
+  sf_msg : Term.t;
+  ch2_msg : Term.t;
+  sh2_msg : Term.t;
+  sf2_msg : Term.t;
+  cf2_msg : Term.t;
+}
+
+val honest_messages : honest_messages

@@ -1,0 +1,1 @@
+test/test_cafeobj.ml: Alcotest Cafeobj Filename Kernel List Option Signature Sort String Sys Term

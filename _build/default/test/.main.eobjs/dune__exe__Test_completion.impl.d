@@ -1,0 +1,1 @@
+test/test_completion.ml: Alcotest Completion Kernel Lazy List Order QCheck QCheck_alcotest Rewrite Signature Sort Term

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cafeobj Core Induction Kernel List Ots Prover Report Rewrite Signature Sort Specgen Term

@@ -1,0 +1,1 @@
+test/test_dolevyao.ml: Alcotest Dolevyao List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Cafeobj Kernel Lazy List Option Signature String Term Tls

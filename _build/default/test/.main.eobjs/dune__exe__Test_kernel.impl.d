@@ -1,0 +1,1 @@
+test/test_kernel.ml: Ac Alcotest Boolring Iflift Kernel List Matching QCheck QCheck_alcotest Rewrite Signature Sort Subst Term

@@ -1,0 +1,1 @@
+test/test_matching_props.ml: Ac Kernel List Matching QCheck QCheck_alcotest Signature Sort Subst Term

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Fun List Mc Nspk Tls

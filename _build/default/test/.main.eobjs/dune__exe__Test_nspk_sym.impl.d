@@ -1,0 +1,1 @@
+test/test_nspk_sym.ml: Alcotest Core Induction List Nspk Ots Prover

@@ -1,0 +1,1 @@
+test/test_proofs.ml: Alcotest Core Induction Kernel List Proofs Prover Report Tls Tls_invariants

@@ -1,0 +1,1 @@
+test/test_prover.ml: Alcotest Cafeobj Core Kernel List Option Printf Prover Signature Sort String Term

@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Core Data Kernel List Model Ots Scenario String Term Tls

@@ -1,0 +1,18 @@
+(* Aggregated test runner: each [Test_*] module exports a [suite]. *)
+
+let () =
+  Alcotest.run "eqtls"
+    [
+      Test_kernel.suite;
+      Test_completion.suite;
+      Test_matching_props.suite;
+      Test_dolevyao.suite;
+      Test_cafeobj.suite;
+      Test_export.suite;
+      Test_core.suite;
+      Test_prover.suite;
+      Test_tls.suite;
+      Test_proofs.suite;
+      Test_mc.suite;
+      Test_nspk_sym.suite;
+    ]

@@ -1,0 +1,280 @@
+(* Tests of the mini-CafeOBJ layer: spec modules, free datatypes, the
+   Hsiang BOOL module, and the concrete syntax (lexer, parser, eval). *)
+
+open Kernel
+module Spec = Cafeobj.Spec
+module Datatype = Cafeobj.Datatype
+
+let term_testable = Alcotest.testable Term.pp Term.equal
+
+(* ------------------------------------------------------------------ *)
+(* Spec modules *)
+
+let test_spec_import_and_shadow () =
+  let base = Spec.create "CO-BASE" in
+  let nat = Spec.declare_sort base "CoNat" in
+  let zero = Spec.declare_op base "co0" [] nat ~attrs:[ Signature.Ctor ] in
+  let succ = Spec.declare_op base "coS" [ nat ] nat ~attrs:[ Signature.Ctor ] in
+  let dbl = Spec.declare_op base "coDbl" [ nat ] nat ~attrs:[] in
+  let x = Term.var "X" nat in
+  Spec.add_eq base ~label:"co-dbl-0" (Term.app dbl [ Term.const zero ]) (Term.const zero);
+  Spec.add_eq base ~label:"co-dbl-s"
+    (Term.app dbl [ Term.app succ [ x ] ])
+    (Term.app succ [ Term.app succ [ Term.app dbl [ x ] ] ]);
+  let derived = Spec.create ~imports:[ base ] "CO-DERIVED" in
+  Alcotest.(check bool) "op visible through import" true
+    (Spec.find_op derived "coDbl" <> None);
+  let two = Term.app succ [ Term.app succ [ Term.const zero ] ] in
+  Alcotest.check term_testable "reduce through import"
+    (Term.app succ [ Term.app succ [ two ] ])
+    (Spec.reduce derived (Term.app dbl [ two ]));
+  (* Shadowing: an own rule takes precedence over the import's. *)
+  Spec.add_eq derived ~label:"co-shadow" (Term.app dbl [ Term.const zero ])
+    (Term.app succ [ Term.const zero ]);
+  Alcotest.check term_testable "own rule wins"
+    (Term.app succ [ Term.const zero ])
+    (Spec.reduce derived (Term.app dbl [ Term.const zero ]))
+
+let test_reduce_in_assumptions () =
+  let m = Spec.create "CO-ASSM" in
+  let p = Term.const (Spec.declare_op m "co-p" [] Sort.bool ~attrs:[]) in
+  let q = Term.const (Spec.declare_op m "co-q" [] Sort.bool ~attrs:[]) in
+  Alcotest.check term_testable "open ... close semantics" Term.tt
+    (Spec.reduce_in m
+       ~assumptions:[ p, Term.tt; q, Term.ff ]
+       (Term.and_ p (Term.not_ q)));
+  (* The module itself is unchanged afterwards. *)
+  Alcotest.check term_testable "module untouched"
+    (Term.and_ p (Term.not_ q))
+    (Spec.reduce m (Term.and_ p (Term.not_ q)))
+
+let test_hsiang_module_complete () =
+  (* The Hsiang system replaces (rather than extends) the constant-folding
+     BOOL: mixing them loops (not p -> p xor true -> not p). *)
+  let h = Cafeobj.Builtins.hsiang () in
+  let m = Spec.create ~bool:false ~imports:[ h ] "CO-TAUT" in
+  let p = Term.const (Spec.declare_op m "ct-p" [] Sort.bool ~attrs:[]) in
+  let q = Term.const (Spec.declare_op m "ct-q" [] Sort.bool ~attrs:[]) in
+  Alcotest.check term_testable "pierce reduces to true" Term.tt
+    (Spec.reduce m (Term.implies (Term.implies (Term.implies p q) p) p));
+  Alcotest.check term_testable "contradiction reduces to false" Term.ff
+    (Spec.reduce m (Term.and_ q (Term.not_ q)))
+
+(* ------------------------------------------------------------------ *)
+(* Datatypes *)
+
+let test_datatype_projections_and_recognizers () =
+  let m = Spec.create "CO-PAIR" in
+  let elt = Spec.declare_sort m "CoElt" in
+  let pair = Spec.declare_sort m "CoPair" in
+  let a = Term.const (Spec.declare_op m "co-a" [] elt ~attrs:[ Signature.Ctor ]) in
+  let b = Term.const (Spec.declare_op m "co-b" [] elt ~attrs:[ Signature.Ctor ]) in
+  let mk = Datatype.declare_ctor m ~sort:pair "co-mk" [ "co-fst", elt; "co-snd", elt ] in
+  let unit_ = Datatype.declare_ctor m ~sort:pair "co-unit" [] in
+  Datatype.finalize_sort m elt;
+  Datatype.finalize_sort m pair;
+  let fst_op = Option.get (Spec.find_op m "co-fst") in
+  let pr = Term.app mk [ a; b ] in
+  Alcotest.check term_testable "projection" a (Spec.reduce m (Term.app fst_op [ pr ]));
+  let recog = Option.get (Spec.find_op m "co-mk?") in
+  Alcotest.check term_testable "recognizer positive" Term.tt
+    (Spec.reduce m (Term.app recog [ pr ]));
+  Alcotest.check term_testable "recognizer negative" Term.ff
+    (Spec.reduce m (Term.app recog [ Term.const unit_ ]));
+  (* No-confusion equality. *)
+  Alcotest.check term_testable "eq same ctor decomposes" Term.ff
+    (Spec.reduce m (Term.eq pr (Term.app mk [ a; a ])));
+  Alcotest.check term_testable "eq different ctors" Term.ff
+    (Spec.reduce m (Term.eq pr (Term.const unit_)));
+  Alcotest.check term_testable "reflexivity" Term.tt
+    (Spec.reduce m (Term.eq pr pr))
+
+let test_distinct_constants () =
+  let m = Spec.create "CO-ENUM" in
+  let color = Spec.declare_sort m "CoColor" in
+  match Datatype.distinct_constants m ~sort:color [ "co-red"; "co-green"; "co-blue" ] with
+  | [ r; g; b ] ->
+    Alcotest.check term_testable "distinct" Term.ff (Spec.reduce m (Term.eq r g));
+    Alcotest.check term_testable "distinct sym" Term.ff (Spec.reduce m (Term.eq g r));
+    Alcotest.check term_testable "distinct 2" Term.ff (Spec.reduce m (Term.eq b r));
+    Alcotest.(check bool) "self comparison is not false" true
+      (not (Term.equal (Spec.reduce m (Term.eq r r)) Term.ff))
+  | _ -> Alcotest.fail "expected three constants"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer / parser *)
+
+let test_lexer_tokens () =
+  let toks = Cafeobj.Lexer.tokenize "mod M { op f : A -> B . } -- comment\nred f(x) ." in
+  Alcotest.(check int) "token count" 18 (List.length toks)
+
+let test_lexer_hidden_sort_brackets () =
+  match Cafeobj.Lexer.tokenize "*[ Sys ]*" with
+  | [ Cafeobj.Lexer.HLBRACKET; Cafeobj.Lexer.IDENT "Sys"; Cafeobj.Lexer.HRBRACKET; Cafeobj.Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "hidden sort brackets mis-lexed"
+
+let test_lexer_error () =
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (Cafeobj.Lexer.tokenize "op f : @ -> B .");
+       false
+     with Cafeobj.Lexer.Error _ -> true)
+
+let test_parser_precedence () =
+  (* "a and b or c" parses as "(a and b) or c"; "not a and b" as
+     "(not a) and b"; implies is right-associative. *)
+  let t = Cafeobj.Parser.parse_term_string "a and b or c" in
+  (match t with
+  | Cafeobj.Parser.TBin ("or", Cafeobj.Parser.TBin ("and", _, _), _) -> ()
+  | _ -> Alcotest.fail "and/or precedence");
+  let t = Cafeobj.Parser.parse_term_string "not a and b" in
+  (match t with
+  | Cafeobj.Parser.TBin ("and", Cafeobj.Parser.TNot _, _) -> ()
+  | _ -> Alcotest.fail "not precedence");
+  match Cafeobj.Parser.parse_term_string "a implies b implies c" with
+  | Cafeobj.Parser.TBin ("implies", Cafeobj.Parser.TIdent "a", Cafeobj.Parser.TBin ("implies", _, _)) -> ()
+  | _ -> Alcotest.fail "implies associativity"
+
+let test_parser_module () =
+  match Cafeobj.Parser.parse_string "mod M { [ A B ] op f : A -> B . var X : A . eq f(X) = f(X) . }" with
+  | [ Cafeobj.Parser.TModule ("M", decls) ] ->
+    Alcotest.(check int) "4 declarations" 4 (List.length decls)
+  | _ -> Alcotest.fail "module parse"
+
+let test_parser_error () =
+  Alcotest.(check bool) "missing dot" true
+    (try
+       ignore (Cafeobj.Parser.parse_string "mod M { op f : A -> B }");
+       false
+     with Cafeobj.Parser.Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Eval *)
+
+let eval_nat env =
+  ignore
+    (Cafeobj.Eval.eval_string env
+       {|mod EVNAT {
+           [ EvNat ]
+           op e0 : -> EvNat { ctor } .
+           op eS : EvNat -> EvNat { ctor } .
+           op eplus : EvNat EvNat -> EvNat .
+           vars M N : EvNat .
+           eq eplus(e0, N) = N .
+           eq eplus(eS(M), N) = eS(eplus(M, N)) .
+         }|})
+
+let test_eval_reduction () =
+  let env = Cafeobj.Eval.create () in
+  eval_nat env;
+  let r = Cafeobj.Eval.reduce_string env "red in EVNAT : eplus(eS(e0), eS(e0)) ." in
+  Alcotest.(check string) "1+1=2" "eS(eS(e0))"
+    (Term.to_string r.Cafeobj.Eval.normal_form);
+  Alcotest.(check bool) "steps counted" true (r.Cafeobj.Eval.steps >= 2)
+
+let test_eval_free_ctor_equality () =
+  let env = Cafeobj.Eval.create () in
+  eval_nat env;
+  let r = Cafeobj.Eval.reduce_string env "red in EVNAT : eS(e0) == e0 ." in
+  Alcotest.(check string) "no confusion" "false"
+    (Term.to_string r.Cafeobj.Eval.normal_form)
+
+let test_eval_open_close () =
+  let env = Cafeobj.Eval.create () in
+  eval_nat env;
+  let r =
+    Cafeobj.Eval.reduce_string env
+      {|open EVNAT
+        op c : -> EvNat .
+        eq c = eS(e0) .
+        red eplus(c, c) .
+        close|}
+  in
+  Alcotest.(check string) "assumption used" "eS(eS(e0))"
+    (Term.to_string r.Cafeobj.Eval.normal_form)
+
+let test_eval_unknown_identifier () =
+  let env = Cafeobj.Eval.create () in
+  eval_nat env;
+  Alcotest.(check bool) "error raised" true
+    (try
+       ignore (Cafeobj.Eval.reduce_string env "red in EVNAT : nosuch(e0) .");
+       false
+     with Cafeobj.Eval.Error _ -> true)
+
+let test_eval_conditional_equation () =
+  let env = Cafeobj.Eval.create () in
+  ignore
+    (Cafeobj.Eval.eval_string env
+       {|mod EVMAX {
+           [ EvM ]
+           op m0 : -> EvM { ctor } .
+           op m1 : -> EvM { ctor } .
+           op big? : EvM -> Bool .
+           op pick : EvM EvM -> EvM .
+           vars X Y : EvM .
+           eq big?(m0) = false .
+           eq big?(m1) = true .
+           ceq pick(X, Y) = X if big?(X) .
+           ceq pick(X, Y) = Y if not(big?(X)) .
+         }|});
+  let r = Cafeobj.Eval.reduce_string env "red in EVMAX : pick(m0, m1) ." in
+  Alcotest.(check string) "condition routes" "m1" (Term.to_string r.Cafeobj.Eval.normal_form);
+  let r = Cafeobj.Eval.reduce_string env "red in EVMAX : pick(m1, m0) ." in
+  Alcotest.(check string) "condition routes 2" "m1" (Term.to_string r.Cafeobj.Eval.normal_form)
+
+let find_spec name =
+  let candidates =
+    [ "../specs/" ^ name; "../../specs/" ^ name; "specs/" ^ name;
+      "../../../specs/" ^ name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "spec file %s not found from %s" name (Sys.getcwd ())
+
+let test_eval_spec_files () =
+  (* The shipped .cafe files must all evaluate without error, and the lock
+     proof passages must reduce to true. *)
+  let env = Cafeobj.Eval.create () in
+  List.iter
+    (fun path ->
+      let path = find_spec path in
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      let outputs = Cafeobj.Eval.eval_string env src in
+      List.iter
+        (function
+          | Cafeobj.Eval.Reduced r ->
+            if String.length path >= 4 && Filename.basename path = "lock.cafe" then
+              Alcotest.(check string)
+                ("lock passage in " ^ path)
+                "true"
+                (Term.to_string r.Cafeobj.Eval.normal_form)
+          | _ -> ())
+        outputs)
+    [ "peano.cafe"; "bool_demo.cafe"; "lock.cafe" ]
+
+let tests =
+  [
+    "spec import and shadow", `Quick, test_spec_import_and_shadow;
+    "reduce with assumptions", `Quick, test_reduce_in_assumptions;
+    "hsiang module complete", `Quick, test_hsiang_module_complete;
+    "datatype projections/recognizers", `Quick, test_datatype_projections_and_recognizers;
+    "distinct constants", `Quick, test_distinct_constants;
+    "lexer tokens", `Quick, test_lexer_tokens;
+    "lexer hidden sort", `Quick, test_lexer_hidden_sort_brackets;
+    "lexer error", `Quick, test_lexer_error;
+    "parser precedence", `Quick, test_parser_precedence;
+    "parser module", `Quick, test_parser_module;
+    "parser error", `Quick, test_parser_error;
+    "eval reduction", `Quick, test_eval_reduction;
+    "eval free ctor equality", `Quick, test_eval_free_ctor_equality;
+    "eval open/close", `Quick, test_eval_open_close;
+    "eval unknown identifier", `Quick, test_eval_unknown_identifier;
+    "eval conditional equation", `Quick, test_eval_conditional_equation;
+    "eval spec files", `Quick, test_eval_spec_files;
+  ]
+
+let suite = "cafeobj", tests

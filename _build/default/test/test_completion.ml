@@ -1,0 +1,211 @@
+(* Tests of the LPO reduction order and Knuth-Bendix completion — including
+   the classic completion of free groups into the ten-rule convergent
+   system. *)
+
+open Kernel
+
+let g = Sort.visible "KbG"
+let sg = Signature.create ()
+let e_op = Signature.declare sg "kb-e" [] g ~attrs:[]
+let i_op = Signature.declare sg "kb-i" [ g ] g ~attrs:[]
+let mul_op = Signature.declare sg "kb-mul" [ g; g ] g ~attrs:[]
+let e = Term.const e_op
+let i t = Term.app i_op [ t ]
+let mul a b = Term.app mul_op [ a; b ]
+let x = Term.var "X" g
+let y = Term.var "Y" g
+let z = Term.var "Z" g
+
+(* Precedence: i > mul > e (later = greater). *)
+let prec = Order.precedence_of_list [ e_op; mul_op; i_op ]
+
+let group_axioms =
+  [
+    mul e x, x;  (* left unit *)
+    mul (i x) x, e;  (* left inverse *)
+    mul (mul x y) z, mul x (mul y z);  (* associativity *)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* LPO *)
+
+let test_lpo_subterm () =
+  Alcotest.(check bool) "f(x) > x" true (Order.lpo ~prec (i x) x);
+  Alcotest.(check bool) "x < f(x)" false (Order.lpo ~prec x (i x))
+
+let test_lpo_precedence () =
+  Alcotest.(check bool) "i(x) > mul(x,x)" true
+    (Order.lpo ~prec (i x) (mul x x));
+  Alcotest.(check bool) "mul(x,x) > e" true (Order.lpo ~prec (mul x x) e)
+
+let test_lpo_orients_group_axioms () =
+  List.iter
+    (fun (l, r) ->
+      Alcotest.(check bool)
+        (Term.to_string l ^ " -> " ^ Term.to_string r)
+        true
+        (Order.orients ~prec (l, r) = `Lr))
+    group_axioms
+
+let test_lpo_irreflexive_antisym () =
+  let terms = [ e; x; i x; mul x y; mul (i x) (mul x y); i (mul x y) ] in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "irreflexive" false (Order.lpo ~prec t t))
+    terms;
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          if Order.lpo ~prec t1 t2 then
+            Alcotest.(check bool) "antisymmetric" false (Order.lpo ~prec t2 t1))
+        terms)
+    terms
+
+let test_lpo_unorientable () =
+  (* commutativity cannot be oriented by any simplification order *)
+  Alcotest.(check bool) "comm" true
+    (Order.orients ~prec (mul x y, mul y x) = `No)
+
+let test_terminating_check () =
+  let rules =
+    List.map (fun (l, r) -> Rewrite.rule ~label:"ax" l r) group_axioms
+  in
+  Alcotest.(check bool) "axioms decrease" true (Order.terminating ~prec rules);
+  let bad = Rewrite.rule ~label:"grow" (i x) (mul (i x) e) in
+  Alcotest.(check bool) "growing rule rejected" false
+    (Order.terminating ~prec [ bad ])
+
+(* ------------------------------------------------------------------ *)
+(* Critical pairs *)
+
+let test_critical_pairs_assoc_unit () =
+  (* Overlapping left-unit into associativity yields the classic pair. *)
+  let assoc = Rewrite.rule ~label:"assoc" (mul (mul x y) z) (mul x (mul y z)) in
+  let unit_ = Rewrite.rule ~label:"unit" (mul e x) x in
+  let pairs = Completion.critical_pairs assoc unit_ in
+  Alcotest.(check bool) "at least one pair" true (pairs <> []);
+  (* Every critical pair must be a consequence of the axioms: check with
+     the completed system below rather than syntactically here. *)
+  ()
+
+let test_self_overlap_skips_root () =
+  let unit_ = Rewrite.rule ~label:"unit" (mul e x) x in
+  (* The only overlap of the unit rule with itself is at the root; it must
+     be skipped, giving no pairs. *)
+  Alcotest.(check int) "no self pairs" 0
+    (List.length (Completion.critical_pairs unit_ unit_))
+
+(* ------------------------------------------------------------------ *)
+(* Completion of free groups *)
+
+let completed_rules =
+  lazy
+    (match Completion.complete ~max_rules:40 ~prec group_axioms with
+    | Completion.Completed rules -> rules
+    | Completion.Failed f -> Alcotest.failf "completion failed: %s" f.Completion.reason)
+
+let test_group_completion_succeeds () =
+  let rules = Lazy.force completed_rules in
+  (* The canonical convergent presentation of free groups has 10 rules;
+     our procedure may keep a few redundant (joinable) rules since it does
+     not interreduce aggressively, but must stay in the same ballpark. *)
+  Alcotest.(check bool) "at least 10 rules" true (List.length rules >= 10);
+  Alcotest.(check bool) "at most 25 rules" true (List.length rules <= 25)
+
+let check_joinable t1 t2 =
+  Alcotest.(check bool)
+    (Term.to_string t1 ^ " = " ^ Term.to_string t2)
+    true
+    (Completion.joinable (Lazy.force completed_rules) t1 t2)
+
+let test_group_theorems () =
+  check_joinable (mul x (i x)) e;  (* right inverse *)
+  check_joinable (mul x e) x;  (* right unit *)
+  check_joinable (i (i x)) x;  (* double inverse *)
+  check_joinable (i e) e;  (* inverse of unit *)
+  check_joinable (i (mul x y)) (mul (i y) (i x))  (* antihomomorphism *)
+
+let test_group_non_theorems () =
+  let rules = Lazy.force completed_rules in
+  Alcotest.(check bool) "x = y is not a theorem" false
+    (Completion.joinable rules x y);
+  Alcotest.(check bool) "commutativity is not a theorem" false
+    (Completion.joinable rules (mul x y) (mul y x))
+
+let test_unorientable_failure () =
+  match Completion.complete ~prec [ mul x y, mul y x ] with
+  | Completion.Failed { unorientable = Some _; _ } -> ()
+  | Completion.Failed f -> Alcotest.failf "wrong failure: %s" f.Completion.reason
+  | Completion.Completed _ -> Alcotest.fail "commutativity completed?!"
+
+let test_rule_limit () =
+  match Completion.complete ~max_rules:1 ~prec group_axioms with
+  | Completion.Failed { reason; _ } ->
+    Alcotest.(check string) "limit" "rule limit exceeded" reason
+  | Completion.Completed _ -> Alcotest.fail "expected failure at limit 1"
+
+(* ------------------------------------------------------------------ *)
+(* Properties over random group words *)
+
+let gen_word =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then oneof [ return e; return x; return y; return z ]
+        else
+          frequency
+            [
+              1, oneof [ return e; return x; return y; return z ];
+              2, map i (self (n / 2));
+              3, map2 mul (self (n / 2)) (self (n / 2));
+            ]))
+
+let arb_word = QCheck.make ~print:Term.to_string gen_word
+
+let normalize_word t =
+  let sys = Rewrite.make (Lazy.force completed_rules) in
+  Rewrite.normalize sys t
+
+let prop_group_left_inverse =
+  QCheck.Test.make ~name:"i(w)*w joins e for every word w" ~count:100 arb_word
+    (fun w -> Completion.joinable (Lazy.force completed_rules) (mul (i w) w) e)
+
+let prop_group_assoc_normal_forms =
+  QCheck.Test.make ~name:"(u*v)*w and u*(v*w) share a normal form" ~count:100
+    (QCheck.triple arb_word arb_word arb_word) (fun (u, v, w) ->
+      Term.equal (normalize_word (mul (mul u v) w)) (normalize_word (mul u (mul v w))))
+
+let prop_group_normalize_idempotent =
+  QCheck.Test.make ~name:"group normal forms are stable" ~count:100 arb_word
+    (fun w ->
+      let nf = normalize_word w in
+      Term.equal nf (normalize_word nf))
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ?verbose:None ?long:None)
+    [
+      prop_group_left_inverse;
+      prop_group_assoc_normal_forms;
+      prop_group_normalize_idempotent;
+    ]
+
+let tests =
+  [
+    "lpo subterm", `Quick, test_lpo_subterm;
+    "lpo precedence", `Quick, test_lpo_precedence;
+    "lpo orients group axioms", `Quick, test_lpo_orients_group_axioms;
+    "lpo irreflexive/antisymmetric", `Quick, test_lpo_irreflexive_antisym;
+    "lpo unorientable comm", `Quick, test_lpo_unorientable;
+    "terminating check", `Quick, test_terminating_check;
+    "critical pairs assoc/unit", `Quick, test_critical_pairs_assoc_unit;
+    "self overlap skips root", `Quick, test_self_overlap_skips_root;
+    "group completion succeeds", `Quick, test_group_completion_succeeds;
+    "group theorems", `Quick, test_group_theorems;
+    "group non-theorems", `Quick, test_group_non_theorems;
+    "unorientable failure", `Quick, test_unorientable_failure;
+    "rule limit", `Quick, test_rule_limit;
+  ]
+  @ qcheck_cases
+
+let suite = "completion", tests

@@ -1,0 +1,300 @@
+(* End-to-end tests of the OTS framework on a small mutual-exclusion
+   protocol: a test-and-set lock.
+
+   Observers:   lock : H -> Bool        cs : H × Pid -> Bool
+   Transitions: enter(i)  (condition: not lock;  effects: lock := true,
+                                                  cs(i) := true)
+                leave(i)  (condition: cs(i);     effects: lock := false,
+                                                  cs(i) := false)
+
+   Invariants:  mutex(i,j): cs(i) and cs(j) implies i = j
+                holds(i):   cs(i) implies lock
+
+   [mutex] needs [holds] as a strengthening hint for the [enter] case —
+   exactly the SIH mechanism of Section 5.2 of the paper. *)
+
+open Kernel
+open Core
+
+let pid = Sort.visible "Pid"
+let proto = Sort.hidden "LockState"
+
+let data =
+  let m = Cafeobj.Spec.create "LOCK-DATA" in
+  ignore (Cafeobj.Spec.declare_sort m "Pid");
+  m
+
+let spid name = Term.var name pid
+let svar = Term.var "S" proto
+
+(* Observer and action operators. *)
+let sg = Signature.create ()
+let lock_op = Signature.declare sg "lock" [ proto ] Sort.bool ~attrs:[]
+let cs_op = Signature.declare sg "cs" [ proto; pid ] Sort.bool ~attrs:[]
+let enter_op = Signature.declare sg "enter" [ proto; pid ] proto ~attrs:[]
+let leave_op = Signature.declare sg "leave" [ proto; pid ] proto ~attrs:[]
+let init_op = Signature.declare sg "lock-init" [] proto ~attrs:[]
+
+let lock_obs : Ots.observer =
+  { obs_op = lock_op; obs_params = []; obs_result = Sort.bool }
+
+let cs_obs : Ots.observer =
+  { obs_op = cs_op; obs_params = [ "I", pid ]; obs_result = Sort.bool }
+
+let lock_of s = Term.app lock_op [ s ]
+let cs_of s i = Term.app cs_op [ s; i ]
+
+let enter_action : Ots.action =
+  {
+    act_op = enter_op;
+    act_params = [ "J", pid ];
+    act_cond = Term.not_ (lock_of svar);
+    act_effects =
+      [
+        { eff_observer = lock_obs; eff_value = Term.tt };
+        {
+          eff_observer = cs_obs;
+          eff_value =
+            Term.ite (Term.eq (spid "I") (spid "J")) Term.tt
+              (cs_of svar (spid "I"));
+        };
+      ];
+  }
+
+let leave_action : Ots.action =
+  {
+    act_op = leave_op;
+    act_params = [ "J", pid ];
+    act_cond = cs_of svar (spid "J");
+    act_effects =
+      [
+        { eff_observer = lock_obs; eff_value = Term.ff };
+        {
+          eff_observer = cs_obs;
+          eff_value =
+            Term.ite (Term.eq (spid "I") (spid "J")) Term.ff
+              (cs_of svar (spid "I"));
+        };
+      ];
+  }
+
+let lock_ots : Ots.t =
+  {
+    ots_name = "LOCK";
+    hidden = proto;
+    init = init_op;
+    observers = [ lock_obs; cs_obs ];
+    actions = [ enter_action; leave_action ];
+    init_equations =
+      [
+        Term.app lock_op [ Term.const init_op ], Term.ff;
+        Term.app cs_op [ Term.const init_op; spid "I" ], Term.ff;
+      ];
+  }
+
+let holds_inv : Induction.invariant =
+  {
+    inv_name = "holds";
+    inv_params = [ "I", pid ];
+    inv_body =
+      (fun s args ->
+        match args with
+        | [ i ] -> Term.implies (cs_of s i) (lock_of s)
+        | _ -> assert false);
+  }
+
+let mutex_inv : Induction.invariant =
+  {
+    inv_name = "mutex";
+    inv_params = [ "I", pid; "J", pid ];
+    inv_body =
+      (fun s args ->
+        match args with
+        | [ i; j ] ->
+          Term.implies (Term.and_ (cs_of s i) (cs_of s j)) (Term.eq i j)
+        | _ -> assert false);
+  }
+
+(* Simultaneous induction: [mutex] needs [holds] at the [enter] case (a
+   process can only enter when the lock is free, so nobody is inside), and
+   [holds] needs [mutex] at the [leave] case (the leaver is the only one
+   inside, so dropping the lock strands nobody). *)
+let mutex_hints : Induction.hint list =
+  [
+    {
+      hint_action = "enter";
+      hint_instances =
+        (fun s ~inv_args ~act_args ->
+          ignore act_args;
+          List.map (fun i -> holds_inv.inv_body s [ i ]) inv_args);
+    };
+  ]
+
+let holds_hints : Induction.hint list =
+  [
+    {
+      hint_action = "leave";
+      hint_instances =
+        (fun s ~inv_args ~act_args ->
+          List.concat_map
+            (fun i ->
+              List.map (fun j -> mutex_inv.inv_body s [ i; j ]) act_args)
+            inv_args);
+    };
+  ]
+
+let make_env () =
+  let spec = Specgen.generate ~data lock_ots in
+  Induction.make_env ~spec ~ots:lock_ots ()
+
+let check_proved name (r : Induction.result) =
+  if not r.Induction.proved then
+    Alcotest.failf "%s: %a" name
+      (fun ppf -> Report.pp_result ppf)
+      r
+
+(* ------------------------------------------------------------------ *)
+
+let test_ots_check_passes () =
+  Ots.check lock_ots;
+  Alcotest.(check pass) "well-formed" () ()
+
+let test_ots_check_catches_bad_effect () =
+  let bad =
+    {
+      lock_ots with
+      actions =
+        [
+          {
+            enter_action with
+            act_effects =
+              [
+                {
+                  Ots.eff_observer = lock_obs;
+                  eff_value = Term.eq (spid "Z") (spid "Z");
+                };
+              ];
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "free variable rejected" true
+    (try
+       Ots.check bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_successor_equation_shape () =
+  let lhs, rhs = Specgen.successor_equation lock_ots enter_action lock_obs in
+  Alcotest.(check string)
+    "lhs" "lock(enter(S:LockState, J:Pid))" (Term.to_string lhs);
+  Alcotest.(check bool) "rhs guarded" true
+    (match rhs with Term.App (o, _) -> Signature.Builtin.is_if o | _ -> false)
+
+let test_reduction_of_concrete_run () =
+  let env = make_env () in
+  (* Build p1 entering from init, then observe.  The constructor equality
+     theory must be in place before the system is first built. *)
+  let data_spec = data in
+  let p1 = Term.const (Cafeobj.Spec.declare_op data_spec "p1" [] pid ~attrs:[ Signature.Ctor ]) in
+  let p2 = Term.const (Cafeobj.Spec.declare_op data_spec "p2" [] pid ~attrs:[ Signature.Ctor ]) in
+  Cafeobj.Datatype.finalize_sort data_spec pid;
+  let sys = Induction.system env in
+  let s1 = Term.app enter_op [ Term.const init_op; p1 ] in
+  Alcotest.(check string) "lock set" "true"
+    (Term.to_string (Rewrite.normalize sys (Term.app lock_op [ s1 ])));
+  Alcotest.(check string) "p1 in cs" "true"
+    (Term.to_string (Rewrite.normalize sys (Term.app cs_op [ s1; p1 ])));
+  Alcotest.(check string) "p2 not in cs" "false"
+    (Term.to_string (Rewrite.normalize sys (Term.app cs_op [ s1; p2 ])))
+
+let test_holds_invariant () =
+  let env = make_env () in
+  check_proved "holds" (Induction.prove_invariant env ~hints:holds_hints holds_inv)
+
+let test_holds_needs_hint () =
+  let env = make_env () in
+  let r = Induction.prove_invariant env ~hints:[] holds_inv in
+  Alcotest.(check bool) "fails without SIH" false r.Induction.proved;
+  (* The refutation trail must mention two distinct processes both in the
+     critical section -- the unreachable state excluded by [mutex]. *)
+  let leave =
+    List.find
+      (fun (c : Induction.case_result) -> c.Induction.case_name = "leave")
+      r.Induction.cases
+  in
+  match leave.Induction.outcome with
+  | Prover.Refuted { trail; _ } ->
+    Alcotest.(check bool) "trail nonempty" true (trail <> [])
+  | _ -> Alcotest.fail "expected a refutation for leave"
+
+let test_mutex_needs_hint () =
+  let env = make_env () in
+  let r = Induction.prove_invariant env ~hints:[] mutex_inv in
+  Alcotest.(check bool) "fails without SIH" false r.Induction.proved
+
+let test_mutex_with_hint () =
+  let env = make_env () in
+  check_proved "mutex" (Induction.prove_invariant env ~hints:mutex_hints mutex_inv)
+
+let test_base_case_only () =
+  let env = make_env () in
+  let c = Induction.base_case env mutex_inv in
+  Alcotest.(check bool) "init proved" true
+    (match c.Induction.outcome with Prover.Proved _ -> true | _ -> false)
+
+let test_report_summary () =
+  let env = make_env () in
+  let results =
+    [
+      Induction.prove_invariant env ~hints:holds_hints holds_inv;
+      Induction.prove_invariant env ~hints:mutex_hints mutex_inv;
+    ]
+  in
+  let s = Report.summarize results in
+  Alcotest.(check int) "invariants" 2 s.Report.invariants_total;
+  Alcotest.(check int) "all proved" 2 s.Report.invariants_proved;
+  Alcotest.(check int) "cases = 2 * (init + 2 actions)" 6 s.Report.cases_total;
+  Alcotest.(check bool) "splits happened" true (s.Report.total_splits > 0);
+  Alcotest.(check bool) "no failures" true (Report.failures results = [])
+
+let test_refutation_of_false_invariant () =
+  let env = make_env () in
+  (* "nobody is ever in the critical section" is false after enter. *)
+  let bogus : Induction.invariant =
+    {
+      inv_name = "bogus";
+      inv_params = [ "I", pid ];
+      inv_body =
+        (fun s args ->
+          match args with
+          | [ i ] -> Term.not_ (cs_of s i)
+          | _ -> assert false);
+    }
+  in
+  let r = Induction.prove_invariant env ~hints:[] bogus in
+  Alcotest.(check bool) "not proved" false r.Induction.proved;
+  let refuted =
+    List.exists
+      (fun (c : Induction.case_result) ->
+        match c.Induction.outcome with Prover.Refuted _ -> true | _ -> false)
+      r.Induction.cases
+  in
+  Alcotest.(check bool) "some case refuted" true refuted
+
+let tests =
+  [
+    "ots check passes", `Quick, test_ots_check_passes;
+    "ots check catches bad effect", `Quick, test_ots_check_catches_bad_effect;
+    "successor equation shape", `Quick, test_successor_equation_shape;
+    "concrete run reduces", `Quick, test_reduction_of_concrete_run;
+    "holds invariant proved", `Quick, test_holds_invariant;
+    "holds fails without hint", `Quick, test_holds_needs_hint;
+    "mutex fails without hint", `Quick, test_mutex_needs_hint;
+    "mutex proved with hint", `Quick, test_mutex_with_hint;
+    "base case only", `Quick, test_base_case_only;
+    "report summary", `Quick, test_report_summary;
+    "false invariant refuted", `Quick, test_refutation_of_false_invariant;
+  ]
+
+let suite = "core", tests

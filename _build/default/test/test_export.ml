@@ -1,0 +1,106 @@
+(* Tests of the specification exporter: the regenerated CafeOBJ text must
+   parse back and reproduce the same rewrite relation. *)
+
+open Kernel
+module Spec = Cafeobj.Spec
+
+let term_testable = Alcotest.testable Term.pp Term.equal
+
+let nat_spec =
+  lazy
+    (let m = Spec.create "XP-NAT" in
+     let nat = Spec.declare_sort m "XpNat" in
+     let zero = Spec.declare_op m "xp0" [] nat ~attrs:[ Signature.Ctor ] in
+     let succ = Spec.declare_op m "xpS" [ nat ] nat ~attrs:[ Signature.Ctor ] in
+     let plus = Spec.declare_op m "xpplus" [ nat; nat ] nat ~attrs:[] in
+     let x = Term.var "X" nat and y = Term.var "Y" nat in
+     Spec.add_eq m ~label:"xp-plus-0"
+       (Term.app plus [ Term.const zero; y ])
+       y;
+     Spec.add_eq m ~label:"xp-plus-s"
+       (Term.app plus [ Term.app succ [ x ]; y ])
+       (Term.app succ [ Term.app plus [ x; y ] ]);
+     m, zero, succ, plus)
+
+let test_term_printing () =
+  let _, zero, succ, _ = Lazy.force nat_spec in
+  Alcotest.(check string) "app" "xpS(xp0)"
+    (Cafeobj.Export.term_to_source (Term.app succ [ Term.const zero ]));
+  Alcotest.(check string) "eq/infix"
+    "((xp0 == xp0) and true)"
+    (Cafeobj.Export.term_to_source
+       (Term.and_ (Term.eq (Term.const zero) (Term.const zero)) Term.tt))
+
+let test_roundtrip_nat () =
+  let m, zero, succ, plus = Lazy.force nat_spec in
+  let m' = Cafeobj.Export.roundtrip m in
+  let rec n k = if k = 0 then Term.const zero else Term.app succ [ n (k - 1) ] in
+  let probe = Term.app plus [ n 2; n 3 ] in
+  Alcotest.check term_testable "2+3 in reconstructed module" (n 5)
+    (Spec.reduce m' probe);
+  Alcotest.check term_testable "agrees with original" (Spec.reduce m probe)
+    (Spec.reduce m' probe)
+
+let test_roundtrip_preserves_free_datatype () =
+  let m, zero, succ, _ = Lazy.force nat_spec in
+  ignore m;
+  let m' = Cafeobj.Export.roundtrip m in
+  let one = Term.app succ [ Term.const zero ] in
+  Alcotest.check term_testable "no confusion survives" Term.ff
+    (Spec.reduce m' (Term.eq one (Term.const zero)));
+  Alcotest.check term_testable "recognizers survive" Term.tt
+    (Spec.reduce m'
+       (Term.app (Option.get (Spec.find_op m' "xpS?")) [ one ]))
+
+let test_tls_export_is_wellformed () =
+  let src = Cafeobj.Export.to_source (Tls.Model.spec Tls.Model.Original) in
+  Alcotest.(check bool) "substantial" true (String.length src > 50_000);
+  (* The paper's key declarations are all present. *)
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and sl = String.length src in
+        let rec go i = i + nl <= sl && (String.sub src i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("contains " ^ needle) true found)
+    [
+      "op nw : Protocol -> Network";
+      "op ss : Protocol Prin Prin Sid -> Session";
+      "op chello : Protocol Prin Prin Rand ListOfChoices -> Protocol";
+      "op fakeSf2 : Protocol";
+      "op in-cpms : Pms Network -> Bool";
+      "*[ Protocol ]*";
+    ]
+
+let test_tls_export_roundtrip_reduces () =
+  (* Full roundtrip of the protocol theory: evaluate the 140 kB export and
+     replay a ClientHello observation inside a proof passage. *)
+  let env = Cafeobj.Eval.create () in
+  ignore
+    (Cafeobj.Eval.eval_string env
+       (Cafeobj.Export.to_source (Tls.Model.spec Tls.Model.Original)));
+  let r =
+    Cafeobj.Eval.reduce_string env
+      {|open TLS-OTS
+        op xa : -> Prin { ctor } .
+        op xb : -> Prin { ctor } .
+        op xr : -> Rand { ctor } .
+        op xc : -> Choice { ctor } .
+        red msg-in(ch(xa, xa, xb, xr, lcons(xc, lnil)),
+                   nw(chello(tls-init, xa, xb, xr, lcons(xc, lnil)))) .
+        close|}
+  in
+  Alcotest.(check string) "chello observed through the export" "true"
+    (Term.to_string r.Cafeobj.Eval.normal_form)
+
+let tests =
+  [
+    "term printing", `Quick, test_term_printing;
+    "roundtrip nat", `Quick, test_roundtrip_nat;
+    "roundtrip free datatype", `Quick, test_roundtrip_preserves_free_datatype;
+    "tls export well-formed", `Quick, test_tls_export_is_wellformed;
+    "tls export roundtrip", `Quick, test_tls_export_roundtrip_reduces;
+  ]
+
+let suite = "export", tests

@@ -1,0 +1,103 @@
+(* Randomized laws for substitution, matching, unification and AC matching:
+   the soundness core the whole proof machinery rides on. *)
+
+open Kernel
+
+let nat = Sort.visible "MpNat"
+let sg = Signature.create ()
+let zero = Signature.declare sg "mp0" [] nat ~attrs:[ Signature.Ctor ]
+let succ = Signature.declare sg "mpS" [ nat ] nat ~attrs:[ Signature.Ctor ]
+let plus = Signature.declare sg "mpP" [ nat; nat ] nat ~attrs:[]
+let union = Signature.declare sg "mpU" [ nat; nat ] nat ~attrs:[ Signature.Ac ]
+let vx = { Term.v_name = "X"; v_sort = nat }
+let vy = { Term.v_name = "Y"; v_sort = nat }
+
+let rec ground n =
+  if n <= 0 then Term.const zero else Term.app succ [ ground (n - 1) ]
+
+(* Random patterns over {0, S, P, U, X, Y}. *)
+let gen_pattern =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof [ return (Term.Var vx); return (Term.Var vy); return (Term.const zero) ]
+        else
+          frequency
+            [
+              2, oneof [ return (Term.Var vx); return (Term.Var vy) ];
+              1, return (Term.const zero);
+              2, map (fun t -> Term.app succ [ t ]) (self (n / 2));
+              2, map2 (fun a b -> Term.app plus [ a; b ]) (self (n / 2)) (self (n / 2));
+              2, map2 (fun a b -> Term.app union [ a; b ]) (self (n / 2)) (self (n / 2));
+            ]))
+
+let arb_pattern = QCheck.make ~print:Term.to_string gen_pattern
+
+let arb_grounding =
+  QCheck.make
+    QCheck.Gen.(pair (int_bound 5) (int_bound 5))
+
+let instantiate (nx, ny) pat =
+  Subst.apply (Subst.of_list [ vx, ground nx; vy, ground ny ]) pat
+
+let prop_match_own_instance =
+  QCheck.Test.make ~name:"a pattern matches its own instances" ~count:300
+    (QCheck.pair arb_pattern arb_grounding) (fun (pat, g) ->
+      let subject = instantiate g pat in
+      match Matching.match_ pat subject with
+      | Some sub -> Term.equal (Subst.apply sub pat) subject
+      | None -> false)
+
+let prop_match_is_sound =
+  QCheck.Test.make ~name:"every matcher reconstructs the subject" ~count:300
+    (QCheck.pair arb_pattern arb_grounding) (fun (pat, g) ->
+      let subject = instantiate g pat in
+      match Matching.match_ pat subject with
+      | None -> true
+      | Some sub -> Term.equal (Subst.apply sub pat) subject)
+
+let prop_unify_sound =
+  QCheck.Test.make ~name:"unifiers unify" ~count:300
+    (QCheck.pair arb_pattern arb_pattern) (fun (t1, t2) ->
+      match Matching.unify t1 t2 with
+      | None -> true
+      | Some sub -> Term.equal (Subst.apply sub t1) (Subst.apply sub t2))
+
+let prop_unify_reflexive =
+  QCheck.Test.make ~name:"every term unifies with itself" ~count:300 arb_pattern
+    (fun t -> Matching.unify t t <> None)
+
+let prop_ac_matchers_sound =
+  QCheck.Test.make ~name:"AC matchers reconstruct modulo AC" ~count:200
+    (QCheck.pair arb_pattern arb_grounding) (fun (pat, g) ->
+      let subject = instantiate g pat in
+      List.for_all
+        (fun sub -> Ac.ac_equal (Subst.apply sub pat) subject)
+        (Ac.match_ pat subject))
+
+let prop_ac_match_finds_instances =
+  QCheck.Test.make ~name:"AC matching finds shuffled instances" ~count:200
+    (QCheck.pair arb_pattern arb_grounding) (fun (pat, g) ->
+      let subject = Ac.normalize (instantiate g pat) in
+      Ac.match_ pat subject <> [])
+
+let prop_subst_apply_ground_fixpoint =
+  QCheck.Test.make ~name:"substitution fixes ground terms" ~count:200
+    arb_grounding (fun (nx, ny) ->
+      let t = Term.app plus [ ground nx; ground ny ] in
+      Term.equal (Subst.apply (Subst.of_list [ vx, ground 1 ]) t) t)
+
+let tests =
+  List.map
+    (QCheck_alcotest.to_alcotest ?verbose:None ?long:None)
+    [
+      prop_match_own_instance;
+      prop_match_is_sound;
+      prop_unify_sound;
+      prop_unify_reflexive;
+      prop_ac_matchers_sound;
+      prop_ac_match_finds_instances;
+      prop_subst_apply_ground_fixpoint;
+    ]
+
+let suite = "matching-properties", tests

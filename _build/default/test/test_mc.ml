@@ -1,0 +1,214 @@
+(* Tests of the explicit-state model checker (the Murphi-style baseline):
+   generic BFS behaviour, the TLS scenario (Section 5.3 counterexamples
+   found automatically), and the NSPK case study with Lowe's attack. *)
+
+
+(* ------------------------------------------------------------------ *)
+(* Generic checker on a toy counter system *)
+
+let counter_system ~limit =
+  {
+    Mc.initial = 0;
+    next = (fun n -> if n >= limit then [] else [ "inc", n + 1 ]);
+    key = string_of_int;
+    show_action = Fun.id;
+  }
+
+let test_bfs_exhausts () =
+  match Mc.bfs (counter_system ~limit:10) ~props:[ "small", (fun n -> n <= 10) ] with
+  | Mc.No_violation stats ->
+    Alcotest.(check int) "11 states" 11 stats.Mc.states_explored
+  | _ -> Alcotest.fail "expected exhaustive pass"
+
+let test_bfs_finds_min_trace () =
+  match Mc.bfs (counter_system ~limit:10) ~props:[ "below-4", (fun n -> n < 4) ] with
+  | Mc.Violation (v, _) ->
+    Alcotest.(check int) "depth" 4 v.Mc.depth;
+    Alcotest.(check (list string)) "trace" [ "inc"; "inc"; "inc"; "inc" ] v.Mc.trace
+  | _ -> Alcotest.fail "expected violation"
+
+let test_bfs_bounds () =
+  match
+    Mc.bfs ~max_depth:3 (counter_system ~limit:10)
+      ~props:[ "below-7", (fun n -> n < 7) ]
+  with
+  | Mc.Out_of_bounds _ -> ()
+  | _ -> Alcotest.fail "expected out-of-bounds"
+
+let test_reachable () =
+  match Mc.reachable (counter_system ~limit:10) ~goal:(fun n -> n = 7) with
+  | Some (trace, state) ->
+    Alcotest.(check int) "state" 7 state;
+    Alcotest.(check int) "trace length" 7 (List.length trace)
+  | None -> Alcotest.fail "expected witness"
+
+let test_reachable_negative () =
+  Alcotest.(check bool) "no witness" true
+    (Mc.reachable (counter_system ~limit:10) ~goal:(fun n -> n = 42) = None)
+
+(* ------------------------------------------------------------------ *)
+(* TLS scenario *)
+
+let tls_scen = Tls.Concrete.default_scenario ()
+let tls_system = Tls.Concrete.system tls_scen
+
+let test_tls_handshake_reachable () =
+  match
+    Mc.reachable ~max_states:20_000 ~max_depth:7 tls_system
+      ~goal:(Tls.Concrete.handshake_complete tls_scen)
+  with
+  | Some (trace, _) ->
+    Alcotest.(check int) "seven steps" 7 (List.length trace);
+    Alcotest.(check (list string))
+      "honest run"
+      [ "chello"; "shello"; "cert"; "kexch"; "cfin"; "sfin"; "compl" ]
+      (List.map (fun (l : Tls.Concrete.label) -> l.Tls.Concrete.rule) trace)
+  | None -> Alcotest.fail "handshake not reachable"
+
+let test_tls_2prime_attack_found () =
+  match
+    Mc.bfs ~max_states:20_000 ~max_depth:6 tls_system
+      ~props:[ "cf-authentic", Tls.Concrete.prop_cf_authentic ]
+  with
+  | Mc.Violation (v, _) ->
+    Alcotest.(check int) "paper's five-message trace" 5 v.Mc.depth;
+    let rules = List.map (fun (l : Tls.Concrete.label) -> l.Tls.Concrete.rule) v.Mc.trace in
+    Alcotest.(check (list string))
+      "trace shape"
+      [ "chello"; "shello"; "cert"; "fakeKx2"; "fakeCf2" ]
+      rules
+  | _ -> Alcotest.fail "expected 2' violation"
+
+let test_tls_positive_props_bounded () =
+  match
+    Mc.bfs ~max_states:4_000 ~max_depth:6 tls_system
+      ~props:
+        [
+          "pms-secrecy", Tls.Concrete.prop_pms_secrecy tls_scen;
+          "sf-authentic", Tls.Concrete.prop_sf_authentic;
+          "sf2-authentic", Tls.Concrete.prop_sf2_authentic;
+        ]
+  with
+  | Mc.Violation (v, _) -> Alcotest.failf "unexpected violation of %s" v.Mc.property
+  | Mc.No_violation _ | Mc.Out_of_bounds _ -> ()
+
+let test_tls_knowledge () =
+  let st = Tls.Concrete.initial tls_scen in
+  let c = Tls.Scenario.cast in
+  Alcotest.(check bool) "intruder pms known initially" true
+    (Tls.Concrete.derivable st (Tls.Data.pms_ ~client:Tls.Data.intruder ~server:c.bob c.sec2));
+  Alcotest.(check bool) "honest pms unknown" false
+    (Tls.Concrete.derivable st (Tls.Data.pms_ ~client:c.alice ~server:c.bob c.sec1));
+  Alcotest.(check bool) "public keys derivable" true
+    (Tls.Concrete.derivable st (Tls.Data.pk_ c.alice))
+
+let test_tls_oops_stays_safe () =
+  (* Paulson's Oops rule: leaking established session keys must break
+     neither pms secrecy nor server authentication (his analysis found
+     resumption safe under such leaks; the paper discusses it in
+     Section 6). *)
+  let scen = { (Tls.Concrete.default_scenario ()) with Tls.Concrete.oops = true } in
+  match
+    Mc.bfs ~max_states:6_000 ~max_depth:7 (Tls.Concrete.system scen)
+      ~props:
+        [
+          "pms-secrecy", Tls.Concrete.prop_pms_secrecy scen;
+          "sf-authentic", Tls.Concrete.prop_sf_authentic;
+          "sf2-authentic", Tls.Concrete.prop_sf2_authentic;
+        ]
+  with
+  | Mc.Violation (v, _) -> Alcotest.failf "oops broke %s" v.Mc.property
+  | Mc.No_violation _ | Mc.Out_of_bounds _ -> ()
+
+let test_tls_oops_actually_leaks () =
+  (* Sanity: under Oops the intruder really does obtain a session key. *)
+  let scen = { (Tls.Concrete.default_scenario ()) with Tls.Concrete.oops = true } in
+  let c = Tls.Scenario.cast in
+  let key =
+    Tls.Data.hkey_ c.Tls.Scenario.bob
+      (Tls.Data.pms_ ~client:c.Tls.Scenario.alice ~server:c.Tls.Scenario.bob
+         c.Tls.Scenario.sec1)
+      c.Tls.Scenario.ra c.Tls.Scenario.rb
+  in
+  match
+    Mc.reachable ~max_states:20_000 ~max_depth:8 (Tls.Concrete.system scen)
+      ~goal:(fun st -> Tls.Concrete.derivable st key)
+  with
+  | Some (trace, _) ->
+    Alcotest.(check bool) "trace mentions oops" true
+      (List.exists (fun (l : Tls.Concrete.label) -> l.Tls.Concrete.rule = "oops") trace)
+  | None -> Alcotest.fail "session key never leaked"
+
+(* ------------------------------------------------------------------ *)
+(* NSPK *)
+
+let test_nspk_lowe_attack () =
+  let scen = Nspk.default_scenario Nspk.Classic in
+  match
+    Mc.bfs ~max_states:100_000 ~max_depth:8 (Nspk.system scen)
+      ~props:[ "responder-agreement", Nspk.responder_agreement ]
+  with
+  | Mc.Violation (v, _) ->
+    (* Lowe's man-in-the-middle needs A to start a run with the intruder. *)
+    let rules = List.map (fun (l : Nspk.label) -> l.Nspk.rule) v.Mc.trace in
+    Alcotest.(check bool) "starts with a run towards the intruder" true
+      (List.hd rules = "start");
+    Alcotest.(check bool) "uses faked message 1" true (List.mem "fake-m1" rules);
+    Alcotest.(check bool) "uses faked message 3" true (List.mem "fake-m3" rules)
+  | _ -> Alcotest.fail "expected Lowe's attack"
+
+let test_nspk_nonce_secrecy_broken () =
+  let scen = Nspk.default_scenario Nspk.Classic in
+  match
+    Mc.bfs ~max_states:100_000 ~max_depth:8 (Nspk.system scen)
+      ~props:[ "nonce-secrecy", Nspk.nonce_secrecy ]
+  with
+  | Mc.Violation _ -> ()
+  | _ -> Alcotest.fail "expected nonce leak"
+
+let test_nsl_fixed_is_clean () =
+  (* Lowe's fix: same bounds under which the classic variant falls in
+     seconds show no violation (the full space is infinite in the number of
+     replayed fakes, so the check is bounded, as in Mitchell et al.). *)
+  let scen = Nspk.default_scenario Nspk.Lowe_fixed in
+  match
+    Mc.bfs ~max_states:60_000 ~max_depth:8 (Nspk.system scen)
+      ~props:
+        [
+          "responder-agreement", Nspk.responder_agreement;
+          "nonce-secrecy", Nspk.nonce_secrecy;
+        ]
+  with
+  | Mc.No_violation _ | Mc.Out_of_bounds _ -> ()
+  | Mc.Violation (v, _) -> Alcotest.failf "unexpected violation of %s" v.Mc.property
+
+let test_nspk_completes_honestly () =
+  let scen = Nspk.default_scenario Nspk.Lowe_fixed in
+  match
+    Mc.reachable ~max_states:100_000 ~max_depth:6 (Nspk.system scen)
+      ~goal:Nspk.some_responder_done
+  with
+  | Some (trace, _) ->
+    Alcotest.(check bool) "at least 3 messages" true (List.length trace >= 3)
+  | None -> Alcotest.fail "honest NSPK run should complete"
+
+let tests =
+  [
+    "bfs exhausts", `Quick, test_bfs_exhausts;
+    "bfs minimal trace", `Quick, test_bfs_finds_min_trace;
+    "bfs bounds", `Quick, test_bfs_bounds;
+    "reachable", `Quick, test_reachable;
+    "reachable negative", `Quick, test_reachable_negative;
+    "tls handshake reachable", `Quick, test_tls_handshake_reachable;
+    "tls 2' attack found", `Quick, test_tls_2prime_attack_found;
+    "tls positive props bounded", `Quick, test_tls_positive_props_bounded;
+    "tls knowledge", `Quick, test_tls_knowledge;
+    "tls oops stays safe", `Quick, test_tls_oops_stays_safe;
+    "tls oops actually leaks", `Quick, test_tls_oops_actually_leaks;
+    "nspk lowe attack", `Quick, test_nspk_lowe_attack;
+    "nspk nonce secrecy broken", `Quick, test_nspk_nonce_secrecy_broken;
+    "nsl fixed clean", `Quick, test_nsl_fixed_is_clean;
+    "nspk completes honestly", `Quick, test_nspk_completes_honestly;
+  ]
+
+let suite = "model-checker", tests

@@ -1,0 +1,73 @@
+(* Tests of the symbolic NSPK/NSL treatment: the OTS models, the proved NSL
+   campaign, and the refutation of classic NSPK's nonce secrecy at the
+   transition where Lowe's attack lives. *)
+
+open Core
+module M = Nspk.Symbolic
+module P = Nspk.Symbolic_proofs
+
+let is_proved (r : Induction.result) = r.Induction.proved
+
+let test_models_well_formed () =
+  Ots.check (M.ots M.Classic);
+  Ots.check (M.ots M.Lowe_fixed);
+  Alcotest.(check int) "9 transitions" 9
+    (List.length (M.ots M.Classic).Ots.actions)
+
+let test_nsl_campaign_proved () =
+  let env = M.proof_env M.Lowe_fixed in
+  let results =
+    List.map (P.run ~env M.Lowe_fixed) (P.campaign M.Lowe_fixed)
+  in
+  Alcotest.(check int) "eight invariants" 8 (List.length results);
+  List.iter
+    (fun (r : Induction.result) ->
+      Alcotest.(check bool) (r.Induction.res_invariant ^ " proved") true
+        (is_proved r))
+    results
+
+let test_classic_secrecy_refuted_at_finish () =
+  let env = M.proof_env M.Classic in
+  let r = P.run ~env M.Classic (P.find M.Classic "nonce-secrecy") in
+  Alcotest.(check bool) "not proved" false (is_proved r);
+  let refuting =
+    List.filter_map
+      (fun (c : Induction.case_result) ->
+        match c.Induction.outcome with
+        | Prover.Refuted _ -> Some c.Induction.case_name
+        | _ -> None)
+      r.Induction.cases
+  in
+  (* Lowe's flaw: the initiator forwards the responder's nonce to an
+     unauthenticated peer in message 3. *)
+  Alcotest.(check (list string)) "refuted exactly at finishInit"
+    [ "finishInit-c" ] refuting
+
+let test_classic_lemmas_still_hold () =
+  (* The origin lemmas that do not depend on the responder name survive in
+     the classic protocol; only secrecy falls. *)
+  let env = M.proof_env M.Classic in
+  List.iter
+    (fun name ->
+      let r = P.run ~env M.Classic (P.find M.Classic name) in
+      Alcotest.(check bool) (name ^ " proved") true (is_proved r))
+    [ "m1-origin"; "ce1-origin"; "m2-origin-n1"; "m2-origin-n2";
+      "ce2-origin-n1"; "ce2-origin-n2" ]
+
+let test_campaign_sizes () =
+  Alcotest.(check int) "NSL has the ce3 lemma" 8
+    (List.length (P.campaign M.Lowe_fixed));
+  Alcotest.(check int) "classic drops it" 7
+    (List.length (P.campaign M.Classic))
+
+let tests =
+  [
+    "models well-formed", `Quick, test_models_well_formed;
+    "NSL campaign proved", `Quick, test_nsl_campaign_proved;
+    "classic secrecy refuted at finishInit", `Quick,
+    test_classic_secrecy_refuted_at_finish;
+    "classic lemmas still hold", `Quick, test_classic_lemmas_still_hold;
+    "campaign sizes", `Quick, test_campaign_sizes;
+  ]
+
+let suite = "nspk-symbolic", tests

@@ -1,0 +1,164 @@
+(* Tests of the Section-5 verification campaign.
+
+   The full 18-invariant campaign runs in about a second, so the positive
+   results are checked directly; the negative properties 2'/3' must be
+   refuted exactly at the intruder transitions that fake Finished messages
+   from a known pre-master secret (the paper's counterexamples). *)
+
+open Core
+open Proofs
+
+let is_proved (r : Induction.result) = r.Induction.proved
+
+let case_outcome (r : Induction.result) name =
+  let c =
+    List.find (fun (c : Induction.case_result) -> c.Induction.case_name = name) r.Induction.cases
+  in
+  c.Induction.outcome
+
+let run_proof style name =
+  let env = Tls.Model.env style in
+  Tls_invariants.run env (Tls_invariants.find style name)
+
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_names () =
+  let names = List.map Tls_invariants.name_of (Tls_invariants.all Tls.Model.Original) in
+  Alcotest.(check int) "18 invariants" 18 (List.length names);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) ("main property " ^ p) true (List.mem p names))
+    Tls_invariants.main_properties;
+  List.iter
+    (fun p -> Alcotest.(check bool) ("auxiliary " ^ p) true (List.mem p names))
+    Tls_invariants.auxiliary
+
+let test_inv1_proved () =
+  Alcotest.(check bool) "inv1" true (is_proved (run_proof Tls.Model.Original "inv1"))
+
+let test_sig_genuine_proved () =
+  Alcotest.(check bool) "sig-genuine" true
+    (is_proved (run_proof Tls.Model.Original "sig-genuine"))
+
+let test_esfin_genuine_proved () =
+  Alcotest.(check bool) "esfin-genuine" true
+    (is_proved (run_proof Tls.Model.Original "esfin-genuine"))
+
+let test_derived_inv2_proved () =
+  Alcotest.(check bool) "inv2" true (is_proved (run_proof Tls.Model.Original "inv2"))
+
+let test_full_campaign () =
+  let results = Tls_invariants.campaign Tls.Model.Original in
+  let s = Report.summarize results in
+  Alcotest.(check int) "all proved" s.Report.invariants_total
+    s.Report.invariants_proved;
+  (* 14 inductive invariants x (init + 27 actions) + 4 derived cases. *)
+  Alcotest.(check int) "cases" ((14 * 28) + 4) s.Report.cases_total
+
+let test_variant_campaign () =
+  let results = Tls_invariants.campaign Tls.Model.Cf2First in
+  Alcotest.(check bool) "variant: all proved" true
+    (List.for_all is_proved results)
+
+let refuted_exactly_at style prop expected_cases =
+  let env = Tls.Model.env style in
+  let r = Tls_invariants.run env (prop style) in
+  Alcotest.(check bool) "not proved" false (is_proved r);
+  let failing =
+    List.filter_map
+      (fun (c : Induction.case_result) ->
+        match c.Induction.outcome with
+        | Prover.Refuted _ -> Some c.Induction.case_name
+        | Prover.Proved _ -> None
+        | Prover.Unknown _ -> Some (c.Induction.case_name ^ "?"))
+      r.Induction.cases
+  in
+  Alcotest.(check (list string)) "refuting transitions" expected_cases failing
+
+let test_prop2'_refuted () =
+  (* 2' breaks where the intruder constructs a ClientFinished from a known
+     pms (the paper's counterexample), and equivalently where it replays
+     such a constructed ciphertext. *)
+  refuted_exactly_at Tls.Model.Original Tls_invariants.prop2'
+    [ "fakeCf1"; "fakeCf2" ]
+
+let test_prop3'_refuted () =
+  refuted_exactly_at Tls.Model.Original Tls_invariants.prop3'
+    [ "fakeCf21"; "fakeCf22" ]
+
+let test_prop2'_trail_mentions_intruder () =
+  let env = Tls.Model.env Tls.Model.Original in
+  let r = Tls_invariants.run env (Tls_invariants.prop2' Tls.Model.Original) in
+  match case_outcome r "fakeCf2" with
+  | Prover.Refuted { trail; _ } ->
+    (* The refuting branch assumes some principal *is* the intruder (the
+       faked seeming-sender identity switch). *)
+    let mentions_intruder =
+      List.exists
+        (fun { Prover.atom; value } ->
+          value
+          && List.exists
+               (fun t -> Kernel.Term.equal t Tls.Data.intruder)
+               (Kernel.Term.subterms atom))
+        trail
+    in
+    Alcotest.(check bool) "trail sets a principal to intruder" true
+      mentions_intruder
+  | _ -> Alcotest.fail "expected refutation at fakeCf2"
+
+let test_hint_is_needed () =
+  (* esfin-genuine without its inv1 hint must fail at fakeSf2: the prover
+     cannot rule out the intruder knowing an honest pms. *)
+  let env = Tls.Model.env Tls.Model.Original in
+  match Tls_invariants.find Tls.Model.Original "esfin-genuine" with
+  | Tls_invariants.Inductive (inv, _) ->
+    let r = Induction.prove_invariant env ~hints:[] inv in
+    Alcotest.(check bool) "fails without SIH" false r.Induction.proved;
+    (match case_outcome r "fakeSf2" with
+    | Prover.Refuted _ -> ()
+    | _ -> Alcotest.fail "expected fakeSf2 to be the blocking case")
+  | _ -> Alcotest.fail "esfin-genuine should be inductive"
+
+let test_inv1_kexch_needs_signature_lemmas () =
+  let env = Tls.Model.env Tls.Model.Original in
+  match Tls_invariants.find Tls.Model.Original "inv1" with
+  | Tls_invariants.Inductive (inv, _) ->
+    let r = Induction.prove_invariant env ~hints:[] inv in
+    Alcotest.(check bool) "fails without SIH" false r.Induction.proved
+  | _ -> Alcotest.fail "inv1 should be inductive"
+
+let test_extensions_proved () =
+  let env = Tls.Model.env Tls.Model.Original in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Tls_invariants.name_of p ^ " proved")
+        true
+        (is_proved (Tls_invariants.run env p)))
+    (Tls_invariants.extensions Tls.Model.Original)
+
+let test_stats_are_recorded () =
+  let r = run_proof Tls.Model.Original "inv1" in
+  let s = Report.summarize [ r ] in
+  Alcotest.(check bool) "some rewriting happened" true (s.Report.total_rewrite_steps > 100);
+  Alcotest.(check bool) "some case analysis happened" true (s.Report.total_splits > 5)
+
+let tests =
+  [
+    "campaign names", `Quick, test_campaign_names;
+    "inv1 proved", `Quick, test_inv1_proved;
+    "sig-genuine proved", `Quick, test_sig_genuine_proved;
+    "esfin-genuine proved", `Quick, test_esfin_genuine_proved;
+    "inv2 derived from lemmas", `Quick, test_derived_inv2_proved;
+    "full campaign proved", `Quick, test_full_campaign;
+    "variant campaign proved", `Quick, test_variant_campaign;
+    "prop2' refuted at fakeCf2", `Quick, test_prop2'_refuted;
+    "prop3' refuted at fakeCf22", `Quick, test_prop3'_refuted;
+    "prop2' trail mentions intruder", `Quick, test_prop2'_trail_mentions_intruder;
+    "esfin-genuine needs inv1 hint", `Quick, test_hint_is_needed;
+    "inv1 needs signature lemmas", `Quick, test_inv1_kexch_needs_signature_lemmas;
+    "extension invariants proved", `Quick, test_extensions_proved;
+    "stats recorded", `Quick, test_stats_are_recorded;
+  ]
+
+let suite = "proofs", tests

@@ -1,0 +1,248 @@
+(* Tests of the abstract TLS handshake model: concrete executions of the
+   Figure-2 protocol, session resumption, and the two Section-5.3 attack
+   runs, all evaluated with the rewriting engine. *)
+
+open Kernel
+open Core
+open Tls
+module D = Data
+
+let c = Scenario.cast
+let hm = Scenario.honest_messages
+
+let check_effective run =
+  match Scenario.effective run with
+  | [] -> ()
+  | dead ->
+    Alcotest.failf "%s: non-effective steps: %s" run.Scenario.run_name
+      (String.concat ", " dead)
+
+let in_final run m = Scenario.holds run (D.msg_in m (Model.nw run.Scenario.ots (Scenario.final run)))
+
+(* ------------------------------------------------------------------ *)
+
+let test_ots_well_formed () =
+  Ots.check (Model.ots ());
+  Ots.check (Model.variant_ots ());
+  Alcotest.(check int) "27 actions" 27 (List.length (Model.ots ()).Ots.actions);
+  Alcotest.(check int) "5 observers" 5
+    (List.length (Model.ots ()).Ots.observers)
+
+let test_full_handshake_runs () =
+  let run = Scenario.full_handshake () in
+  check_effective run;
+  List.iter
+    (fun m -> Alcotest.(check bool) "message sent" true (in_final run m))
+    [ hm.ch_msg; hm.sh_msg; hm.ct_msg; hm.kx_msg; hm.cf_msg; hm.sf_msg ]
+
+let test_full_handshake_sessions () =
+  let run = Scenario.full_handshake () in
+  let s = Scenario.final run in
+  let o = run.Scenario.ots in
+  let expected = D.st_ c.suite1 c.ra c.rb (D.pms_ ~client:c.alice ~server:c.bob c.sec1) in
+  Alcotest.(check bool) "alice's session" true
+    (Scenario.holds run
+       (Term.eq (Model.ss o s ~owner:c.alice ~peer:c.bob ~sid:c.sid1) expected));
+  Alcotest.(check bool) "bob's session" true
+    (Scenario.holds run
+       (Term.eq (Model.ss o s ~owner:c.bob ~peer:c.alice ~sid:c.sid1) expected));
+  Alcotest.(check bool) "no session for intruder" true
+    (Scenario.holds run
+       (Term.eq
+          (Model.ss o s ~owner:c.alice ~peer:D.intruder ~sid:c.sid1)
+          D.no_session))
+
+let test_pms_not_leaked_in_honest_run () =
+  let run = Scenario.full_handshake () in
+  let nw = Model.nw run.Scenario.ots (Scenario.final run) in
+  Alcotest.(check bool) "honest pms not gleanable" true
+    (Scenario.holds run
+       (Term.not_ (D.in_cpms (D.pms_ ~client:c.alice ~server:c.bob c.sec1) nw)));
+  Alcotest.(check bool) "intruder pms gleanable" true
+    (Scenario.holds run
+       (D.in_cpms (D.pms_ ~client:D.intruder ~server:c.bob c.sec2) nw))
+
+let test_gleaning_collections () =
+  let run = Scenario.full_handshake () in
+  let nw = Model.nw run.Scenario.ots (Scenario.final run) in
+  Alcotest.(check bool) "bob's cert signature gleaned" true
+    (Scenario.holds run
+       (D.in_csig (D.sig_of ~signer:D.ca ~subject:c.bob (D.pk_ c.bob)) nw));
+  Alcotest.(check bool) "intruder's own signature always gleanable" true
+    (Scenario.holds run
+       (D.in_csig (D.sig_of ~signer:D.ca ~subject:D.intruder (D.pk_ D.intruder)) nw));
+  Alcotest.(check bool) "encrypted pms ciphertext gleaned" true
+    (Scenario.holds run
+       (D.in_cepms
+          (D.epms_ (D.pk_ c.bob) (D.pms_ ~client:c.alice ~server:c.bob c.sec1))
+          nw));
+  Alcotest.(check bool) "alice's finished ciphertext gleaned" true
+    (Scenario.holds run
+       (D.in_cecfin
+          (D.ecfin_
+             (D.hkey_ c.alice (D.pms_ ~client:c.alice ~server:c.bob c.sec1) c.ra c.rb)
+             (D.cfin_
+                [
+                  c.alice; c.bob; c.sid1; c.clist; c.suite1; c.ra; c.rb;
+                  D.pms_ ~client:c.alice ~server:c.bob c.sec1;
+                ]))
+          nw))
+
+let test_used_sets_grow () =
+  let run = Scenario.full_handshake () in
+  let s = Scenario.final run in
+  let o = run.Scenario.ots in
+  Alcotest.(check bool) "ra used" true
+    (Scenario.holds run (D.rand_in c.ra (Model.ur o s)));
+  Alcotest.(check bool) "rb used" true
+    (Scenario.holds run (D.rand_in c.rb (Model.ur o s)));
+  Alcotest.(check bool) "rc unused yet" true
+    (Scenario.holds run (Term.not_ (D.rand_in c.rc (Model.ur o s))));
+  Alcotest.(check bool) "sid used" true
+    (Scenario.holds run (D.sid_in c.sid1 (Model.ui o s)));
+  Alcotest.(check bool) "secret used" true
+    (Scenario.holds run (D.secret_in c.sec1 (Model.us o s)))
+
+let test_replay_is_not_fresh () =
+  (* Re-running chello with the already-used random must be ineffective:
+     the successor's network contains no fresh ch message to the intruder. *)
+  let run = Scenario.full_handshake () in
+  let o = run.Scenario.ots in
+  let s = Scenario.final run in
+  let s' = Ots.apply o "chello" s [ c.alice; D.intruder; c.ra; c.clist ] in
+  let dup = D.ch_ ~crt:c.alice ~src:c.alice ~dst:D.intruder c.ra c.clist in
+  Alcotest.(check bool) "stale random rejected" true
+    (Scenario.holds run (Term.not_ (D.msg_in dup (Model.nw o s'))))
+
+let test_resumption_runs () =
+  let run = Scenario.resumption () in
+  check_effective run;
+  List.iter
+    (fun m -> Alcotest.(check bool) "resumption message sent" true (in_final run m))
+    [ hm.ch2_msg; hm.sh2_msg; hm.sf2_msg; hm.cf2_msg ]
+
+let test_duplication_runs () =
+  let run = Scenario.duplication () in
+  check_effective run;
+  let c = Scenario.cast in
+  let o = run.Scenario.ots in
+  let s = Scenario.final run in
+  (* After duplicating, the session carries the second round's randoms and
+     still the original pre-master secret. *)
+  Alcotest.(check bool) "bob's duplicated session" true
+    (Scenario.holds run
+       (Term.eq
+          (Model.ss o s ~owner:c.bob ~peer:c.alice ~sid:c.sid1)
+          (D.st_ c.suite1 c.re c.rf (D.pms_ ~client:c.alice ~server:c.bob c.sec1))))
+
+let test_resumption_variant_runs () =
+  let run = Scenario.resumption ~style:Model.Cf2First () in
+  check_effective run;
+  List.iter
+    (fun m -> Alcotest.(check bool) "variant message sent" true (in_final run m))
+    [ hm.ch2_msg; hm.sh2_msg; hm.sf2_msg; hm.cf2_msg ]
+
+let test_attack_2prime () =
+  let run = Scenario.attack_2prime () in
+  check_effective run;
+  let nw = Model.nw run.Scenario.ots (Scenario.final run) in
+  (* Bob sent his ServerFinished for a handshake seemingly with alice... *)
+  let pms' = D.pms_ ~client:D.intruder ~server:c.bob c.sec2 in
+  let sf =
+    D.sf_ ~crt:c.bob ~src:c.bob ~dst:c.alice
+      (D.esfin_
+         (D.hkey_ c.bob pms' c.ri c.rb)
+         (D.sfin_ [ c.alice; c.bob; c.sid1; c.clist; c.suite1; c.ri; c.rb; pms' ]))
+  in
+  Alcotest.(check bool) "bob completed the handshake" true
+    (Scenario.holds run (D.msg_in sf nw));
+  (* ... but no ClientFinished was ever created by alice: property 2' has a
+     counterexample (Section 5.3). *)
+  let genuine_cf =
+    D.cf_ ~crt:c.alice ~src:c.alice ~dst:c.bob
+      (D.ecfin_
+         (D.hkey_ c.alice pms' c.ri c.rb)
+         (D.cfin_ [ c.alice; c.bob; c.sid1; c.clist; c.suite1; c.ri; c.rb; pms' ]))
+  in
+  Alcotest.(check bool) "alice never sent it" true
+    (Scenario.holds run (Term.not_ (D.msg_in genuine_cf nw)))
+
+let test_attack_3prime () =
+  let run = Scenario.attack_3prime () in
+  check_effective run;
+  let o = run.Scenario.ots in
+  let s = Scenario.final run in
+  let nw = Model.nw o s in
+  let pms' = D.pms_ ~client:D.intruder ~server:c.bob c.sec2 in
+  (* Bob resumed the hijacked session: his session state was refreshed... *)
+  Alcotest.(check bool) "bob's refreshed session" true
+    (Scenario.holds run
+       (Term.eq
+          (Model.ss o s ~owner:c.bob ~peer:c.alice ~sid:c.sid1)
+          (D.st_ c.suite1 c.rc c.rd pms')));
+  (* ... on a ClientFinished2 never created by alice: property 3'. *)
+  let genuine_cf2 =
+    D.cf2_ ~crt:c.alice ~src:c.alice ~dst:c.bob
+      (D.ecfin2_
+         (D.hkey_ c.alice pms' c.rc c.rd)
+         (D.cfin2_ [ c.alice; c.bob; c.sid1; c.suite1; c.rc; c.rd; pms' ]))
+  in
+  Alcotest.(check bool) "alice never sent it" true
+    (Scenario.holds run (Term.not_ (D.msg_in genuine_cf2 nw)))
+
+let test_intruder_cannot_decrypt_honest_kx () =
+  let run = Scenario.full_handshake () in
+  let nw = Model.nw run.Scenario.ots (Scenario.final run) in
+  (* The ciphertext itself is gleanable but the pms under bob's key is not. *)
+  Alcotest.(check bool) "ciphertext known" true
+    (Scenario.holds run
+       (D.in_cepms
+          (D.epms_ (D.pk_ c.bob) (D.pms_ ~client:c.alice ~server:c.bob c.sec1))
+          nw));
+  Alcotest.(check bool) "payload unknown" true
+    (Scenario.holds run
+       (Term.not_ (D.in_cpms (D.pms_ ~client:c.alice ~server:c.bob c.sec1) nw)))
+
+let test_kx_to_intruder_leaks () =
+  (* If alice runs a handshake *with the intruder as server*, the pms is
+     rightfully known to the intruder (inv1's second disjunct). *)
+  let o = Model.ots () in
+  let run0 = Scenario.full_handshake () in
+  let s1 =
+    Ots.apply o "chello" (Ots.init_state o) [ c.alice; D.intruder; c.ra; c.clist ]
+  in
+  let ch = D.ch_ ~crt:c.alice ~src:c.alice ~dst:D.intruder c.ra c.clist in
+  let s2 = Ots.apply o "shello" s1 [ D.intruder; c.rb; c.sid1; c.suite1; ch ] in
+  let sh = D.sh_ ~crt:D.intruder ~src:D.intruder ~dst:c.alice c.rb c.sid1 c.suite1 in
+  let s3 = Ots.apply o "cert" s2 [ D.intruder; ch; sh ] in
+  let icert =
+    D.cert_of D.intruder (D.pk_ D.intruder)
+      (D.sig_of ~signer:D.ca ~subject:D.intruder (D.pk_ D.intruder))
+  in
+  let ct = D.ct_ ~crt:D.intruder ~src:D.intruder ~dst:c.alice icert in
+  let s4 = Ots.apply o "kexch" s3 [ c.alice; c.sec1; ch; sh; ct ] in
+  Alcotest.(check bool) "pms for intruder-as-server is gleanable" true
+    (Scenario.holds run0
+       (D.in_cpms
+          (D.pms_ ~client:c.alice ~server:D.intruder c.sec1)
+          (Model.nw o s4)))
+
+let tests =
+  [
+    "ots well-formed (both styles)", `Quick, test_ots_well_formed;
+    "full handshake runs", `Quick, test_full_handshake_runs;
+    "full handshake sessions", `Quick, test_full_handshake_sessions;
+    "pms not leaked in honest run", `Quick, test_pms_not_leaked_in_honest_run;
+    "gleaning collections", `Quick, test_gleaning_collections;
+    "used sets grow", `Quick, test_used_sets_grow;
+    "replay is not fresh", `Quick, test_replay_is_not_fresh;
+    "resumption runs", `Quick, test_resumption_runs;
+    "duplication runs", `Quick, test_duplication_runs;
+    "resumption variant runs", `Quick, test_resumption_variant_runs;
+    "attack on 2'", `Quick, test_attack_2prime;
+    "attack on 3'", `Quick, test_attack_3prime;
+    "intruder cannot decrypt honest kx", `Quick, test_intruder_cannot_decrypt_honest_kx;
+    "kx to intruder leaks (by design)", `Quick, test_kx_to_intruder_leaks;
+  ]
+
+let suite = "tls-model", tests
