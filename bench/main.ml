@@ -14,11 +14,55 @@ open Kernel
 let section name = Format.printf "@.== %s ==@." name
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable report (--json): one record per timed experiment.
+   [rec_steps]/[rec_splits] are 0 where the notion does not apply (model
+   checking counts states, not rewrite steps). *)
+
+type record = {
+  rec_name : string;
+  rec_wall : float;  (* seconds *)
+  rec_steps : int;  (* rewrite steps *)
+  rec_splits : int;  (* prover case splits *)
+}
+
+let records : record list ref = ref []
+
+let record ?(steps = 0) ?(splits = 0) name wall =
+  records :=
+    { rec_name = name; rec_wall = wall; rec_steps = steps; rec_splits = splits }
+    :: !records
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file ~jobs =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"experiments\": [" jobs;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
+        (if i = 0 then "" else ",")
+        (json_escape r.rec_name) r.rec_wall r.rec_steps r.rec_splits)
+    (List.rev !records);
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Part 1: the experiment report *)
 
-let report_verification style name =
+let report_verification ?pool style name =
   let t0 = Unix.gettimeofday () in
-  let results = Proofs.Tls_invariants.campaign style in
+  let results = Proofs.Tls_invariants.campaign ?pool style in
   let dt = Unix.gettimeofday () -. t0 in
   let s = Core.Report.summarize results in
   Format.printf
@@ -26,6 +70,9 @@ let report_verification style name =
     name s.Core.Report.invariants_proved s.Core.Report.invariants_total
     s.Core.Report.cases_proved s.Core.Report.cases_total
     s.Core.Report.total_splits s.Core.Report.total_rewrite_steps dt;
+  record
+    (Printf.sprintf "campaign-%s" (String.trim name))
+    dt ~steps:s.Core.Report.total_rewrite_steps ~splits:s.Core.Report.total_splits;
   s
 
 let report_negative style =
@@ -49,29 +96,31 @@ let report_negative style =
       "property 3'", Proofs.Tls_invariants.prop3' style;
     ]
 
-let report_mc () =
+let report_mc ~pool () =
   let scen = Tls.Concrete.default_scenario () in
   let system = Tls.Concrete.system scen in
   (match
-     Mc.bfs ~max_states:50_000 ~max_depth:6 system
+     Mc.par_bfs ~max_states:50_000 ~max_depth:6 ~pool system
        ~props:[ "cf-authentic", Tls.Concrete.prop_cf_authentic ]
    with
   | Mc.Violation (v, stats) ->
     Format.printf
       "E4  2' counterexample: depth %d, %d states, %.3fs (paper: 5-message trace)@."
-      v.Mc.depth stats.Mc.states_explored stats.Mc.elapsed
+      v.Mc.depth stats.Mc.states_explored stats.Mc.elapsed;
+    record "mc-2prime-attack" stats.Mc.elapsed
   | _ -> Format.printf "E4  2' counterexample NOT found (unexpected)@.");
   (match
-     Mc.bfs ~max_states:100_000 ~max_depth:9 system
+     Mc.par_bfs ~max_states:100_000 ~max_depth:9 ~pool system
        ~props:[ "cf2-authentic", Tls.Concrete.prop_cf2_authentic ]
    with
   | Mc.Violation (v, stats) ->
     Format.printf
       "E5  3' counterexample: depth %d, %d states, %.3fs (paper: 4 more messages)@."
-      v.Mc.depth stats.Mc.states_explored stats.Mc.elapsed
+      v.Mc.depth stats.Mc.states_explored stats.Mc.elapsed;
+    record "mc-3prime-attack" stats.Mc.elapsed
   | _ -> Format.printf "E5  3' counterexample NOT found (unexpected)@.");
   match
-    Mc.bfs ~max_states:25_000 ~max_depth:6 system
+    Mc.par_bfs ~max_states:25_000 ~max_depth:6 ~pool system
       ~props:
         [
           "pms-secrecy", Tls.Concrete.prop_pms_secrecy scen;
@@ -85,7 +134,8 @@ let report_mc () =
     let stats = Mc.outcome_stats outcome in
     Format.printf
       "E8  properties 1-3 hold over %d states (depth %d, %.3fs, Murphi-style bound)@."
-      stats.Mc.states_explored stats.Mc.max_depth stats.Mc.elapsed
+      stats.Mc.states_explored stats.Mc.max_depth stats.Mc.elapsed;
+    record "mc-bounded-sweep" stats.Mc.elapsed
 
 let report_nspk () =
   (let module P = Nspk.Symbolic_proofs in
@@ -132,7 +182,7 @@ let bool_const name =
     (Cafeobj.Spec.declare_op (Cafeobj.Builtins.bool_spec ()) name [] Sort.bool
        ~attrs:[])
 
-let report () =
+let report ~pool () =
   section "E1: Figure-2 protocol runs (symbolic execution)";
   let run = Tls.Scenario.full_handshake () in
   Format.printf "full handshake: %d transitions, all effective: %b@."
@@ -145,7 +195,7 @@ let report () =
 
   section
     "E2+E3+E7: the verification campaign (paper: 18 invariants, ~1 week by hand)";
-  let s = report_verification Tls.Model.Original "original protocol " in
+  let s = report_verification ~pool Tls.Model.Original "original protocol " in
   Format.printf
     "E7  effort: %d proof cases checked mechanically vs ~1 week by hand@."
     s.Core.Report.cases_total;
@@ -159,11 +209,11 @@ let report () =
      (String.concat ", " (List.map Proofs.Tls_invariants.name_of ext)));
 
   section "E6: the ClientFinished2-first variant (Section 5.3)";
-  ignore (report_verification Tls.Model.Cf2First "variant protocol  ");
+  ignore (report_verification ~pool Tls.Model.Cf2First "variant protocol  ");
 
   section "E4+E5+E8: explicit-state analysis (Murphi-style baseline)";
   report_negative Tls.Model.Original;
-  report_mc ();
+  report_mc ~pool ();
 
   section "E11: Paulson's Oops rule (Section 6) — resumption despite key loss";
   (let oops_scen = { (Tls.Concrete.default_scenario ()) with Tls.Concrete.oops = true } in
@@ -306,7 +356,34 @@ let run_benchmarks () =
   run_group ~quota:8.0 ~name:"macro" macro
 
 let () =
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let json = ref "" in
+  let no_bechamel = ref false in
+  let spec =
+    [
+      "--jobs", Arg.Set_int jobs, "N number of domains (default: cores)";
+      "--json", Arg.Set_string json, "FILE write a machine-readable report";
+      "--report-only", Arg.Set no_bechamel, "skip the Bechamel timing pass";
+    ]
+  in
+  Arg.parse spec
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "bench [options]";
+  if !jobs < 1 then begin
+    prerr_endline "bench: --jobs must be at least 1";
+    exit 2
+  end;
+  (* fail on an unwritable --json target now, not after a long run *)
+  if !json <> "" then begin
+    match open_out !json with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Printf.eprintf "bench: cannot write --json file: %s\n" msg;
+      exit 2
+  end;
   Format.printf "eqtls benchmark harness — reproduces the paper's evaluation@.";
-  report ();
-  run_benchmarks ();
+  Sched.Pool.with_pool ~jobs:!jobs @@ fun pool ->
+  report ~pool ();
+  if !json <> "" then write_json !json ~jobs:!jobs;
+  if not !no_bechamel then run_benchmarks ();
   Format.printf "@.done@."

@@ -34,6 +34,14 @@ let create ?(bool = true) ?(imports = []) name =
   let imports = if bool then imports @ [ Lazy.force bool_spec ] else imports in
   create_raw ~imports name
 
+(* A branch is a child module importing [base]: it sees every sort,
+   operator and rule of the base, while its own declarations (typically the
+   fresh constants of one proof case) land in its private signature and its
+   [system] carries a private memo table and step counter.  This is what
+   makes proof cases independent enough to run on separate domains — the
+   base spec is only ever read. *)
+let branch base name = create_raw ~imports:[ base ] name
+
 let name m = m.name
 let imports m = m.imports
 

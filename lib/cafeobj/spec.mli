@@ -21,6 +21,14 @@ val create : ?bool:bool -> ?imports:t list -> string -> t
 val name : t -> string
 val imports : t -> t list
 
+(** [branch base name] is a fresh child module importing [base]: it sees
+    everything [base] declares, while its own declarations (fresh proof
+    constants) and its rewrite system's memo table and step counter are
+    private.  Proof cases each run in their own branch, which is what makes
+    them safe to execute on separate domains — the shared base is only
+    read.  O(1); the child's rewrite system is built on first use. *)
+val branch : t -> string -> t
+
 (** [declare_sort m name] interns a visible sort and records it as declared
     by [m]. *)
 val declare_sort : t -> string -> Sort.t

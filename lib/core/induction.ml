@@ -134,7 +134,23 @@ let prove_case ?config env ~hints inv ~action =
   in
   { case_name = action; outcome; duration }
 
+(* One proof case = one branch: a child spec whose fresh constants, memo
+   table and step counter are private, so cases are independent — they can
+   run on separate pool domains, and their results (fresh-constant
+   numbering included) do not depend on which cases ran before them.  The
+   per-sort constructor cache starts empty rather than copied: the base
+   env's cache may be mutated concurrently by non-branched use. *)
+let branch_env env label =
+  {
+    spec = Cafeobj.Spec.branch env.spec label;
+    env_ots = env.env_ots;
+    recognizer_suffix = env.recognizer_suffix;
+    fresh_counter = 0;
+    record_ctors = Hashtbl.create 32;
+  }
+
 let prove_derived ?config env ~hyps inv =
+  let env = branch_env env ("derived@" ^ inv.inv_name) in
   let ctx = prover_ctx env in
   let s = fresh_const env env.env_ots.Ots.hidden in
   let args = List.map (fun (_, srt) -> fresh_const env srt) inv.inv_params in
@@ -149,15 +165,28 @@ let prove_derived ?config env ~hyps inv =
     proved = (match outcome with Prover.Proved _ -> true | _ -> false);
   }
 
-let prove_invariant ?config env ~hints inv =
-  let base = base_case ?config env inv in
-  let inductive =
-    List.map
-      (fun (a : Ots.action) ->
-        prove_case ?config env ~hints inv ~action:a.Ots.act_op.Signature.name)
-      env.env_ots.Ots.actions
+let prove_invariant ?config ?pool env ~hints inv =
+  let case_names =
+    None
+    :: List.map
+         (fun (a : Ots.action) -> Some a.Ots.act_op.Signature.name)
+         env.env_ots.Ots.actions
   in
-  let cases = base :: inductive in
+  let run_case case =
+    let label =
+      Printf.sprintf "%s@%s" inv.inv_name
+        (Option.value ~default:"init" case)
+    in
+    let env' = branch_env env label in
+    match case with
+    | None -> base_case ?config env' inv
+    | Some action -> prove_case ?config env' ~hints inv ~action
+  in
+  let cases =
+    match pool with
+    | None -> List.map run_case case_names
+    | Some p -> Sched.Pool.parallel_map p run_case case_names
+  in
   let proved =
     List.for_all
       (fun c -> match c.outcome with Prover.Proved _ -> true | _ -> false)

@@ -52,10 +52,22 @@ val make_env : ?recognizer_suffix:string -> spec:Cafeobj.Spec.t -> ots:Ots.t -> 
     client code to build lemma instances in hints). *)
 val fresh_const : env -> Sort.t -> Term.t
 
-(** [prove_invariant ?config env ~hints inv] runs the base case and one
-    inductive case per action of the OTS. *)
+(** [prove_invariant ?config ?pool env ~hints inv] runs the base case and
+    one inductive case per action of the OTS.
+
+    Every case runs in its own {e branched} environment (a child spec of
+    [env]'s, see {!Cafeobj.Spec.branch}): fresh-constant numbering, rewrite
+    memo tables and step counters are all case-local.  Cases are therefore
+    independent, and when [pool] is given they execute on its domains —
+    with results (including every statistic) identical to the sequential
+    run, whatever the pool size. *)
 val prove_invariant :
-  ?config:Prover.config -> env -> hints:hint list -> invariant -> result
+  ?config:Prover.config ->
+  ?pool:Sched.Pool.t ->
+  env ->
+  hints:hint list ->
+  invariant ->
+  result
 
 (** [prove_case ?config env ~hints inv ~action] runs a single inductive
     case (exposed for tests and for the paper's per-transition narrative). *)
@@ -69,7 +81,9 @@ val base_case : ?config:Prover.config -> env -> invariant -> case_result
     state by case analysis from other invariants, without induction — the
     paper proves five of its 18 properties this way (Section 5.1).  [hyps]
     receives the arbitrary state and the invariant's parameter constants and
-    returns the lemma instances to assume. *)
+    returns the lemma instances to assume.  Runs in a branched environment
+    (like {!prove_invariant}'s cases), so concurrent derived proofs sharing
+    [env] are safe. *)
 val prove_derived :
   ?config:Prover.config ->
   env ->

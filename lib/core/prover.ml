@@ -88,6 +88,9 @@ type search_state = {
   mutable deepest : int;
   mutable vacuous_count : int;
   mutable steps0 : int;
+  mutable rule_counter : int;
+      (** per-call, so labels are deterministic and parallel proof tasks
+          never contend on a shared counter *)
 }
 
 exception Stop of outcome
@@ -100,11 +103,9 @@ let mk_stats st =
     vacuous = st.vacuous_count;
   }
 
-let ground_rule =
-  let counter = ref 0 in
-  fun lhs rhs ->
-    incr counter;
-    Rewrite.rule ~label:(Printf.sprintf "split-%d" !counter) lhs rhs
+let ground_rule st lhs rhs =
+  st.rule_counter <- st.rule_counter + 1;
+  Rewrite.rule ~label:(Printf.sprintf "split-%d" st.rule_counter) lhs rhs
 
 (* Normalize hypotheses and the goal under [sys] as {e separate}
    polynomials (multiplying them together squares the monomial count), then
@@ -224,6 +225,7 @@ let prove ?(config = default_config) ctx ~hyps ~goal =
       deepest = 0;
       vacuous_count = 0;
       steps0 = Rewrite.steps ctx.system;
+      rule_counter = 0;
     }
   in
   let rec go sys forced trail depth =
@@ -281,12 +283,12 @@ let prove ?(config = default_config) ctx ~hyps ~goal =
       else
         match orient t1 t2 with
         | Some (lhs, rhs) ->
-          let sys' = Rewrite.extend sys [ ground_rule lhs rhs ] in
+          let sys' = Rewrite.extend sys [ ground_rule st lhs rhs ] in
           go sys' forced trail (depth + 1)
         | None -> go sys ((atom, true) :: forced) trail (depth + 1))
     | Recognizer (ctor, m) ->
       let args = List.map ctx.fresh ctor.Signature.arity in
-      let sys' = Rewrite.extend sys [ ground_rule m (Term.app ctor args) ] in
+      let sys' = Rewrite.extend sys [ ground_rule st m (Term.app ctor args) ] in
       go sys' forced trail (depth + 1)
     | Plain -> go sys ((atom, true) :: forced) trail (depth + 1)
   in

@@ -8,11 +8,13 @@ type op = {
   index : int;
 }
 
-let counter = ref 0
+(* Atomic: operators are declared concurrently when proof cases run on a
+   {!Sched.Pool} (each case declares fresh constants into its own branched
+   signature, but the index counter is global). *)
+let counter = Atomic.make 0
 
 let mk_op name arity sort attrs =
-  incr counter;
-  { name; arity; sort; attrs; index = !counter }
+  { name; arity; sort; attrs; index = Atomic.fetch_and_add counter 1 }
 
 type t = { table : (string, op) Hashtbl.t; mutable order : op list }
 
@@ -64,16 +66,27 @@ module Builtin = struct
   let implies = mk_op "implies" [ b; b ] b []
   let iff = mk_op "iff" [ b; b ] b []
 
-  let poly_table : (string, op) Hashtbl.t = Hashtbl.create 32
+  (* Global like the sort intern table, and consulted on every [Term.eq] /
+     [Term.ite] construction — including from parallel proof tasks.  Reads
+     must be lock-free (term construction is hot), so the table is an
+     immutable association list behind an atomic; it holds one entry per
+     (prefix, sort) pair, so linear search is fine.  Writers race benignly:
+     the CAS retry re-checks for a concurrent insertion of the same key. *)
+  let poly_table : (string * op) list Atomic.t = Atomic.make []
 
   let poly prefix mk sort =
     let key = prefix ^ ":" ^ sort.Sort.name in
-    match Hashtbl.find_opt poly_table key with
-    | Some o -> o
-    | None ->
-      let o = mk key in
-      Hashtbl.add poly_table key o;
-      o
+    let rec get () =
+      let snapshot = Atomic.get poly_table in
+      match List.assoc_opt key snapshot with
+      | Some o -> o
+      | None ->
+        let o = mk key in
+        if Atomic.compare_and_set poly_table snapshot ((key, o) :: snapshot)
+        then o
+        else get ()
+    in
+    get ()
 
   let if_ sort =
     let mk key = mk_op key [ b; sort; sort ] sort [] in

@@ -1,27 +1,42 @@
 type t = { name : string; hidden : bool }
 
+(* The intern table is global and may be consulted from several domains at
+   once (proof tasks running on a {!Sched.Pool}), so every access takes the
+   lock; interning is far off any hot path. *)
 let table : (string, t) Hashtbl.t = Hashtbl.create 64
 let order : t list ref = ref []
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
 
 let intern ~hidden name =
-  match Hashtbl.find_opt table name with
-  | Some s ->
-    if s.hidden <> hidden then
-      invalid_arg
-        (Printf.sprintf "Sort.%s: %S already interned with other visibility"
-           (if hidden then "hidden" else "visible")
-           name);
-    s
-  | None ->
-    let s = { name; hidden } in
-    Hashtbl.add table name s;
-    order := s :: !order;
-    s
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some s ->
+        if s.hidden <> hidden then
+          invalid_arg
+            (Printf.sprintf "Sort.%s: %S already interned with other visibility"
+               (if hidden then "hidden" else "visible")
+               name);
+        s
+      | None ->
+        let s = { name; hidden } in
+        Hashtbl.add table name s;
+        order := s :: !order;
+        s)
 
 let visible name = intern ~hidden:false name
 let hidden name = intern ~hidden:true name
-let find name = Hashtbl.find table name
-let mem name = Hashtbl.mem table name
+let find name = locked (fun () -> Hashtbl.find table name)
+let mem name = locked (fun () -> Hashtbl.mem table name)
 let equal s1 s2 = s1 == s2 || String.equal s1.name s2.name
 let compare s1 s2 = String.compare s1.name s2.name
 
@@ -30,4 +45,4 @@ let pp ppf s =
   if s.hidden then Format.pp_print_char ppf '*'
 
 let bool = visible "Bool"
-let all () = List.rev !order
+let all () = locked (fun () -> List.rev !order)

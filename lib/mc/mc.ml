@@ -87,26 +87,130 @@ let explore ?(max_states = 1_000_000) ?(max_depth = max_int) system ~stop =
   with Found (key, depth) ->
     `Stopped (mk_stats (), trace_to key, depth)
 
-let bfs ?max_states ?max_depth system ~props =
-  let stop state =
-    List.find_map
-      (fun (name, pred) -> if pred state then None else Some name)
-      props
+(* Level-synchronous parallel BFS.  Each frontier level is expanded on the
+   pool ([system.next] on distinct states, chunked to bound task count);
+   the seen-set merge is sequential, walking the expanded items in frontier
+   order and replaying exactly the [enqueue] logic of {!explore} — same
+   per-item bound check, same dedup order, same stop-at-first-violation.
+   The outcome (violation, trace, depth, states, transitions) is therefore
+   identical to the sequential exploration; only wall-clock differs.
+
+   State handoff is synchronized: closures reach workers through the pool's
+   queues and successor states return through task results, so per-state
+   caches written on one side are visible on the other. *)
+let explore_par ?(max_states = 1_000_000) ?(max_depth = max_int) pool system
+    ~stop =
+  let t0 = Unix.gettimeofday () in
+  let seen : (string, 'a node) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let deepest = ref 0 in
+  let complete = ref true in
+  let frontier = ref [] in
+  let trace_to key =
+    let rec go key acc =
+      match Hashtbl.find seen key with
+      | { parent_key = None; _ } -> acc
+      | { parent_key = Some pk; via = Some a; _ } -> go pk (a :: acc)
+      | { parent_key = Some _; via = None; _ } -> acc
+    in
+    go key []
   in
-  (* [stop] returns the name of a *violated* property. *)
+  let enqueue state parent_key via depth =
+    let k = system.key state in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k { parent_key; via; depth };
+      incr states;
+      if depth > !deepest then deepest := depth;
+      (match stop state with
+      | Some (_ : string) -> raise (Found (k, depth))
+      | None -> ());
+      if depth < max_depth then frontier := (state, k, depth) :: !frontier
+      else complete := false
+    end
+  in
+  let mk_stats () =
+    {
+      states_explored = !states;
+      transitions_fired = !transitions;
+      max_depth = !deepest;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  let chunks level =
+    let size =
+      max 1
+        ((List.length level + (4 * Sched.Pool.jobs pool) - 1)
+        / (4 * Sched.Pool.jobs pool))
+    in
+    let rec split acc current n = function
+      | [] ->
+        List.rev
+          (if current = [] then acc else List.rev current :: acc)
+      | x :: rest ->
+        if n = size then split (List.rev current :: acc) [ x ] 1 rest
+        else split acc (x :: current) (n + 1) rest
+    in
+    split [] [] 0 level
+  in
+  try
+    enqueue system.initial None None 0;
+    while !frontier <> [] do
+      let level = List.rev !frontier in
+      frontier := [];
+      if !states > max_states then complete := false
+      else begin
+        let expanded =
+          Sched.Pool.parallel_map pool
+            (List.map (fun (state, k, depth) -> k, depth, system.next state))
+            (chunks level)
+        in
+        List.iter
+          (List.iter (fun (k, depth, succs) ->
+               if !states > max_states then complete := false
+               else
+                 List.iter
+                   (fun (a, s') ->
+                     incr transitions;
+                     enqueue s' (Some k) (Some a) (depth + 1))
+                   succs))
+          expanded
+      end
+    done;
+    `Exhausted (mk_stats (), !complete)
+  with Found (key, depth) ->
+    `Stopped (mk_stats (), trace_to key, depth)
+
+let outcome_of_explore violated = function
+  | `Exhausted (stats, true) -> No_violation stats
+  | `Exhausted (stats, false) -> Out_of_bounds stats
+  | `Stopped (stats, trace, depth) ->
+    Violation ({ property = !violated; trace; depth }, stats)
+
+let stop_of_props props =
   let violated = ref "" in
   let stop state =
-    match stop state with
+    match
+      List.find_map
+        (fun (name, pred) -> if pred state then None else Some name)
+        props
+    with
     | Some name ->
       violated := name;
       Some name
     | None -> None
   in
-  match explore ?max_states ?max_depth system ~stop with
-  | `Exhausted (stats, true) -> No_violation stats
-  | `Exhausted (stats, false) -> Out_of_bounds stats
-  | `Stopped (stats, trace, depth) ->
-    Violation ({ property = !violated; trace; depth }, stats)
+  violated, stop
+
+let par_bfs ?max_states ?max_depth ~pool system ~props =
+  let violated, stop = stop_of_props props in
+  outcome_of_explore violated
+    (explore_par ?max_states ?max_depth pool system ~stop)
+
+let bfs ?max_states ?max_depth system ~props =
+  (* [stop] returns the name of a *violated* property. *)
+  let violated, stop = stop_of_props props in
+  outcome_of_explore violated (explore ?max_states ?max_depth system ~stop)
 
 let reachable ?max_states ?max_depth system ~goal =
   let witness = ref None in

@@ -49,6 +49,22 @@ val bfs :
   props:(string * ('s -> bool)) list ->
   'a outcome
 
+(** [par_bfs ?max_states ?max_depth ~pool system ~props] is {!bfs} with
+    each frontier level expanded in parallel on [pool]: [system.next] runs
+    on the pool's domains (chunked over the level), and successors are
+    merged into the seen set sequentially, in frontier order, replaying the
+    sequential enqueue logic exactly.  The outcome — violation, minimal
+    trace, depth, state and transition counts — is identical to [bfs] on
+    the same system and bounds; only [elapsed] differs.  [system.next] must
+    be safe to call concurrently on distinct states. *)
+val par_bfs :
+  ?max_states:int ->
+  ?max_depth:int ->
+  pool:Sched.Pool.t ->
+  ('s, 'a) system ->
+  props:(string * ('s -> bool)) list ->
+  'a outcome
+
 (** [reachable ?max_states ?max_depth system ~goal] searches for a state
     satisfying [goal]; returns the (BFS-minimal) witness trace, if any.
     Used to answer “can the protocol reach a completed handshake?” style

@@ -545,10 +545,20 @@ let prop3' style =
   let _, _, p = get style in
   p
 
-let run ?config env = function
-  | Inductive (inv, hints) -> Induction.prove_invariant ?config env ~hints inv
+let run ?config ?pool env = function
+  | Inductive (inv, hints) ->
+    Induction.prove_invariant ?config ?pool env ~hints inv
   | Derived (inv, hyps) -> Induction.prove_derived ?config env ~hyps inv
 
-let campaign ?config style =
+(* The campaign fans out at both levels when a pool is given: one task per
+   invariant, and each invariant's cases are themselves pool tasks (nested
+   submission).  Every case runs in a branched environment whose results do
+   not depend on scheduling, and [parallel_map] keys results by submission
+   index — so the report is identical to the sequential run. *)
+let campaign ?config ?pool style =
   let env = Tls.Model.env style in
-  List.map (run ?config env) (all style)
+  let proofs = all style in
+  match pool with
+  | None -> List.map (run ?config env) proofs
+  | Some p ->
+    Sched.Pool.parallel_map p (fun proof -> run ?config ~pool:p env proof) proofs

@@ -62,14 +62,25 @@ val extensions : Tls.Model.style -> proof list
     @raise Not_found on unknown names. *)
 val find : Tls.Model.style -> string -> proof
 
-(** [run ?config env proof] executes one proof entry. *)
+(** [run ?config ?pool env proof] executes one proof entry; with [pool],
+    an inductive proof's cases run in parallel on its domains. *)
 val run :
-  ?config:Prover.config -> Induction.env -> proof -> Induction.result
+  ?config:Prover.config ->
+  ?pool:Sched.Pool.t ->
+  Induction.env ->
+  proof ->
+  Induction.result
 
-(** [campaign ?config style] runs everything and returns the results in
-    order. *)
+(** [campaign ?config ?pool style] runs everything and returns the results
+    in order.  With [pool], invariants fan out across the pool and each
+    invariant's induction cases fan out further (nested submission); the
+    results — statistics included — are identical to the sequential run
+    whatever the pool size. *)
 val campaign :
-  ?config:Prover.config -> Tls.Model.style -> Induction.result list
+  ?config:Prover.config ->
+  ?pool:Sched.Pool.t ->
+  Tls.Model.style ->
+  Induction.result list
 
 (** {1 The failing properties (Section 5.3)}
 

@@ -1,0 +1,56 @@
+exception Closed
+
+type 'a t = {
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let with_lock ch f =
+  Mutex.lock ch.mutex;
+  match f () with
+  | v ->
+    Mutex.unlock ch.mutex;
+    v
+  | exception e ->
+    Mutex.unlock ch.mutex;
+    raise e
+
+let send ch v =
+  with_lock ch (fun () ->
+      if ch.closed then raise Closed;
+      Queue.add v ch.queue;
+      Condition.signal ch.nonempty)
+
+let recv ch =
+  with_lock ch (fun () ->
+      let rec wait () =
+        match Queue.take_opt ch.queue with
+        | Some _ as r -> r
+        | None ->
+          if ch.closed then None
+          else begin
+            Condition.wait ch.nonempty ch.mutex;
+            wait ()
+          end
+      in
+      wait ())
+
+let try_recv ch = with_lock ch (fun () -> Queue.take_opt ch.queue)
+
+let close ch =
+  with_lock ch (fun () ->
+      ch.closed <- true;
+      (* wake every blocked receiver so it can observe the close *)
+      Condition.broadcast ch.nonempty)
+
+let length ch = with_lock ch (fun () -> Queue.length ch.queue)

@@ -1,0 +1,32 @@
+(** A blocking multi-producer / multi-consumer channel.
+
+    The pool uses one as its injection queue (tasks submitted from outside
+    the worker domains); it is exposed because pipelines built on top of
+    {!Pool} routinely need an unbounded handoff queue as well.
+
+    All operations are linearizable; blocking operations never spin. *)
+
+type 'a t
+
+(** [create ()] is an empty open channel. *)
+val create : unit -> 'a t
+
+(** [send ch v] enqueues [v].
+    @raise Closed if the channel has been closed. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv ch] dequeues the oldest element, blocking while the channel is
+    empty.  Returns [None] once the channel is closed {e and} drained. *)
+val recv : 'a t -> 'a option
+
+(** [try_recv ch] dequeues without blocking. *)
+val try_recv : 'a t -> 'a option
+
+(** [close ch] marks the channel closed: further {!send}s raise {!Closed},
+    blocked receivers drain the remaining elements and then see [None]. *)
+val close : 'a t -> unit
+
+(** [length ch] is the number of queued elements (a snapshot). *)
+val length : 'a t -> int
+
+exception Closed

@@ -1,0 +1,64 @@
+(** A hand-rolled work-stealing domain pool.
+
+    [create ~jobs] spawns [jobs - 1] worker domains; the submitting domain
+    is the remaining unit of parallelism (it helps execute pool work inside
+    {!await} and {!parallel_map}).  Each worker owns a Chase-Lev-style
+    deque: it pushes and pops at the bottom (LIFO, for locality of nested
+    tasks) while idle workers steal from the top (FIFO, so the oldest —
+    typically largest — task migrates).  Tasks submitted from outside the
+    pool enter a shared injection queue that every worker polls.
+
+    {b Nested submission is safe}: a task may submit further tasks and
+    {!await} them — awaiting from inside the pool {e helps} (runs pending
+    tasks) instead of blocking the domain, so a pool of any size, including
+    [jobs = 1] (zero workers, everything runs on the caller during
+    [await]), never deadlocks on task nesting.
+
+    {b Determinism}: {!parallel_map} returns results keyed by submission
+    index, and exceptions are re-raised by the lowest failing index after
+    all sibling tasks have settled — so for pure task functions the
+    observable behaviour of [parallel_map] is byte-identical to [List.map],
+    whatever the number of workers. *)
+
+type t
+
+(** [create ~jobs ()] builds a pool of [jobs] units of parallelism
+    ([jobs - 1] worker domains).  [jobs] is clamped to at least 1. *)
+val create : jobs:int -> unit -> t
+
+(** [jobs pool] is the total parallelism (workers + the calling domain). *)
+val jobs : t -> int
+
+(** [submit pool f] schedules [f] and returns its future. *)
+val submit : t -> (unit -> 'a) -> 'a Task.t
+
+(** [await pool task] returns the task's value, executing other pool work
+    while it is unresolved.  Re-raises the task's exception (with its
+    original backtrace) if it failed. *)
+val await : t -> 'a Task.t -> 'a
+
+(** [run pool f] is [await pool (submit pool f)]. *)
+val run : t -> (unit -> 'a) -> 'a
+
+(** [parallel_map pool f xs] maps [f] over [xs] in parallel; the result
+    order follows [xs] regardless of completion order.  If any application
+    raises, the exception of the least index is re-raised after all other
+    elements have settled. *)
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_filter_map pool f xs] — as {!parallel_map}, keeping [Some]
+    results (order preserved). *)
+val parallel_filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
+
+(** [shutdown pool] drains remaining work, stops the workers and joins
+    their domains.  Idempotent; submitting to a shut-down pool raises
+    [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool, shutting it down on
+    exit (including exceptional exit). *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** Raised by {!await} on a zero-worker pool when no pending task can
+    resolve the awaited one (a task transitively awaiting itself). *)
+exception Deadlock

@@ -1,0 +1,66 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a t = {
+  state : 'a state Atomic.t;
+  mutex : Mutex.t;
+  resolved : Condition.t;
+}
+
+let create () =
+  {
+    state = Atomic.make Pending;
+    mutex = Mutex.create ();
+    resolved = Condition.create ();
+  }
+
+(* Resolution publishes the state with an atomic write, then broadcasts
+   under the mutex; waiters re-check the state while holding the mutex, so
+   the wake-up cannot be lost between their check and their wait. *)
+let resolve t state =
+  if not (Atomic.compare_and_set t.state Pending state) then
+    invalid_arg "Sched.Task: already resolved";
+  Mutex.lock t.mutex;
+  Condition.broadcast t.resolved;
+  Mutex.unlock t.mutex
+
+let fill t v = resolve t (Done v)
+let fail t e bt = resolve t (Failed (e, bt))
+let is_resolved t = Atomic.get t.state <> Pending
+
+let poll t =
+  match Atomic.get t.state with
+  | Pending -> None
+  | Done v -> Some v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let wait t =
+  let rec finish () =
+    match Atomic.get t.state with
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending ->
+      Condition.wait t.resolved t.mutex;
+      finish ()
+  in
+  match Atomic.get t.state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending ->
+    Mutex.lock t.mutex;
+    let r = try finish () with e -> Mutex.unlock t.mutex; raise e in
+    Mutex.unlock t.mutex;
+    r
+
+let of_result v =
+  let t = create () in
+  fill t v;
+  t
+
+let of_fun f =
+  let t = create () in
+  (try fill t (f ())
+   with e -> fail t e (Printexc.get_raw_backtrace ()));
+  t

@@ -1,0 +1,37 @@
+(** Write-once futures.
+
+    A task is the handle to a result that some domain will eventually
+    produce.  Exceptions raised by the producer are captured together with
+    their backtrace and re-raised in the consumer at {!wait} (or at
+    {!Pool.await}), so a failure inside the pool surfaces exactly like a
+    failure in direct code. *)
+
+type 'a t
+
+(** [create ()] is an unresolved task. *)
+val create : unit -> 'a t
+
+(** [fill t v] resolves [t] with a value and wakes all waiters.
+    @raise Invalid_argument if [t] is already resolved. *)
+val fill : 'a t -> 'a -> unit
+
+(** [fail t e bt] resolves [t] with an exception and its backtrace. *)
+val fail : 'a t -> exn -> Printexc.raw_backtrace -> unit
+
+(** [is_resolved t] is true once {!fill} or {!fail} has run. *)
+val is_resolved : 'a t -> bool
+
+(** [poll t] is the value if [t] resolved successfully, re-raises the
+    captured exception if it failed, and is [None] while unresolved. *)
+val poll : 'a t -> 'a option
+
+(** [wait t] blocks the calling domain until [t] resolves.  Prefer
+    {!Pool.await} from inside pool tasks — [wait] does not help execute
+    pending work and so can deadlock a worker. *)
+val wait : 'a t -> 'a
+
+(** [of_result v] / [of_fun f] — pre-resolved tasks, the latter capturing
+    an exception from [f] (used by the pool's sequential fallback). *)
+val of_result : 'a -> 'a t
+
+val of_fun : (unit -> 'a) -> 'a t

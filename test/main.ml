@@ -15,4 +15,5 @@ let () =
       Test_proofs.suite;
       Test_mc.suite;
       Test_nspk_sym.suite;
+      Test_sched.suite;
     ]

@@ -192,6 +192,61 @@ let test_nspk_completes_honestly () =
     Alcotest.(check bool) "at least 3 messages" true (List.length trace >= 3)
   | None -> Alcotest.fail "honest NSPK run should complete"
 
+(* ------------------------------------------------------------------ *)
+(* par_bfs: frontier-parallel exploration must agree with bfs exactly —
+   same violation, same minimal trace, same state/transition counts. *)
+
+let stats_sig (s : Mc.stats) =
+  s.Mc.states_explored, s.Mc.transitions_fired, s.Mc.max_depth
+
+let outcome_sig = function
+  | Mc.No_violation s -> "none", "", [], 0, stats_sig s
+  | Mc.Out_of_bounds s -> "bounds", "", [], 0, stats_sig s
+  | Mc.Violation (v, s) ->
+    "violation", v.Mc.property, v.Mc.trace, v.Mc.depth, stats_sig s
+
+let check_par_agrees ?max_states ?max_depth name system ~props =
+  let seq = Mc.bfs ?max_states ?max_depth system ~props in
+  Sched.Pool.with_pool ~jobs:3 @@ fun pool ->
+  let par = Mc.par_bfs ?max_states ?max_depth ~pool system ~props in
+  Alcotest.(check bool) name true (outcome_sig seq = outcome_sig par)
+
+let test_par_bfs_counter () =
+  check_par_agrees "toy violation"
+    (counter_system ~limit:10)
+    ~props:[ "below-4", (fun n -> n < 4) ];
+  check_par_agrees "toy exhaustion"
+    (counter_system ~limit:10)
+    ~props:[ "small", (fun n -> n <= 10) ];
+  check_par_agrees ~max_depth:3 "toy bounds"
+    (counter_system ~limit:10)
+    ~props:[ "below-7", (fun n -> n < 7) ]
+
+let test_par_bfs_lowe_attack () =
+  let scen = Nspk.default_scenario Nspk.Classic in
+  let props = [ "responder-agreement", Nspk.responder_agreement ] in
+  let system = Nspk.system scen in
+  (match Mc.bfs ~max_states:100_000 ~max_depth:8 system ~props with
+  | Mc.Violation _ -> ()
+  | _ -> Alcotest.fail "baseline should find Lowe's attack");
+  check_par_agrees ~max_states:100_000 ~max_depth:8 "same attack, same trace"
+    system ~props
+
+let test_par_bfs_no_violation () =
+  let scen = Nspk.default_scenario Nspk.Lowe_fixed in
+  check_par_agrees ~max_states:60_000 ~max_depth:8 "NSL stays clean"
+    (Nspk.system scen)
+    ~props:
+      [
+        "responder-agreement", Nspk.responder_agreement;
+        "nonce-secrecy", Nspk.nonce_secrecy;
+      ]
+
+let test_par_bfs_tls () =
+  check_par_agrees ~max_states:20_000 ~max_depth:6 "2' counterexample"
+    tls_system
+    ~props:[ "cf-authentic", Tls.Concrete.prop_cf_authentic ]
+
 let tests =
   [
     "bfs exhausts", `Quick, test_bfs_exhausts;
@@ -209,6 +264,10 @@ let tests =
     "nspk nonce secrecy broken", `Quick, test_nspk_nonce_secrecy_broken;
     "nsl fixed clean", `Quick, test_nsl_fixed_is_clean;
     "nspk completes honestly", `Quick, test_nspk_completes_honestly;
+    "par_bfs toy systems", `Quick, test_par_bfs_counter;
+    "par_bfs lowe attack", `Quick, test_par_bfs_lowe_attack;
+    "par_bfs no violation", `Quick, test_par_bfs_no_violation;
+    "par_bfs tls 2'", `Quick, test_par_bfs_tls;
   ]
 
 let suite = "model-checker", tests
