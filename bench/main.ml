@@ -26,6 +26,7 @@ type record = {
 }
 
 let records : record list ref = ref []
+let lint_ms = ref 0.0
 
 let record ?(steps = 0) ?(splits = 0) name wall =
   records :=
@@ -47,7 +48,8 @@ let json_escape s =
 
 let write_json file ~jobs =
   let oc = open_out file in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"experiments\": [" jobs;
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"lint_ms\": %.3f,\n  \"experiments\": ["
+    jobs !lint_ms;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
@@ -245,7 +247,24 @@ let report ~pool () =
     (Boolring.tautology peirce);
   let sys = Rewrite.make (Boolring.rewrite_rules ()) in
   Format.printf "peirce's law by Hsiang rewriting:       %a@." Term.pp
-    (Rewrite.normalize sys peirce)
+    (Rewrite.normalize sys peirce);
+
+  section "E13: static analysis of the generated rewrite system (lint)";
+  let t0 = Unix.gettimeofday () in
+  let lr =
+    Analysis.Lint.run ~pool
+      [
+        Analysis.Lint.Generated
+          { label = "generated:tls"; spec = Tls.Model.spec Tls.Model.Original };
+      ]
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  lint_ms := dt *. 1000.;
+  Format.printf
+    "E13 lint: generated TLS spec certified=%b (%d errors, %d warnings, %d infos) in %.3fs@."
+    (lr.Analysis.Lint.errors = 0)
+    lr.Analysis.Lint.errors lr.Analysis.Lint.warnings lr.Analysis.Lint.infos dt;
+  record "lint-generated-tls" dt
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing *)

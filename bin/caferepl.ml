@@ -16,8 +16,8 @@ let process env src =
   | exception Cafeobj.Parser.Error m ->
     Format.printf "parse error: %s@." m;
     false
-  | exception Cafeobj.Lexer.Error { line; message } ->
-    Format.printf "lex error at line %d: %s@." line message;
+  | exception Cafeobj.Lexer.Error { line; col; message } ->
+    Format.printf "lex error at line %d, col %d: %s@." line col message;
     false
 
 let read_file path =

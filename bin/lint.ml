@@ -1,0 +1,92 @@
+(* lint — statically certify the rewrite systems behind red.
+
+   Usage:
+     lint specs/*.cafe             lint CafeOBJ files
+     lint --tls                    lint the generated TLS handshake spec
+     lint --tls-variant            lint the generated Cf2First variant spec
+     lint --json FILE              also write machine-readable diagnostics
+     lint --only CHECKER           run one checker (repeatable);
+     lint --skip CHECKER           or skip one (repeatable); checkers:
+                                   termination confluence completeness
+                                   hygiene coverage
+     lint --prec f,g,h             seed the termination precedence
+                                   (later = greater)
+     lint --budget N               rewrite steps per critical-pair join
+     lint --fuel N                 case splits per critical-pair join
+     lint --jobs N                 join critical pairs on N domains
+
+   Exit status:
+     0  no error-severity diagnostics
+     1  at least one error diagnostic
+     2  usage error *)
+
+let () =
+  let files = ref [] in
+  let tls = ref false in
+  let tls_variant = ref false in
+  let json = ref "" in
+  let only = ref [] in
+  let skip = ref [] in
+  let prec = ref "" in
+  let budget = ref Analysis.Lint.default_options.Analysis.Lint.budget in
+  let fuel = ref Analysis.Lint.default_options.Analysis.Lint.fuel in
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let spec =
+    [
+      "--tls", Arg.Set tls, "lint the generated TLS handshake spec";
+      "--tls-variant", Arg.Set tls_variant, "lint the generated Cf2First variant";
+      "--json", Arg.Set_string json, "FILE write the JSON report to FILE";
+      "--only", Arg.String (fun s -> only := s :: !only), "CHECKER run only this checker (repeatable)";
+      "--skip", Arg.String (fun s -> skip := s :: !skip), "CHECKER skip this checker (repeatable)";
+      "--prec", Arg.Set_string prec, "OPS comma-separated precedence seed, later = greater";
+      "--budget", Arg.Set_int budget, "N rewrite steps per critical-pair join (default 20000)";
+      "--fuel", Arg.Set_int fuel, "N case splits per critical-pair join (default 8)";
+      "--jobs", Arg.Set_int jobs, "N number of domains (default: cores)";
+    ]
+  in
+  Arg.parse spec (fun f -> files := f :: !files) "lint [options] [files]";
+  let sources =
+    List.map (fun f -> Analysis.Lint.File f) (List.rev !files)
+    @ (if !tls then
+         [ Analysis.Lint.Generated { label = "generated:tls"; spec = Tls.Model.spec Tls.Model.Original } ]
+       else [])
+    @
+    if !tls_variant then
+      [ Analysis.Lint.Generated { label = "generated:tls-variant"; spec = Tls.Model.spec Tls.Model.Cf2First } ]
+    else []
+  in
+  if sources = [] then begin
+    prerr_endline "lint: nothing to lint (pass files, --tls or --tls-variant)";
+    exit 2
+  end;
+  if !jobs < 1 then begin
+    prerr_endline "lint: --jobs must be at least 1";
+    exit 2
+  end;
+  let opts =
+    {
+      Analysis.Lint.only = List.rev !only;
+      skip = List.rev !skip;
+      hint =
+        (if !prec = "" then []
+         else String.split_on_char ',' !prec |> List.map String.trim);
+      budget = !budget;
+      fuel = !fuel;
+    }
+  in
+  let report =
+    try
+      Sched.Pool.with_pool ~jobs:!jobs @@ fun pool ->
+      Analysis.Lint.run ~pool ~opts sources
+    with Invalid_argument m ->
+      prerr_endline ("lint: " ^ m);
+      exit 2
+  in
+  Format.printf "%a" Analysis.Lint.pp_report report;
+  if !json <> "" then begin
+    let oc = open_out !json in
+    output_string oc (Analysis.Lint.report_to_json report);
+    close_out oc;
+    Format.printf "wrote %s@." !json
+  end;
+  exit (if report.Analysis.Lint.errors > 0 then 1 else 0)

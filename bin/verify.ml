@@ -6,6 +6,8 @@
      verify --only inv1         run a single proof
      verify --negative          also attempt the failing properties 2'/3'
      verify --extensions        also prove the two beyond-paper invariants
+     verify --lint              gate: statically lint the spec first and
+                                refuse to prove over an uncertified system
      verify --stats             print campaign totals only
      verify --jobs N            verify on N domains (work-stealing pool)
 
@@ -15,6 +17,9 @@
      1  an invariant was left unproved or refuted, or a negative property
         unexpectedly proved
      2  usage error
+     3  the --lint gate failed: the rewrite system behind the proofs is
+        not certified (termination/confluence/… error diagnostics) —
+        no proof was attempted
 
    Results are independent of --jobs: every case runs in its own branched
    spec environment, so statistics and outcomes are byte-identical to the
@@ -32,6 +37,7 @@ let () =
   let only = ref [] in
   let negative = ref false in
   let extensions = ref false in
+  let lint = ref false in
   let stats_only = ref false in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let spec =
@@ -40,6 +46,7 @@ let () =
       "--only", Arg.String (fun s -> only := s :: !only), "NAME run one proof (repeatable)";
       "--negative", Arg.Set negative, "also attempt properties 2' and 3'";
       "--extensions", Arg.Set extensions, "also prove the beyond-paper invariants";
+      "--lint", Arg.Set lint, "lint the spec and refuse to prove over an uncertified system";
       "--stats", Arg.Set stats_only, "print summary only";
       "--jobs", Arg.Set_int jobs, "N number of domains (default: cores)";
     ]
@@ -66,6 +73,33 @@ let () =
         (List.rev names)
   in
   Sched.Pool.with_pool ~jobs:!jobs @@ fun pool ->
+  if !lint then begin
+    (* Gate the campaign on the static certificate: a looping or
+       non-confluent system makes every red result meaningless. *)
+    let label =
+      if !variant then "generated:tls-variant" else "generated:tls"
+    in
+    let t0 = Unix.gettimeofday () in
+    let report =
+      Analysis.Lint.run ~pool
+        [ Analysis.Lint.Generated { label; spec = Tls.Model.spec style } ]
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if report.Analysis.Lint.errors > 0 then begin
+      List.iter
+        (fun d ->
+          if d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error then
+            Format.eprintf "%a@." Analysis.Diagnostic.pp d)
+        report.Analysis.Lint.diagnostics;
+      Format.eprintf
+        "verify: lint gate failed: %d error(s) — system not certified, \
+         refusing to prove@."
+        report.Analysis.Lint.errors;
+      exit 3
+    end;
+    Format.printf "lint gate: %s certified in %.2fs (%d warnings, %d infos)@.@."
+      label dt report.Analysis.Lint.warnings report.Analysis.Lint.infos
+  end;
   let t0 = Unix.gettimeofday () in
   let results =
     if !stats_only then

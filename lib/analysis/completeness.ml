@@ -1,0 +1,176 @@
+open Kernel
+
+type result = {
+  checked : int;
+  complete : int;
+  diagnostics : Diagnostic.t list;
+}
+
+let max_patterns = 4096
+
+(* Constructors available for case-splitting an argument of [sort]:
+   declared [ctor] operators; [true]/[false] for Bool; and for sorts with
+   no constructors at all (the hidden state sort of an OTS), the
+   generators — every visible operator producing the sort.  The last case
+   is exactly the paper's induction structure: an observer is completely
+   defined when it reduces on [init] and on every action. *)
+let splitters ~ops sort =
+  if Sort.equal sort Sort.bool then [ Signature.Builtin.tt; Signature.Builtin.ff ]
+  else
+    let ctors =
+      List.filter
+        (fun (o : Signature.op) ->
+          Signature.is_ctor o && Sort.equal o.Signature.sort sort)
+        ops
+    in
+    if ctors <> [] then ctors
+    else
+      List.filter
+        (fun (o : Signature.op) ->
+          Sort.equal o.Signature.sort sort && not (Signature.Builtin.is_builtin o))
+        ops
+
+let head_is (f : Signature.op) t =
+  match t with
+  | Term.App (o, args) ->
+    Signature.op_equal o f && List.length args = List.length f.Signature.arity
+  | Term.Var _ -> false
+
+(* First position (pre-order walk of pattern and rule lhs in lockstep)
+   where the pattern has a variable and the rule's lhs an application:
+   the variable to split to make progress towards the rule. *)
+let rec split_var pat lhs =
+  match pat, lhs with
+  | Term.Var v, Term.App _ -> Some v
+  | Term.App (_, ps), Term.App (_, ls) when List.length ps = List.length ls ->
+    List.find_map (fun (p, l) -> split_var p l) (List.combine ps ls)
+  | _ -> None
+
+type verdict =
+  | Complete
+  | Missing of Term.t list
+  | Inconclusive of string
+
+let check_op ~ops ~rules (f : Signature.op) =
+  let f_rules =
+    List.filter (fun (r : Rewrite.rule) -> head_is f r.Rewrite.lhs) rules
+  in
+  if f_rules = [] then None
+  else begin
+    let fresh =
+      let c = ref 0 in
+      fun sort ->
+        incr c;
+        Term.var (Printf.sprintf "%%sc%d" !c) sort
+    in
+    let top = Term.app f (List.map fresh f.Signature.arity) in
+    let missing = ref [] in
+    let verdict = ref None in
+    let expanded = ref 0 in
+    let rec walk pat =
+      if !verdict = None then begin
+        incr expanded;
+        if !expanded > max_patterns then verdict := Some (Inconclusive "pattern budget exceeded")
+        else
+          let covered =
+            List.exists
+              (fun (r : Rewrite.rule) -> Matching.match_ r.Rewrite.lhs pat <> None)
+              f_rules
+          in
+          if not covered then begin
+            let unifying =
+              List.filter
+                (fun (r : Rewrite.rule) ->
+                  Matching.unify r.Rewrite.lhs pat <> None)
+                f_rules
+            in
+            if unifying = [] then missing := pat :: !missing
+            else
+              match
+                List.find_map
+                  (fun (r : Rewrite.rule) -> split_var pat r.Rewrite.lhs)
+                  unifying
+              with
+              | None -> missing := pat :: !missing
+              | Some v -> (
+                match splitters ~ops v.Term.v_sort with
+                | [] ->
+                  verdict :=
+                    Some
+                      (Inconclusive
+                         (Format.asprintf "sort %a has no constructors to split on"
+                            Sort.pp v.Term.v_sort))
+                | cs ->
+                  List.iter
+                    (fun (c : Signature.op) ->
+                      let inst = Term.app c (List.map fresh c.Signature.arity) in
+                      walk
+                        (Term.replace ~old:(Term.var v.Term.v_name v.Term.v_sort)
+                           ~by:inst pat))
+                    cs)
+          end
+      end
+    in
+    walk top;
+    match !verdict with
+    | Some v -> Some (f, f_rules, v)
+    | None ->
+      Some (f, f_rules, if !missing = [] then Complete else Missing (List.rev !missing))
+  end
+
+let check spec =
+  let name = Cafeobj.Spec.name spec in
+  let ops = Cafeobj.Spec.all_ops spec in
+  let rules = Cafeobj.Spec.all_rules spec in
+  let candidates =
+    List.filter
+      (fun (o : Signature.op) ->
+        (not (Signature.is_ctor o))
+        && (not (Signature.Builtin.is_builtin o))
+        && (not (Signature.is_ac o))
+        && not (Signature.is_comm o))
+      ops
+  in
+  let verdicts = List.filter_map (check_op ~ops ~rules) candidates in
+  let diagnostics =
+    List.concat_map
+      (fun ((f : Signature.op), f_rules, v) ->
+        let pos = Cafeobj.Spec.pos_of spec ("op:" ^ f.Signature.name) in
+        match v with
+        | Complete -> []
+        | Inconclusive why ->
+          [
+            Diagnostic.make ?pos ~severity:Diagnostic.Info ~checker:"completeness"
+              ~code:"inconclusive" ~spec:name
+              (Printf.sprintf "completeness of %s undecided: %s" f.Signature.name why);
+          ]
+        | Missing pats ->
+          (* A partial projection (every rhs a plain variable, e.g. the
+             paper's [rand], defined only on the message kinds that carry a
+             random) is idiomatic CafeOBJ: missing cases are junk terms no
+             proof score ever builds.  Report those as info, genuine
+             missing cases of computing ops as errors. *)
+          let projection =
+            List.for_all
+              (fun (r : Rewrite.rule) ->
+                match r.Rewrite.rhs with
+                | Term.Var _ -> true
+                (* if-lifting rules ride along with every selector; they do
+                   not make it a computing op. *)
+                | Term.App (o, _) -> Signature.Builtin.is_if o)
+              f_rules
+          in
+          let severity = if projection then Diagnostic.Info else Diagnostic.Error in
+          List.map
+            (fun pat ->
+              Diagnostic.make ?pos ~severity ~checker:"completeness"
+                ~code:"missing-pattern" ~spec:name
+                (Format.asprintf "op %s does not reduce on pattern %a"
+                   f.Signature.name Term.pp pat))
+            pats)
+      verdicts
+  in
+  let complete =
+    List.length (List.filter (fun (_, _, v) -> v = Complete) verdicts)
+  in
+  { checked = List.length verdicts; complete; diagnostics }

@@ -1,0 +1,25 @@
+(** Sufficient-completeness checker: every defined (non-constructor)
+    operator must reduce on all constructor argument patterns.
+
+    Patterns are enumerated by need: starting from [f(x1…xn)], a pattern
+    already matched by some rule's left-hand side is covered (conditional
+    rules count optimistically); otherwise a variable is split along the
+    constructors of its sort wherever an overlapping rule demands it.
+    Sorts without [ctor] declarations split along their {e generators}
+    (all operators producing the sort) — for an OTS state sort this checks
+    that every observer is defined on [init] and on every action, the
+    paper's induction structure.  AC/commutative operators are skipped
+    (pattern matching here is syntactic).
+
+    Missing patterns of a partial {e projection} (all right-hand sides
+    plain variables, e.g. the paper's [rand] on messages that carry no
+    random) are reported as info; missing patterns of computing operators
+    are errors. *)
+
+type result = {
+  checked : int;  (** defined ops with at least one rule *)
+  complete : int;
+  diagnostics : Diagnostic.t list;
+}
+
+val check : Cafeobj.Spec.t -> result

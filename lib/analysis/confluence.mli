@@ -1,0 +1,43 @@
+(** Local-confluence checker: every critical pair of the module's rule set
+    ({!Kernel.Completion.all_critical_pairs}, self-overlaps included) must
+    be joinable.  Together with a termination certificate this gives
+    confluence (Newman's lemma), i.e. [red] computes a unique normal form.
+
+    Pairs are joined innermost-first within a step budget.  A pair whose
+    normal forms differ syntactically may still be {e semantically}
+    joinable: both sides boolean-ring equal (Hsiang — how the paper's BOOL
+    identifies [xor]-permuted forms), or joinable in every branch of a
+    Shannon case split on an [if] condition (the if-lifted TLS rules
+    produce nested conditionals in different orders).  Such pairs are
+    counted [semantic] and do not fail certification; truly divergent
+    pairs are errors, budget blow-ups are warnings. *)
+
+open Kernel
+
+type join_status =
+  | Syntactic  (** identical normal forms *)
+  | Semantic  (** equal after boolean-ring reasoning / [if] case split *)
+  | Undecided  (** step budget or split fuel exhausted *)
+  | Unjoinable of Term.t * Term.t  (** the divergent normal forms *)
+
+type pair_report = {
+  overlap : Completion.overlap;
+  status : join_status;
+}
+
+type result = {
+  certified : bool;  (** every pair [Syntactic] or [Semantic] *)
+  total : int;
+  syntactic : int;
+  semantic : int;
+  reports : pair_report list;  (** the non-syntactic pairs *)
+  diagnostics : Diagnostic.t list;
+}
+
+(** [check ?pool ?budget ?fuel spec] — [budget] caps rewrite steps per
+    normalization (default 20k), [fuel] caps Shannon splits per pair
+    (default 8).  With [pool], pair chunks are joined in parallel; each
+    chunk rebuilds a private rewrite system, so results are deterministic
+    and race-free. *)
+val check :
+  ?pool:Sched.Pool.t -> ?budget:int -> ?fuel:int -> Cafeobj.Spec.t -> result

@@ -1,0 +1,170 @@
+open Kernel
+module P = Cafeobj.Parser
+module Lexer = Cafeobj.Lexer
+
+type group = {
+  module_name : string;
+  pos : int * int;
+  passages : int;
+  exhaustive : bool;
+  residual : string option;
+}
+
+type result = {
+  groups : group list;
+  diagnostics : Diagnostic.t list;
+}
+
+(* Canonical syntax of a parser term, used to identify the same predicate
+   across passages: each passage redeclares its fresh constants, so the
+   only stable identity the checker has is the printed form. *)
+let rec term_key (t : P.term) =
+  match t with
+  | P.TIdent s -> s
+  | P.TApp (f, args) -> f ^ "(" ^ String.concat "," (List.map term_key args) ^ ")"
+  | P.TTrue -> "true"
+  | P.TFalse -> "false"
+  | P.TNot t -> "not(" ^ term_key t ^ ")"
+  | P.TBin (op, l, r) -> op ^ "(" ^ term_key l ^ "," ^ term_key r ^ ")"
+  | P.TEq (l, r) ->
+    (* == is symmetric: order the sides so [i == j] and [j == i] are the
+       same atom. *)
+    let a = term_key l and b = term_key r in
+    if String.compare a b <= 0 then "==(" ^ a ^ "," ^ b ^ ")"
+    else "==(" ^ b ^ "," ^ a ^ ")"
+  | P.TIf (c, t, e) -> "if(" ^ term_key c ^ "," ^ term_key t ^ "," ^ term_key e ^ ")"
+
+(* Propositional abstraction of an assumption's lhs: connectives are
+   interpreted, anything else becomes an atom keyed by its syntax. *)
+let atoms : (string, Term.t) Hashtbl.t = Hashtbl.create 16
+let atom_sig = lazy (Signature.create ())
+let atom_mutex = Mutex.create ()
+
+let atom_of key =
+  Mutex.protect atom_mutex @@ fun () ->
+  match Hashtbl.find_opt atoms key with
+  | Some t -> t
+  | None ->
+    (* The atom is named by its syntax so residuals in diagnostics read
+       as the user's predicate, e.g. [lock(s)] rather than a fresh id. *)
+    let op = Signature.declare (Lazy.force atom_sig) key [] Sort.bool ~attrs:[] in
+    let t = Term.const op in
+    Hashtbl.add atoms key t;
+    t
+
+let rec poly_of (t : P.term) =
+  match t with
+  | P.TTrue -> Boolring.tru
+  | P.TFalse -> Boolring.fls
+  | P.TNot t -> Boolring.not_ (poly_of t)
+  | P.TBin ("and", l, r) -> Boolring.and_ (poly_of l) (poly_of r)
+  | P.TBin ("or", l, r) -> Boolring.or_ (poly_of l) (poly_of r)
+  | P.TBin ("xor", l, r) -> Boolring.xor_ (poly_of l) (poly_of r)
+  | P.TBin ("implies", l, r) -> Boolring.implies_ (poly_of l) (poly_of r)
+  | P.TBin ("iff", l, r) -> Boolring.iff_ (poly_of l) (poly_of r)
+  | t -> Boolring.atom (atom_of (term_key t))
+
+(* The boolean literals a passage assumes: [eq c = true .] contributes the
+   positive literal [c], [eq c = false .] the negative one.  Assumption
+   equations over data (e.g. [eq n = c1 .]) are not part of a boolean case
+   split and are ignored. *)
+let passage_literals decls =
+  List.filter_map
+    (fun (ld : P.ldecl) ->
+      match ld.P.decl with
+      | P.DEq (lhs, P.TTrue) -> Some (poly_of lhs)
+      | P.DEq (lhs, P.TFalse) -> Some (Boolring.not_ (poly_of lhs))
+      | _ -> None)
+    decls
+
+type passage = {
+  p_module : string;
+  p_pos : Lexer.pos;
+  p_decls : P.ldecl list;
+}
+
+(* Extract passages ([open M … close]) and the maximal runs of consecutive
+   passages over the same module; anything else between two passages
+   breaks the run. *)
+let passages_of_program (program : P.program) =
+  let rec go acc cur = function
+    | [] -> List.rev (if cur = [] then acc else cur :: acc)
+    | (P.TOpen name, pos) :: rest ->
+      let rec collect decls = function
+        | (P.TClose, _) :: rest ->
+          ( { p_module = name; p_pos = pos; p_decls = List.rev decls }, rest )
+        | (P.TDecl d, _) :: rest -> collect (d :: decls) rest
+        | (_, _) :: rest -> collect decls rest
+        | [] ->
+          ( { p_module = name; p_pos = pos; p_decls = List.rev decls }, [] )
+      in
+      let p, rest = collect [] rest in
+      go acc (cur @ [ p ]) rest
+    | _ :: rest ->
+      let acc = if cur = [] then acc else cur :: acc in
+      go acc [] rest
+  in
+  let runs = go [] [] program in
+  (* split each run into maximal same-module groups *)
+  List.concat_map
+    (fun run ->
+      let rec split groups cur = function
+        | [] -> List.rev (if cur = [] then groups else List.rev cur :: groups)
+        | p :: rest -> (
+          match cur with
+          | c :: _ when String.equal c.p_module p.p_module ->
+            split groups (p :: cur) rest
+          | [] -> split groups [ p ] rest
+          | _ -> split (List.rev cur :: groups) [ p ] rest)
+      in
+      split [] [] run)
+    runs
+
+let check (program : P.program) =
+  let groups =
+    List.filter_map
+      (fun ps ->
+        match ps with
+        | [] | [ _ ] -> None  (* a single passage is not a case analysis *)
+        | first :: _ ->
+          let preds =
+            List.map
+              (fun p ->
+                List.fold_left Boolring.and_ Boolring.tru (passage_literals p.p_decls))
+              ps
+          in
+          (* Case analyses split on assumptions; if no passage assumes a
+             boolean literal this is just a sequence of lemmas. *)
+          if List.for_all Boolring.is_true preds then None
+          else
+            let sum = List.fold_left Boolring.or_ Boolring.fls preds in
+            let exhaustive = Boolring.is_true sum in
+            let residual =
+              if exhaustive then None
+              else Some (Format.asprintf "%a" Boolring.pp (Boolring.not_ sum))
+            in
+            Some
+              {
+                module_name = first.p_module;
+                pos = first.p_pos.Lexer.line, first.p_pos.Lexer.col;
+                passages = List.length ps;
+                exhaustive;
+                residual;
+              })
+      (passages_of_program program)
+  in
+  let diagnostics =
+    List.filter_map
+      (fun g ->
+        if g.exhaustive then None
+        else
+          Some
+            (Diagnostic.make ~pos:g.pos ~severity:Diagnostic.Error
+               ~checker:"coverage" ~code:"non-exhaustive-split" ~spec:g.module_name
+               (Printf.sprintf
+                  "case analysis on %s (%d passages) is not exhaustive; uncovered: %s"
+                  g.module_name g.passages
+                  (Option.value ~default:"?" g.residual))))
+      groups
+  in
+  { groups; diagnostics }

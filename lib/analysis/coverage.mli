@@ -1,0 +1,29 @@
+(** Proof-score coverage checker.
+
+    The paper's proof scores split an inductive step into [open M … close]
+    passages, one per case, each assuming its case predicate with equations
+    like [eq lock(s) = false .].  The proof is only sound if the case
+    predicates are exhaustive.  This checker finds maximal runs of two or
+    more consecutive passages over the same module, abstracts each
+    passage's boolean assumptions ([eq c = true/false .]) into literals
+    over syntax-keyed atoms, and requires the disjunction of the case
+    predicates to be [true] in the boolean ring ({!Kernel.Boolring}) —
+    statically, without running any [red].
+
+    Single passages and passage runs with no boolean assumptions are not
+    case analyses and are skipped. *)
+
+type group = {
+  module_name : string;
+  pos : int * int;  (** position of the group's first [open] *)
+  passages : int;
+  exhaustive : bool;
+  residual : string option;  (** the uncovered condition, when inexhaustive *)
+}
+
+type result = {
+  groups : group list;
+  diagnostics : Diagnostic.t list;
+}
+
+val check : Cafeobj.Parser.program -> result

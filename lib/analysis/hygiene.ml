@@ -1,0 +1,220 @@
+open Kernel
+
+type result = {
+  rules : int;
+  diagnostics : Diagnostic.t list;
+}
+
+let option_equal eq a b =
+  match a, b with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | _ -> false
+
+let head_name (r : Rewrite.rule) =
+  match r.Rewrite.lhs with
+  | Term.App (o, _) -> o.Signature.name
+  | Term.Var _ -> ""
+
+(* Rules are tried in list order by {!Kernel.Rewrite}, so an earlier
+   unconditional rule whose lhs is more general than a later rule's lhs
+   makes the later rule dead code: subsumed if it computes the same
+   result, shadowed (a silent behaviour change) otherwise. *)
+let shadowing spec name rules =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let diags = ref [] in
+  for j = 0 to n - 1 do
+    let rj = arr.(j) in
+    let shadow = ref None in
+    (* first shadowing rule wins the report *)
+    for i = j - 1 downto 0 do
+      let ri = arr.(i) in
+      if
+        ri.Rewrite.cond = None
+        && String.equal (head_name ri) (head_name rj)
+      then
+        match Matching.match_ ri.Rewrite.lhs rj.Rewrite.lhs with
+        | Some sub ->
+          let same_rhs =
+            Term.equal (Subst.apply sub ri.Rewrite.rhs) rj.Rewrite.rhs
+            && rj.Rewrite.cond = None
+          in
+          shadow := Some (ri, same_rhs)
+        | None -> ()
+    done;
+    match !shadow with
+    | None -> ()
+    | Some (ri, same_rhs) ->
+      let pos = Cafeobj.Spec.pos_of spec ("eq:" ^ rj.Rewrite.label) in
+      let d =
+        if same_rhs then
+          Diagnostic.make ?pos ~severity:Diagnostic.Info ~checker:"hygiene"
+            ~code:"subsumed-rule" ~spec:name
+            (Printf.sprintf "rule %s is subsumed by earlier rule %s (same result)"
+               rj.Rewrite.label ri.Rewrite.label)
+        else
+          Diagnostic.make ?pos ~severity:Diagnostic.Warning ~checker:"hygiene"
+            ~code:"shadowed-rule" ~spec:name
+            (Printf.sprintf
+               "rule %s can never fire: earlier more general rule %s rewrites every instance"
+               rj.Rewrite.label ri.Rewrite.label)
+      in
+      diags := d :: !diags
+  done;
+  List.rev !diags
+
+let vacuous_conditions spec name rules =
+  List.filter_map
+    (fun (r : Rewrite.rule) ->
+      match r.Rewrite.cond with
+      | None -> None
+      | Some c -> (
+        let pos = Cafeobj.Spec.pos_of spec ("eq:" ^ r.Rewrite.label) in
+        match Boolring.of_term c with
+        | p when Boolring.is_false p ->
+          Some
+            (Diagnostic.make ?pos ~severity:Diagnostic.Error ~checker:"hygiene"
+               ~code:"vacuous-condition" ~spec:name
+               (Format.asprintf
+                  "condition of rule %s is propositionally false — the rule can never fire"
+                  r.Rewrite.label))
+        | p when Boolring.is_true p ->
+          Some
+            (Diagnostic.make ?pos ~severity:Diagnostic.Info ~checker:"hygiene"
+               ~code:"trivial-condition" ~spec:name
+               (Printf.sprintf
+                  "condition of rule %s is propositionally true — use an unconditional equation"
+                  r.Rewrite.label))
+        | _ -> None
+        | exception Invalid_argument _ -> None))
+    rules
+
+let unused spec name ~ops ~rules =
+  let used_ops = Hashtbl.create 64 in
+  let used_sorts = Hashtbl.create 64 in
+  let note_sort (s : Sort.t) = Hashtbl.replace used_sorts s.Sort.name () in
+  let note t =
+    List.iter
+      (fun sub ->
+        match sub with
+        | Term.App (o, _) ->
+          Hashtbl.replace used_ops o.Signature.name ();
+          note_sort o.Signature.sort;
+          List.iter note_sort o.Signature.arity
+        | Term.Var v -> note_sort v.Term.v_sort)
+      (Term.subterms t)
+  in
+  List.iter
+    (fun (r : Rewrite.rule) ->
+      note r.Rewrite.lhs;
+      note r.Rewrite.rhs;
+      Option.iter note r.Rewrite.cond)
+    rules;
+  (* Constructors build data (no rules needed), so they also mark their
+     sorts as used even when no current rule mentions them. *)
+  List.iter
+    (fun (o : Signature.op) ->
+      if Signature.is_ctor o then begin
+        note_sort o.Signature.sort;
+        List.iter note_sort o.Signature.arity
+      end)
+    ops;
+  let op_diags =
+    List.filter_map
+      (fun (o : Signature.op) ->
+        if
+          Signature.is_ctor o
+          || Signature.Builtin.is_builtin o
+          || Hashtbl.mem used_ops o.Signature.name
+        then None
+        else
+          Some
+            (Diagnostic.make
+               ?pos:(Cafeobj.Spec.pos_of spec ("op:" ^ o.Signature.name))
+               ~severity:Diagnostic.Info ~checker:"hygiene" ~code:"unused-op"
+               ~spec:name
+               (Printf.sprintf "op %s occurs in no equation" o.Signature.name)))
+      ops
+  in
+  let rec spec_sorts m =
+    Cafeobj.Spec.sorts m
+    @ List.concat_map spec_sorts (Cafeobj.Spec.imports m)
+  in
+  let sort_diags =
+    List.filter_map
+      (fun (s : Sort.t) ->
+        if Hashtbl.mem used_sorts s.Sort.name then None
+        else if
+          List.exists
+            (fun (o : Signature.op) ->
+              Sort.equal o.Signature.sort s
+              || List.exists (Sort.equal s) o.Signature.arity)
+            ops
+        then None
+        else
+          Some
+            (Diagnostic.make
+               ?pos:(Cafeobj.Spec.pos_of spec ("sort:" ^ s.Sort.name))
+               ~severity:Diagnostic.Info ~checker:"hygiene" ~code:"unused-sort"
+               ~spec:name
+               (Printf.sprintf "sort %s is used by no operator or equation" s.Sort.name)))
+      (List.sort_uniq Sort.compare (spec_sorts spec))
+  in
+  op_diags @ sort_diags
+
+let duplicates spec name rules =
+  let seen = ref [] in
+  List.filter_map
+    (fun (r : Rewrite.rule) ->
+      let dup =
+        List.find_opt
+          (fun (r' : Rewrite.rule) ->
+            Term.equal r.Rewrite.lhs r'.Rewrite.lhs
+            && Term.equal r.Rewrite.rhs r'.Rewrite.rhs
+            && option_equal Term.equal r.Rewrite.cond r'.Rewrite.cond)
+          !seen
+      in
+      seen := r :: !seen;
+      match dup with
+      | None -> None
+      | Some r' ->
+        Some
+          (Diagnostic.make
+             ?pos:(Cafeobj.Spec.pos_of spec ("eq:" ^ r.Rewrite.label))
+             ~severity:Diagnostic.Info ~checker:"hygiene" ~code:"duplicate-rule"
+             ~spec:name
+             (Printf.sprintf "rule %s duplicates rule %s" r.Rewrite.label
+                r'.Rewrite.label)))
+    rules
+
+let check spec =
+  let name = Cafeobj.Spec.name spec in
+  let rules = Cafeobj.Spec.all_rules spec in
+  let ops = Cafeobj.Spec.all_ops spec in
+  let dup_diags = duplicates spec name rules in
+  (* Exact duplicates are reported once as duplicate-rule; exclude them
+     from the shadowing scan so they are not double-reported as subsumed. *)
+  let seen = ref [] in
+  let without_dups =
+    List.filter
+      (fun (r : Rewrite.rule) ->
+        let dup =
+          List.exists
+            (fun (r' : Rewrite.rule) ->
+              Term.equal r.Rewrite.lhs r'.Rewrite.lhs
+              && Term.equal r.Rewrite.rhs r'.Rewrite.rhs
+              && option_equal Term.equal r.Rewrite.cond r'.Rewrite.cond)
+            !seen
+        in
+        seen := r :: !seen;
+        not dup)
+      rules
+  in
+  let diagnostics =
+    dup_diags
+    @ shadowing spec name without_dups
+    @ vacuous_conditions spec name rules
+    @ unused spec name ~ops ~rules
+  in
+  { rules = List.length rules; diagnostics }

@@ -1,0 +1,26 @@
+(** Rule-hygiene lints over a module's full rule set (imports included),
+    in system order — the order {!Kernel.Rewrite} tries rules:
+
+    - [duplicate-rule] (info): a rule textually identical to an earlier one
+      (harmless for rewriting, but usually a copy-paste);
+    - [subsumed-rule] (info) / [shadowed-rule] (warning): a rule an earlier
+      unconditional more-general rule prevents from ever firing — a warning
+      when the two compute {e different} results, i.e. the spec silently
+      changed meaning;
+    - [vacuous-condition] (error) / [trivial-condition] (info): a [ceq]
+      whose condition is propositionally false (never fires) or true
+      (should be an [eq]), decided in the boolean ring;
+    - [unused-op] / [unused-sort] (info): declared but occurring in no
+      equation (constructors are exempt — they build data).
+
+    Variable-condition violations ([rhs]/[cond] variables missing from the
+    lhs) cannot exist in a built {!Cafeobj.Spec.t} — {!Kernel.Rewrite.rule}
+    rejects them — and are instead reported at elaboration time by
+    {!Cafeobj.Eval} with the declaration's source position. *)
+
+type result = {
+  rules : int;
+  diagnostics : Diagnostic.t list;
+}
+
+val check : Cafeobj.Spec.t -> result

@@ -1,0 +1,57 @@
+(** Linter orchestration: load sources (CafeOBJ files or generated specs),
+    run the enabled checkers over every module they define, and collect
+    diagnostics into a report, renderable as text or JSON.
+
+    Checkers: ["termination"], ["confluence"], ["completeness"],
+    ["hygiene"] (per elaborated module), and ["coverage"] (per source
+    file's proof passages).  Loading failures — unreadable file, lex,
+    parse and elaboration errors, with line/col where available — are
+    themselves error diagnostics from the pseudo-checker ["load"], so a
+    file that does not even build fails the lint gate. *)
+
+val checkers : string list
+
+type source =
+  | File of string  (** path to a [.cafe] file *)
+  | Generated of { label : string; spec : Cafeobj.Spec.t }
+      (** an in-memory spec, e.g. the generated TLS module *)
+
+type module_summary = {
+  m_name : string;
+  m_source : string;
+  m_rules : int;
+  m_terminating : bool option;  (** [None]: checker skipped or load failed *)
+  m_pairs : int option;
+  m_joinable : bool option;
+  m_semantic_joins : int option;
+}
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** sorted, errors first *)
+  modules : module_summary list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+type options = {
+  only : string list;  (** run only these checkers (empty: all) *)
+  skip : string list;
+  hint : string list;  (** [--prec] operator names, later = greater *)
+  budget : int;  (** rewrite steps per critical-pair normalization *)
+  fuel : int;  (** Shannon splits per critical pair *)
+}
+
+val default_options : options
+
+(** [run ?pool ?opts sources] lints every source.  Sources are loaded
+    sequentially (elaboration shares interning tables); with [pool] the
+    expensive per-module work (critical-pair joining) fans out over it.
+    @raise Invalid_argument on unknown checker names in [only]/[skip]. *)
+val run : ?pool:Sched.Pool.t -> ?opts:options -> source list -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** The full report as a JSON document: [{"summary": …, "modules": […],
+    "diagnostics": […]}]. *)
+val report_to_json : report -> string

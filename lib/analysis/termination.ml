@@ -1,0 +1,25 @@
+open Kernel
+
+type result = {
+  certified : bool;
+  search : Order.search_result;
+  diagnostics : Diagnostic.t list;
+}
+
+let check ?(hint = []) spec =
+  let name = Cafeobj.Spec.name spec in
+  let rules = Cafeobj.Spec.all_rules spec in
+  let ops = Cafeobj.Spec.all_ops spec in
+  let search = Order.search_precedence ~hint ~ops rules in
+  let diagnostics =
+    List.map
+      (fun (r : Rewrite.rule) ->
+        let pos = Cafeobj.Spec.pos_of spec ("eq:" ^ r.Rewrite.label) in
+        Diagnostic.make ?pos ~severity:Diagnostic.Error ~checker:"termination"
+          ~code:"unoriented-rule" ~spec:name
+          (Format.asprintf
+             "no LPO precedence orients rule %s (%a); the rewrite system may loop"
+             r.Rewrite.label Rewrite.pp_rule r))
+      search.Order.unoriented
+  in
+  { certified = diagnostics = []; search; diagnostics }

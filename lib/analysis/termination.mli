@@ -1,0 +1,20 @@
+(** Termination checker: search for an LPO precedence under which every
+    rule of the module (imports included) is strictly decreasing
+    ({!Kernel.Order.search_precedence}).  A successful search is a
+    termination certificate for the whole rewrite system behind [red];
+    each rule left unoriented yields one error diagnostic.  Sound but
+    incomplete: a diagnostic means "no proof found", not "loops". *)
+
+open Kernel
+
+type result = {
+  certified : bool;  (** every rule oriented *)
+  search : Order.search_result;
+      (** the found precedence — reused by the confluence checker and
+          printable for [--prec] overrides *)
+  diagnostics : Diagnostic.t list;
+}
+
+(** [check ?hint spec] — [hint] seeds the precedence search (the CLI's
+    [--prec] list, later operators greater). *)
+val check : ?hint:Signature.op list -> Cafeobj.Spec.t -> result

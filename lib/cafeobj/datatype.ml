@@ -62,6 +62,22 @@ let distinct_constants spec ~sort names =
         && Sort.equal o.Signature.sort sort)
       (Spec.own_ops spec)
   in
+  (* Recognizers of this sort's finalized constructors: each must also
+     reject the new constants, or terms like [intruder?(alice)] get stuck
+     (the completeness linter flags exactly this). *)
+  let recognizers =
+    List.filter_map
+      (fun (o : Signature.op) ->
+        if Signature.is_ctor o && Sort.equal o.Signature.sort sort then
+          match Spec.find_op spec (o.Signature.name ^ "?") with
+          | Some r
+            when r.Signature.arity = [ sort ]
+                 && Sort.equal r.Signature.sort Sort.bool ->
+            Some r
+          | _ -> None
+        else None)
+      (Spec.own_ops spec)
+  in
   List.map
     (fun name ->
       let others = existing_constants () in
@@ -77,6 +93,12 @@ let distinct_constants spec ~sort names =
             ~label:(Printf.sprintf "neq-%s-%s" o.Signature.name name)
             (Term.eq ot ct) Term.ff)
         others;
+      List.iter
+        (fun (r : Signature.op) ->
+          Spec.add_eq spec
+            ~label:(Printf.sprintf "recog-%s-%s" r.Signature.name name)
+            (Term.app r [ ct ]) Term.ff)
+        recognizers;
       ct)
     names
 

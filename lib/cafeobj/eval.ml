@@ -88,37 +88,54 @@ let attr_of = function
   | "comm" -> Signature.Comm
   | a -> fail "unknown attribute %s" a
 
-let eval_decl env sc (d : Parser.decl) =
+(* Declarations are evaluated with their source position: the position is
+   recorded in the spec (keys ["sort:..."], ["op:..."], ["eq:<label>"]) so
+   later diagnostics — the linter's, or a late [Rewrite.rule] variable
+   check — can cite the offending line, and any error raised while
+   elaborating the declaration is prefixed with it. *)
+let eval_decl env sc ({ Parser.decl = d; dpos } : Parser.ldecl) =
+  let record key = Spec.record_pos sc.spec key (dpos.Lexer.line, dpos.Lexer.col) in
+  let located f =
+    try f () with
+    | Error m -> raise (Error (Printf.sprintf "line %d, col %d: %s" dpos.Lexer.line dpos.Lexer.col m))
+    | Invalid_argument m ->
+      raise (Error (Printf.sprintf "line %d, col %d: %s" dpos.Lexer.line dpos.Lexer.col m))
+  in
+  located @@ fun () ->
   match d with
   | Parser.DImport _ -> ()  (* imports are resolved at module creation *)
   | Parser.DSorts names ->
-    List.iter (fun n -> ignore (Spec.declare_sort sc.spec n)) names
-  | Parser.DHSort name -> ignore (Spec.declare_hsort sc.spec name)
+    List.iter
+      (fun n ->
+        record ("sort:" ^ n);
+        ignore (Spec.declare_sort sc.spec n))
+      names
+  | Parser.DHSort name ->
+    record ("sort:" ^ name);
+    ignore (Spec.declare_hsort sc.spec name)
   | Parser.DOp { op_name; arity; sort; attrs } ->
+    record ("op:" ^ op_name);
     let arity = List.map sort_named arity in
     let sort = sort_named sort in
     let attrs = List.map attr_of attrs in
-    (try ignore (Spec.declare_op sc.spec op_name arity sort ~attrs)
-     with Invalid_argument m -> fail "%s" m)
+    ignore (Spec.declare_op sc.spec op_name arity sort ~attrs)
   | Parser.DVars (names, sort) ->
     let sort = sort_named sort in
     sc.vars <- sc.vars @ List.map (fun n -> n, sort) names
   | Parser.DEq (lhs, rhs) ->
     env.eq_counter <- env.eq_counter + 1;
+    let label = Printf.sprintf "%s-eq-%d" (Spec.name sc.spec) env.eq_counter in
+    record ("eq:" ^ label);
     let lhs = elaborate sc lhs and rhs = elaborate sc rhs in
-    (try
-       Spec.add_eq sc.spec ~label:(Printf.sprintf "%s-eq-%d" (Spec.name sc.spec) env.eq_counter) lhs rhs
-     with Invalid_argument m -> fail "%s" m)
+    Spec.add_eq sc.spec ~label lhs rhs
   | Parser.DCeq (lhs, rhs, cond) ->
     env.eq_counter <- env.eq_counter + 1;
+    let label = Printf.sprintf "%s-ceq-%d" (Spec.name sc.spec) env.eq_counter in
+    record ("eq:" ^ label);
     let lhs = elaborate sc lhs
     and rhs = elaborate sc rhs
     and cond = elaborate sc cond in
-    (try
-       Spec.add_ceq sc.spec
-         ~label:(Printf.sprintf "%s-ceq-%d" (Spec.name sc.spec) env.eq_counter)
-         lhs rhs ~cond
-     with Invalid_argument m -> fail "%s" m)
+    Spec.add_ceq sc.spec ~label lhs rhs ~cond
 
 (* Free-constructor semantics: after elaborating a module, every sort that
    received [ctor] operators gets its recognizers and no-confusion equality
@@ -141,7 +158,8 @@ let finalize_ctors sc =
 
 let imports_of env decls =
   List.filter_map
-    (function
+    (fun (ld : Parser.ldecl) ->
+      match ld.Parser.decl with
       | Parser.DImport name -> (
         match Hashtbl.find_opt env.modules name with
         | Some sc -> Some sc.spec
@@ -207,7 +225,8 @@ let eval env (phrase : Parser.toplevel) =
     | None -> fail "unknown module %s" name
     | Some sc -> Shown (Format.asprintf "%a" Spec.pp sc.spec))
 
-let eval_string env src = List.map (eval env) (Parser.parse_string src)
+let eval_string env src =
+  List.map (fun (phrase, _pos) -> eval env phrase) (Parser.parse_string src)
 
 let reduce_string env src =
   let outputs = eval_string env src in

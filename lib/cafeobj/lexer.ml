@@ -17,7 +17,11 @@ type token =
   | KW of string
   | EOF
 
-exception Error of { line : int; message : string }
+type pos = { line : int; col : int }
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "line %d, col %d" line col
+
+exception Error of { line : int; col : int; message : string }
 
 let keywords =
   [
@@ -32,45 +36,52 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '-' || c = '_' || c = '?' || c = '\'' || c = '#'
 
-let tokenize src =
+let tokenize_pos src =
   let n = String.length src in
   let line = ref 1 in
-  let fail message = raise (Error { line = !line; message }) in
+  (* Byte offset of the start of the current line: col = i - bol + 1. *)
+  let bol = ref 0 in
+  let pos_at i = { line = !line; col = i - !bol + 1 } in
+  let fail i message = raise (Error { line = !line; col = i - !bol + 1; message }) in
   let rec go i acc =
-    if i >= n then List.rev (EOF :: acc)
+    if i >= n then List.rev ((EOF, pos_at i) :: acc)
     else
       let c = src.[i] in
+      let emit tok width = go (i + width) ((tok, pos_at i) :: acc) in
       match c with
       | '\n' ->
         incr line;
+        bol := i + 1;
         go (i + 1) acc
       | ' ' | '\t' | '\r' -> go (i + 1) acc
       | '-' when i + 1 < n && src.[i + 1] = '-' ->
         let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
         go (skip i) acc
-      | '-' when i + 1 < n && src.[i + 1] = '>' -> go (i + 2) (ARROW :: acc)
-      | '(' -> go (i + 1) (LPAREN :: acc)
-      | ')' -> go (i + 1) (RPAREN :: acc)
-      | '{' -> go (i + 1) (LBRACE :: acc)
-      | '}' -> go (i + 1) (RBRACE :: acc)
-      | '*' when i + 1 < n && src.[i + 1] = '[' -> go (i + 2) (HLBRACKET :: acc)
-      | ']' when i + 1 < n && src.[i + 1] = '*' -> go (i + 2) (HRBRACKET :: acc)
-      | '[' -> go (i + 1) (LBRACKET :: acc)
-      | ']' -> go (i + 1) (RBRACKET :: acc)
-      | ':' -> go (i + 1) (COLON :: acc)
-      | ',' -> go (i + 1) (COMMA :: acc)
-      | '.' -> go (i + 1) (DOT :: acc)
-      | '=' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (EQEQ :: acc)
-      | '=' -> go (i + 1) (EQUALS :: acc)
+      | '-' when i + 1 < n && src.[i + 1] = '>' -> emit ARROW 2
+      | '(' -> emit LPAREN 1
+      | ')' -> emit RPAREN 1
+      | '{' -> emit LBRACE 1
+      | '}' -> emit RBRACE 1
+      | '*' when i + 1 < n && src.[i + 1] = '[' -> emit HLBRACKET 2
+      | ']' when i + 1 < n && src.[i + 1] = '*' -> emit HRBRACKET 2
+      | '[' -> emit LBRACKET 1
+      | ']' -> emit RBRACKET 1
+      | ':' -> emit COLON 1
+      | ',' -> emit COMMA 1
+      | '.' -> emit DOT 1
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQEQ 2
+      | '=' -> emit EQUALS 1
       | c when is_ident_char c ->
         let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
         let j = scan i in
         let word = String.sub src i (j - i) in
         let tok = if List.mem word keywords then KW word else IDENT word in
-        go j (tok :: acc)
-      | c -> fail (Printf.sprintf "unexpected character %C" c)
+        go j ((tok, pos_at i) :: acc)
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
   in
   go 0 []
+
+let tokenize src = List.map fst (tokenize_pos src)
 
 let pp_token ppf = function
   | IDENT s -> Format.fprintf ppf "identifier %S" s

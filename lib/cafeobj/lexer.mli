@@ -21,11 +21,20 @@ type token =
                       iff, true, false, show *)
   | EOF
 
-exception Error of { line : int; message : string }
+(** Source position of a token: 1-based line and column. *)
+type pos = { line : int; col : int }
 
-(** [tokenize src] lexes a whole source string.  Comments run from [--] to
-    the end of the line.  Identifiers may contain letters, digits, [-], [_],
-    [?], ['] and [#]. *)
+val pp_pos : Format.formatter -> pos -> unit
+
+exception Error of { line : int; col : int; message : string }
+
+(** [tokenize_pos src] lexes a whole source string, pairing every token
+    with its starting position.  Comments run from [--] to the end of the
+    line.  Identifiers may contain letters, digits, [-], [_], [?], [']
+    and [#]. *)
+val tokenize_pos : string -> (token * pos) list
+
+(** [tokenize src] is [tokenize_pos] without the positions. *)
 val tokenize : string -> token list
 
 val pp_token : Format.formatter -> token -> unit

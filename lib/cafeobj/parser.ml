@@ -22,21 +22,34 @@ type decl =
   | DEq of term * term
   | DCeq of term * term * term
 
+type ldecl = { decl : decl; dpos : Lexer.pos }
+
 type toplevel =
-  | TModule of string * decl list
+  | TModule of string * ldecl list
   | TRed of string option * term
   | TOpen of string
   | TClose
   | TShow of string
-  | TDecl of decl  (** a declaration between [open] and [close] *)
+  | TDecl of ldecl
+
+type program = (toplevel * Lexer.pos) list
 
 exception Error of string
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+type stream = { mutable toks : (Lexer.token * Lexer.pos) list }
 
-type stream = { mutable toks : Lexer.token list }
+let cur_pos st =
+  match st.toks with
+  | [] -> { Lexer.line = 0; col = 0 }
+  | (_, p) :: _ -> p
 
-let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let fail st fmt =
+  let p = cur_pos st in
+  Printf.ksprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d, col %d: %s" p.Lexer.line p.Lexer.col s)))
+    fmt
+
+let peek st = match st.toks with [] -> Lexer.EOF | (t, _) :: _ -> t
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
@@ -47,16 +60,19 @@ let next st =
   t
 
 let expect st tok =
-  let got = next st in
+  let got = peek st in
   if got <> tok then
-    fail "expected %s but found %s"
+    fail st "expected %s but found %s"
       (Format.asprintf "%a" Lexer.pp_token tok)
       (Format.asprintf "%a" Lexer.pp_token got)
+  else advance st
 
 let ident st =
-  match next st with
-  | Lexer.IDENT s -> s
-  | t -> fail "expected an identifier, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> fail st "expected an identifier, found %s" (Format.asprintf "%a" Lexer.pp_token t)
 
 (* ------------------------------------------------------------------ *)
 (* Terms, by precedence climbing *)
@@ -112,10 +128,15 @@ and unary_term st =
   | _ -> atom_term st
 
 and atom_term st =
-  match next st with
-  | Lexer.KW "true" -> TTrue
-  | Lexer.KW "false" -> TFalse
+  match peek st with
+  | Lexer.KW "true" ->
+    advance st;
+    TTrue
+  | Lexer.KW "false" ->
+    advance st;
+    TFalse
   | Lexer.KW "if" ->
+    advance st;
     let c = term st in
     expect st (Lexer.KW "then");
     let t = term st in
@@ -124,24 +145,30 @@ and atom_term st =
     expect st (Lexer.KW "fi");
     TIf (c, t, e)
   | Lexer.LPAREN ->
+    advance st;
     let t = term st in
     expect st Lexer.RPAREN;
     t
   | Lexer.IDENT name -> (
+    advance st;
     match peek st with
     | Lexer.LPAREN ->
       advance st;
       let rec args acc =
         let a = term st in
-        match next st with
-        | Lexer.COMMA -> args (a :: acc)
-        | Lexer.RPAREN -> List.rev (a :: acc)
-        | t -> fail "expected ',' or ')' in arguments, found %s"
+        match peek st with
+        | Lexer.COMMA ->
+          advance st;
+          args (a :: acc)
+        | Lexer.RPAREN ->
+          advance st;
+          List.rev (a :: acc)
+        | t -> fail st "expected ',' or ')' in arguments, found %s"
                  (Format.asprintf "%a" Lexer.pp_token t)
       in
       TApp (name, args [])
     | _ -> TIdent name)
-  | t -> fail "unexpected %s in term" (Format.asprintf "%a" Lexer.pp_token t)
+  | t -> fail st "unexpected %s in term" (Format.asprintf "%a" Lexer.pp_token t)
 
 (* ------------------------------------------------------------------ *)
 (* Declarations and toplevel phrases *)
@@ -153,7 +180,7 @@ let idents_until st stop =
       advance st;
       go (s :: acc)
     | t when t = stop -> List.rev acc
-    | t -> fail "expected identifier or %s, found %s"
+    | t -> fail st "expected identifier or %s, found %s"
              (Format.asprintf "%a" Lexer.pp_token stop)
              (Format.asprintf "%a" Lexer.pp_token t)
   in
@@ -164,59 +191,67 @@ let attrs st =
   | Lexer.LBRACE ->
     advance st;
     let rec go acc =
-      match next st with
-      | Lexer.KW (("ctor" | "assoc" | "comm") as a) -> go (a :: acc)
-      | Lexer.RBRACE -> List.rev acc
-      | t -> fail "expected attribute, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+      match peek st with
+      | Lexer.KW (("ctor" | "assoc" | "comm") as a) ->
+        advance st;
+        go (a :: acc)
+      | Lexer.RBRACE ->
+        advance st;
+        List.rev acc
+      | t -> fail st "expected attribute, found %s" (Format.asprintf "%a" Lexer.pp_token t)
     in
     go []
   | _ -> []
 
 let decl st =
-  match next st with
-  | Lexer.KW "pr" ->
-    expect st Lexer.LPAREN;
-    let name = ident st in
-    expect st Lexer.RPAREN;
-    DImport name
-  | Lexer.LBRACKET ->
-    let sorts = idents_until st Lexer.RBRACKET in
-    expect st Lexer.RBRACKET;
-    DSorts sorts
-  | Lexer.HLBRACKET ->
-    let name = ident st in
-    expect st Lexer.HRBRACKET;
-    DHSort name
-  | Lexer.KW "op" | Lexer.KW "ctor" ->
-    let op_name = ident st in
-    expect st Lexer.COLON;
-    let arity = idents_until st Lexer.ARROW in
-    expect st Lexer.ARROW;
-    let sort = ident st in
-    let attrs = attrs st in
-    expect st Lexer.DOT;
-    DOp { op_name; arity; sort; attrs }
-  | Lexer.KW ("var" | "vars") ->
-    let names = idents_until st Lexer.COLON in
-    expect st Lexer.COLON;
-    let sort = ident st in
-    expect st Lexer.DOT;
-    DVars (names, sort)
-  | Lexer.KW "eq" ->
-    let lhs = term st in
-    expect st Lexer.EQUALS;
-    let rhs = term st in
-    expect st Lexer.DOT;
-    DEq (lhs, rhs)
-  | Lexer.KW "ceq" ->
-    let lhs = term st in
-    expect st Lexer.EQUALS;
-    let rhs = term st in
-    expect st (Lexer.KW "if");
-    let cond = term st in
-    expect st Lexer.DOT;
-    DCeq (lhs, rhs, cond)
-  | t -> fail "expected a declaration, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+  let dpos = cur_pos st in
+  let d =
+    match next st with
+    | Lexer.KW "pr" ->
+      expect st Lexer.LPAREN;
+      let name = ident st in
+      expect st Lexer.RPAREN;
+      DImport name
+    | Lexer.LBRACKET ->
+      let sorts = idents_until st Lexer.RBRACKET in
+      expect st Lexer.RBRACKET;
+      DSorts sorts
+    | Lexer.HLBRACKET ->
+      let name = ident st in
+      expect st Lexer.HRBRACKET;
+      DHSort name
+    | Lexer.KW "op" | Lexer.KW "ctor" ->
+      let op_name = ident st in
+      expect st Lexer.COLON;
+      let arity = idents_until st Lexer.ARROW in
+      expect st Lexer.ARROW;
+      let sort = ident st in
+      let attrs = attrs st in
+      expect st Lexer.DOT;
+      DOp { op_name; arity; sort; attrs }
+    | Lexer.KW ("var" | "vars") ->
+      let names = idents_until st Lexer.COLON in
+      expect st Lexer.COLON;
+      let sort = ident st in
+      expect st Lexer.DOT;
+      DVars (names, sort)
+    | Lexer.KW "eq" ->
+      let lhs = term st in
+      expect st Lexer.EQUALS;
+      let rhs = term st in
+      expect st Lexer.DOT;
+      DEq (lhs, rhs)
+    | Lexer.KW "ceq" ->
+      let lhs = term st in
+      expect st Lexer.EQUALS;
+      let rhs = term st in
+      expect st (Lexer.KW "if");
+      let cond = term st in
+      expect st Lexer.DOT;
+      DCeq (lhs, rhs, cond)
+    | t -> fail st "expected a declaration, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+  in
+  { decl = d; dpos }
 
 let toplevel st =
   match peek st with
@@ -252,22 +287,24 @@ let toplevel st =
   | Lexer.KW "open" -> TOpen (ident st)
   | Lexer.KW "close" -> TClose
   | Lexer.KW "show" -> TShow (ident st)
-  | t -> fail "expected a toplevel phrase, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+  | t -> fail st "expected a toplevel phrase, found %s" (Format.asprintf "%a" Lexer.pp_token t)
 
 let parse tokens =
   let st = { toks = tokens } in
   let rec go acc =
     match peek st with
     | Lexer.EOF -> List.rev acc
-    | _ -> go (toplevel st :: acc)
+    | _ ->
+      let p = cur_pos st in
+      go ((toplevel st, p) :: acc)
   in
   go []
 
-let parse_string src = parse (Lexer.tokenize src)
+let parse_string src = parse (Lexer.tokenize_pos src)
 
 let parse_term_string src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = Lexer.tokenize_pos src } in
   let t = term st in
   match peek st with
   | Lexer.EOF | Lexer.DOT -> t
-  | tok -> fail "trailing %s after term" (Format.asprintf "%a" Lexer.pp_token tok)
+  | tok -> fail st "trailing %s after term" (Format.asprintf "%a" Lexer.pp_token tok)

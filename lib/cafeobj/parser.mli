@@ -48,24 +48,33 @@ type decl =
   | DEq of term * term
   | DCeq of term * term * term
 
+(** A declaration located at its source position (the position of the
+    declaration's first token). *)
+type ldecl = { decl : decl; dpos : Lexer.pos }
+
 type toplevel =
-  | TModule of string * decl list
+  | TModule of string * ldecl list
   | TRed of string option * term
   | TOpen of string
   | TClose
   | TShow of string
-  | TDecl of decl
+  | TDecl of ldecl
       (** a bare declaration, allowed between [open] and [close] (the
           paper's proof passages declare constants and assumption
           equations there) *)
 
+(** A parsed program: toplevel phrases with their source positions. *)
+type program = (toplevel * Lexer.pos) list
+
+(** Raised with a message prefixed by ["line L, col C: "]. *)
 exception Error of string
 
-(** [parse tokens] parses a whole program (a list of toplevel phrases). *)
-val parse : Lexer.token list -> toplevel list
+(** [parse tokens] parses a whole program (a list of located toplevel
+    phrases). *)
+val parse : (Lexer.token * Lexer.pos) list -> program
 
 (** [parse_string src] = lex + parse. *)
-val parse_string : string -> toplevel list
+val parse_string : string -> program
 
 (** [parse_term_string src] parses a single term (for the REPL and tests). *)
 val parse_term_string : string -> term

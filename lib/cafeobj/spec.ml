@@ -7,6 +7,9 @@ type t = {
   mutable own_sorts : Sort.t list;
   mutable equations : Rewrite.rule list;  (** reverse order *)
   mutable cached_system : Rewrite.system option;
+  positions : (string, int * int) Hashtbl.t;
+      (** source positions keyed by ["eq:<label>"], ["op:<name>"],
+          ["sort:<name>"] *)
 }
 
 (* The builtin BOOL module implicitly imported everywhere: constant folding
@@ -28,6 +31,7 @@ and create_raw ~imports name =
     own_sorts = [];
     equations = [];
     cached_system = None;
+    positions = Hashtbl.create 16;
   }
 
 let create ?(bool = true) ?(imports = []) name =
@@ -46,6 +50,14 @@ let name m = m.name
 let imports m = m.imports
 
 let invalidate m = m.cached_system <- None
+
+let record_pos m key pos =
+  if not (Hashtbl.mem m.positions key) then Hashtbl.add m.positions key pos
+
+let rec pos_of m key =
+  match Hashtbl.find_opt m.positions key with
+  | Some _ as r -> r
+  | None -> List.find_map (fun i -> pos_of i key) m.imports
 
 let declare_sort m sort_name =
   let s = Sort.visible sort_name in

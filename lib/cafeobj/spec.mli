@@ -85,6 +85,16 @@ val reduce : t -> Term.t -> Term.t
     normalized.  Assumptions are pairs [(lhs, rhs)] oriented as given. *)
 val reduce_in : t -> assumptions:(Term.t * Term.t) list -> Term.t -> Term.t
 
+(** [record_pos m key (line, col)] records the source position of a
+    declaration.  Keys are ["eq:<label>"], ["op:<name>"] and
+    ["sort:<name>"]; the first recording of a key wins.  Generated specs
+    record nothing — diagnostics then simply omit the location. *)
+val record_pos : t -> string -> int * int -> unit
+
+(** [pos_of m key] looks a declaration's position up in [m] and,
+    depth-first, its imports. *)
+val pos_of : t -> string -> (int * int) option
+
 val pp : Format.formatter -> t -> unit
 
 (**/**)

@@ -1,3 +1,5 @@
+module StringSet = Set.Make (String)
+
 type failure = {
   reason : string;
   unorientable : (Term.t * Term.t) option;
@@ -44,8 +46,21 @@ let rename_apart =
       (Subst.apply sub r.Rewrite.lhs)
       (Subst.apply sub r.Rewrite.rhs)
 
-let critical_pairs (r1 : Rewrite.rule) (r2 : Rewrite.rule) =
+type overlap = {
+  outer : Rewrite.rule;  (** the rule whose left-hand side hosts the overlap *)
+  inner : Rewrite.rule;  (** the rule rewriting inside (possibly [outer] itself) *)
+  peak : Term.t;  (** the instantiated overlap term both sides rewrite *)
+  left : Term.t;  (** peak rewritten by [inner] at the overlap position *)
+  right : Term.t;  (** peak rewritten by [outer] at the root *)
+}
+
+(* Overlaps of [r2]'s lhs (renamed apart) into non-variable positions of
+   [r1]'s lhs.  The root overlap of a rule with (a copy of) itself is the
+   trivial one and is skipped; every other self-overlap — e.g. the classic
+   associativity overlap — is genuine and kept. *)
+let overlaps (r1 : Rewrite.rule) (r2 : Rewrite.rule) =
   let same = Term.equal r1.Rewrite.lhs r2.Rewrite.lhs && Term.equal r1.Rewrite.rhs r2.Rewrite.rhs in
+  let orig2 = r2 in
   let r2 = rename_apart r2 in
   List.filter_map
     (fun (s, rebuild) ->
@@ -57,10 +72,55 @@ let critical_pairs (r1 : Rewrite.rule) (r2 : Rewrite.rule) =
         else
           Option.map
             (fun sub ->
-              ( Subst.apply sub (rebuild r2.Rewrite.rhs),
-                Subst.apply sub r1.Rewrite.rhs ))
+              {
+                outer = r1;
+                inner = orig2;
+                peak = Subst.apply sub r1.Rewrite.lhs;
+                left = Subst.apply sub (rebuild r2.Rewrite.rhs);
+                right = Subst.apply sub r1.Rewrite.rhs;
+              })
             (Matching.unify s r2.Rewrite.lhs))
     (contexts r1.Rewrite.lhs)
+
+let critical_pairs r1 r2 =
+  List.map (fun o -> o.left, o.right) (overlaps r1 r2)
+
+(* All critical pairs of a rule set: every unordered rule pair in both
+   orientations, plus each rule overlapped with (a renamed copy of) itself.
+   Pairs are pre-filtered by head-operator occurrence — unifying two
+   applications requires equal head operators, so a rule can only overlap
+   into an lhs that mentions its head operator. *)
+let all_critical_pairs (rules : Rewrite.rule list) =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let head (r : Rewrite.rule) =
+    match r.Rewrite.lhs with
+    | Term.App (o, _) -> o.Signature.name
+    | Term.Var _ -> ""
+  in
+  let heads_in =
+    Array.map
+      (fun (r : Rewrite.rule) ->
+        List.fold_left
+          (fun set t ->
+            match t with
+            | Term.App (o, _) -> StringSet.add o.Signature.name set
+            | Term.Var _ -> set)
+          StringSet.empty
+          (Term.subterms r.Rewrite.lhs))
+      arr
+  in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i do
+      let r1 = arr.(i) and r2 = arr.(j) in
+      if j > i && StringSet.mem (head r1) heads_in.(j) then
+        acc := overlaps r2 r1 @ !acc;
+      if StringSet.mem (head r2) heads_in.(i) then
+        acc := overlaps r1 r2 @ !acc
+    done
+  done;
+  !acc
 
 let joinable rules t1 t2 =
   let sys = Rewrite.make rules in
@@ -104,10 +164,14 @@ let complete ?(max_rules = 64) ~prec equations =
           let requeued =
             List.map (fun (r : Rewrite.rule) -> r.Rewrite.lhs, r.Rewrite.rhs) requeued
           in
+          (* Self-overlaps of the new rule once, then both orientations
+             against every kept rule (the old [rule :: kept] traversal
+             computed the self-pairs twice). *)
           let fresh_pairs =
-            List.concat_map
-              (fun r -> critical_pairs rule r @ critical_pairs r rule)
-              (rule :: kept)
+            critical_pairs rule rule
+            @ List.concat_map
+                (fun r -> critical_pairs rule r @ critical_pairs r rule)
+                kept
           in
           go (kept @ [ rule ]) (agenda @ requeued @ fresh_pairs))
   in

@@ -21,11 +21,32 @@ type result =
   | Completed of Rewrite.rule list
   | Failed of failure
 
-(** [critical_pairs r1 r2] computes the critical pairs obtained by
-    overlapping [r2]'s left-hand side into non-variable positions of
-    [r1]'s (variables renamed apart; the trivial root self-overlap of a
-    rule with itself is skipped). *)
+(** A critical overlap: [peak] rewrites to [left] by [inner] (applied at
+    the overlap position) and to [right] by [outer] (applied at the
+    root). *)
+type overlap = {
+  outer : Rewrite.rule;
+  inner : Rewrite.rule;
+  peak : Term.t;
+  left : Term.t;
+  right : Term.t;
+}
+
+(** [overlaps r1 r2] computes the overlaps of [r2]'s left-hand side into
+    non-variable positions of [r1]'s (variables renamed apart).  With
+    [r1 = r2] this includes the genuine self-overlaps — e.g. the classic
+    associativity overlap — and skips only the trivial root one. *)
+val overlaps : Rewrite.rule -> Rewrite.rule -> overlap list
+
+(** [critical_pairs r1 r2] is [overlaps r1 r2] reduced to the divergent
+    term pairs [(left, right)]. *)
 val critical_pairs : Rewrite.rule -> Rewrite.rule -> (Term.t * Term.t) list
+
+(** [all_critical_pairs rules] computes every critical overlap of the rule
+    set: both orientations of every rule pair, self-overlaps included.
+    This is the set whose joinability certifies local confluence
+    (Knuth-Bendix criterion); used by the spec linter. *)
+val all_critical_pairs : Rewrite.rule list -> overlap list
 
 (** [complete ?max_rules ?max_steps ~prec equations] runs completion.
     @param max_rules abort when more rules than this are generated

@@ -42,6 +42,202 @@ let precedence_of_list ops o1 o2 =
   | None, Some _ -> -1
   | None, None -> Signature.op_compare o1 o2
 
+(* ------------------------------------------------------------------ *)
+(* Precedence search: find a total operator precedence under which every
+   rule is LPO-decreasing.
+
+   The search runs the LPO proof rules with an initially-empty strict
+   partial order on operator names.  Whenever a proof branch needs [f > g]
+   and the pair is undecided, it tentatively assumes it (unless [g >= f]
+   is already implied, which would close a cycle); branches that fail roll
+   their assumptions back.  Constraints accumulate across rules, so the
+   greedy choice made for one rule constrains the next — rules that fail
+   on the first pass get a second chance once the whole system has been
+   seen.  The resulting partial order is extended to a total precedence
+   and re-checked with the ordinary {!lpo}: LPO is monotone in the
+   precedence (orderings only ever appear positively), so the extension
+   preserves every proof found during the search. *)
+
+type search_result = {
+  precedence : Signature.op list;  (** total, later = greater *)
+  prec : Signature.op -> Signature.op -> int;  (** ready for {!lpo} *)
+  unoriented : Rewrite.rule list;  (** rules with no LPO proof found *)
+}
+
+(* Operators are identified by their full profile, not just their name:
+   the paper overloads names across sorts (the TLS model has both an
+   action [cert] and a message-payload constructor [cert]), and a
+   name-keyed precedence could never order two such symbols relative to
+   each other. *)
+let op_key (o : Signature.op) =
+  String.concat ""
+    (o.Signature.name :: "/"
+     :: List.map (fun (s : Sort.t) -> s.Sort.name ^ ",") o.Signature.arity)
+  ^ "->" ^ o.Signature.sort.Sort.name
+
+let search_precedence ?(hint = []) ~ops rules =
+  (* [succs]: direct edges of the strict order, [f.name > g.name].
+     [trail]: LIFO undo log — each entry is the cell whose head to pop. *)
+  let succs : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let trail : string list ref list ref = ref [] in
+  let cell f =
+    match Hashtbl.find_opt succs f with
+    | Some c -> c
+    | None ->
+      let c = ref [] in
+      Hashtbl.add succs f c;
+      c
+  in
+  let reachable f g =
+    let seen = Hashtbl.create 16 in
+    let rec go f =
+      match Hashtbl.find_opt succs f with
+      | None -> false
+      | Some c ->
+        List.exists
+          (fun h ->
+            (not (Hashtbl.mem seen h))
+            && begin
+                 Hashtbl.add seen h ();
+                 String.equal h g || go h
+               end)
+          !c
+    in
+    go f
+  in
+  let known_gt f g = (not (String.equal f g)) && reachable f g in
+  let assume f g =
+    if String.equal f g || reachable g f then false
+    else begin
+      let c = cell f in
+      c := g :: !c;
+      trail := c :: !trail;
+      true
+    end
+  in
+  let save () = !trail in
+  let restore sp =
+    while !trail != sp do
+      match !trail with
+      | c :: rest ->
+        c := List.tl !c;
+        trail := rest
+      | [] -> assert false
+    done
+  in
+  let attempt th =
+    let sp = save () in
+    if th () then true
+    else begin
+      restore sp;
+      false
+    end
+  in
+  (* Seed the order with the user hint (later = greater). *)
+  let rec seed = function
+    | g :: (f :: _ as rest) ->
+      ignore (assume (op_key f) (op_key g) : bool);
+      seed rest
+    | [ _ ] | [] -> ()
+  in
+  seed hint;
+  let rec gt s t =
+    match s, t with
+    | Term.Var _, _ -> false
+    | Term.App _, Term.Var v -> List.exists (var_equal v) (Term.vars s)
+    | Term.App (f, ss), Term.App (g, ts) ->
+      List.exists (fun si -> attempt (fun () -> ge si t)) ss
+      ||
+      let fn = op_key f and gn = op_key g in
+      if String.equal fn gn then attempt (fun () -> lex ss ts && List.for_all (gt s) ts)
+      else if known_gt fn gn then attempt (fun () -> List.for_all (gt s) ts)
+      else attempt (fun () -> assume fn gn && List.for_all (gt s) ts)
+  and ge s t = Term.equal s t || gt s t
+  and lex ss ts =
+    match ss, ts with
+    | s1 :: ss', t1 :: ts' ->
+      if Term.equal s1 t1 then lex ss' ts' else attempt (fun () -> gt s1 t1)
+    | [], _ :: _ | _ :: _, [] | [], [] -> false
+  in
+  let orient (r : Rewrite.rule) =
+    attempt (fun () ->
+        gt r.Rewrite.lhs r.Rewrite.rhs
+        && match r.Rewrite.cond with None -> true | Some c -> gt r.Rewrite.lhs c)
+  in
+  let failed = List.filter (fun r -> not (orient r)) rules in
+  (* Second pass: constraints discovered later may orient early failures. *)
+  let unoriented = List.filter (fun r -> not (orient r)) failed in
+  (* Totalize: topological order of the constraint graph over the full
+     operator universe, greatest first, deterministic tie-break by name. *)
+  let universe = Hashtbl.create 64 in
+  let add_op (o : Signature.op) =
+    if not (Hashtbl.mem universe (op_key o)) then Hashtbl.add universe (op_key o) o
+  in
+  List.iter add_op ops;
+  List.iter add_op hint;
+  List.iter
+    (fun (r : Rewrite.rule) ->
+      List.iter
+        (fun t -> match t with Term.App (o, _) -> add_op o | Term.Var _ -> ())
+        (Term.subterms r.Rewrite.lhs @ Term.subterms r.Rewrite.rhs
+        @ match r.Rewrite.cond with None -> [] | Some c -> Term.subterms c))
+    rules;
+  let names = Hashtbl.fold (fun n _ acc -> n :: acc) universe [] in
+  let names = List.sort String.compare names in
+  (* Kahn's algorithm on edges f -> g (f greater); emit greatest first. *)
+  let indegree = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace indegree n 0) names;
+  List.iter
+    (fun f ->
+      match Hashtbl.find_opt succs f with
+      | None -> ()
+      | Some c ->
+        List.iter
+          (fun g ->
+            if Hashtbl.mem indegree g then
+              Hashtbl.replace indegree g (Hashtbl.find indegree g + 1)
+            else Hashtbl.replace indegree g 1)
+          !c)
+    names;
+  let ready = ref (List.filter (fun n -> Hashtbl.find indegree n = 0) names) in
+  let order = ref [] in
+  while !ready <> [] do
+    match !ready with
+    | [] -> ()
+    | n :: rest ->
+      ready := rest;
+      order := n :: !order;
+      (match Hashtbl.find_opt succs n with
+      | None -> ()
+      | Some c ->
+        let next =
+          List.filter
+            (fun g ->
+              match Hashtbl.find_opt indegree g with
+              | Some d ->
+                Hashtbl.replace indegree g (d - 1);
+                d - 1 = 0
+              | None -> false)
+            (List.sort_uniq String.compare !c)
+        in
+        ready := List.sort String.compare (next @ !ready))
+  done;
+  (* [order] is now least-to-greatest; ops outside the universe (none in
+     practice) are dropped. *)
+  let precedence =
+    List.filter_map (fun n -> Hashtbl.find_opt universe n) !order
+  in
+  let rank = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.replace rank n i) !order;
+  let prec o1 o2 =
+    match Hashtbl.find_opt rank (op_key o1), Hashtbl.find_opt rank (op_key o2) with
+    | Some i, Some j -> compare i j
+    | Some _, None -> 1
+    | None, Some _ -> -1
+    | None, None -> Signature.op_compare o1 o2
+  in
+  { precedence; prec; unoriented }
+
 let orients ~prec (lhs, rhs) =
   if lpo ~prec lhs rhs then `Lr else if lpo ~prec rhs lhs then `Rl else `No
 

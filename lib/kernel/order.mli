@@ -17,6 +17,35 @@ val lpo :
 val precedence_of_list :
   Signature.op list -> Signature.op -> Signature.op -> int
 
+(** Result of {!search_precedence}: a total precedence and the rules no
+    LPO proof was found for.  [unoriented = []] certifies the whole system
+    terminating.  [prec] is the comparison to feed {!lpo}/{!terminating};
+    unlike {!precedence_of_list} it distinguishes same-named operators
+    with different profiles (the TLS model overloads e.g. [cert] as both
+    an action and a certificate constructor), which is required to orient
+    some of the generated transition rules.  [precedence] lists the same
+    order (later = greater) for display and [--prec] round-tripping. *)
+type search_result = {
+  precedence : Signature.op list;
+  prec : Signature.op -> Signature.op -> int;
+  unoriented : Rewrite.rule list;
+}
+
+(** [search_precedence ?hint ~ops rules] searches for an LPO precedence
+    under which every rule (and every conditional rule's condition) is
+    decreasing.  The search is greedy with backtracking inside each rule:
+    undecided operator comparisons needed by a proof branch are assumed on
+    the fly unless they would close a cycle, and assumptions accumulate
+    across rules.  [hint] seeds the order (later = greater — the user's
+    [--prec] override); [ops] extends the returned total precedence to a
+    full operator universe.  Sound but incomplete: [unoriented] rules may
+    still terminate under some other order. *)
+val search_precedence :
+  ?hint:Signature.op list ->
+  ops:Signature.op list ->
+  Rewrite.rule list ->
+  search_result
+
 (** [orients ~prec (lhs, rhs)] — can the equation be oriented left to
     right ([`Lr]), right to left ([`Rl]), or not at all ([`No])? *)
 val orients :

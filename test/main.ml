@@ -8,6 +8,7 @@ let () =
       Test_matching_props.suite;
       Test_dolevyao.suite;
       Test_cafeobj.suite;
+      Test_analysis.suite;
       Test_export.suite;
       Test_core.suite;
       Test_prover.suite;

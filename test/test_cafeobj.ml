@@ -137,7 +137,7 @@ let test_parser_precedence () =
 
 let test_parser_module () =
   match Cafeobj.Parser.parse_string "mod M { [ A B ] op f : A -> B . var X : A . eq f(X) = f(X) . }" with
-  | [ Cafeobj.Parser.TModule ("M", decls) ] ->
+  | [ (Cafeobj.Parser.TModule ("M", decls), _) ] ->
     Alcotest.(check int) "4 declarations" 4 (List.length decls)
   | _ -> Alcotest.fail "module parse"
 
@@ -147,6 +147,51 @@ let test_parser_error () =
        ignore (Cafeobj.Parser.parse_string "mod M { op f : A -> B }");
        false
      with Cafeobj.Parser.Error _ -> true)
+
+let msg_contains ~needle m =
+  let n = String.length needle and h = String.length m in
+  let rec go i = i + n <= h && (String.sub m i n = needle || go (i + 1)) in
+  go 0
+
+let test_lexer_error_position () =
+  match Cafeobj.Lexer.tokenize "op f : A -> B .\n  op g : @ -> B ." with
+  | exception Cafeobj.Lexer.Error { line; col; _ } ->
+    Alcotest.(check int) "line" 2 line;
+    Alcotest.(check int) "col" 10 col
+  | _ -> Alcotest.fail "expected a lexer error"
+
+let test_parser_error_position () =
+  (* The offending token (the closing brace standing where '.' should be)
+     sits on line 3; the error message must say so. *)
+  match Cafeobj.Parser.parse_string "mod M {\n  op f : A -> B\n}" with
+  | exception Cafeobj.Parser.Error m ->
+    Alcotest.(check bool) ("cites line 3: " ^ m) true (msg_contains ~needle:"line 3" m)
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_eval_error_position () =
+  (* Elaboration errors are prefixed with the declaration's position. *)
+  let env = Cafeobj.Eval.create () in
+  match
+    Cafeobj.Eval.eval_string env
+      "mod M {\n  [ S ]\n  op c : -> S .\n  eq c = nope .\n}"
+  with
+  | exception Cafeobj.Eval.Error m ->
+    Alcotest.(check bool) ("cites line 4: " ^ m) true (msg_contains ~needle:"line 4" m)
+  | _ -> Alcotest.fail "expected an eval error"
+
+let test_spec_positions_recorded () =
+  let env = Cafeobj.Eval.create () in
+  ignore
+    (Cafeobj.Eval.eval_string env
+       "mod M {\n  [ S ]\n  op c : -> S .\n  op d : -> S .\n  eq d = c .\n}");
+  let m = Option.get (Cafeobj.Eval.find_module env "M") in
+  Alcotest.(check (option (pair int int))) "op position" (Some (3, 3))
+    (Cafeobj.Spec.pos_of m "op:c");
+  (* equation labels count from 1, per evaluator *)
+  Alcotest.(check (option (pair int int))) "eq position" (Some (5, 3))
+    (Cafeobj.Spec.pos_of m "eq:M-eq-1");
+  Alcotest.(check (option (pair int int))) "unknown key" None
+    (Cafeobj.Spec.pos_of m "op:zzz")
 
 (* ------------------------------------------------------------------ *)
 (* Eval *)
@@ -269,6 +314,10 @@ let tests =
     "parser precedence", `Quick, test_parser_precedence;
     "parser module", `Quick, test_parser_module;
     "parser error", `Quick, test_parser_error;
+    "lexer error position", `Quick, test_lexer_error_position;
+    "parser error position", `Quick, test_parser_error_position;
+    "eval error position", `Quick, test_eval_error_position;
+    "spec positions recorded", `Quick, test_spec_positions_recorded;
     "eval reduction", `Quick, test_eval_reduction;
     "eval free ctor equality", `Quick, test_eval_free_ctor_equality;
     "eval open/close", `Quick, test_eval_open_close;

@@ -96,6 +96,50 @@ let test_self_overlap_skips_root () =
   Alcotest.(check int) "no self pairs" 0
     (List.length (Completion.critical_pairs unit_ unit_))
 
+let test_assoc_self_overlap () =
+  (* The classic self-overlap: associativity overlaps itself below the
+     root, with peak mul(mul(mul(x,y),z),w).  Dropping it (the old
+     critical-pair enumeration did) silently weakens confluence checks. *)
+  let assoc = Rewrite.rule ~label:"assoc" (mul (mul x y) z) (mul x (mul y z)) in
+  let pairs = Completion.critical_pairs assoc assoc in
+  Alcotest.(check bool) "assoc overlaps itself" true (pairs <> []);
+  (* Associativity alone is convergent, so each pair joins under it. *)
+  let sys = Rewrite.make [ assoc ] in
+  List.iter
+    (fun (l, r) ->
+      Alcotest.(check bool)
+        (Term.to_string l ^ " joins " ^ Term.to_string r)
+        true
+        (Term.equal (Rewrite.normalize sys l) (Rewrite.normalize sys r)))
+    pairs;
+  (* and the whole-system enumeration reports the same self-overlaps *)
+  Alcotest.(check int) "all_critical_pairs includes self-overlaps"
+    (List.length pairs)
+    (List.length (Completion.all_critical_pairs [ assoc ]))
+
+let test_search_precedence_group () =
+  let rules =
+    List.mapi
+      (fun i (l, r) -> Rewrite.rule ~label:(Printf.sprintf "gax%d" i) l r)
+      group_axioms
+  in
+  let res = Order.search_precedence ~ops:[ e_op; i_op; mul_op ] rules in
+  Alcotest.(check int) "all axioms oriented" 0 (List.length res.Order.unoriented);
+  Alcotest.(check bool) "found order passes the terminating check" true
+    (Order.terminating ~prec:res.Order.prec rules)
+
+let test_search_precedence_hint () =
+  (* [a -> b] orients only if a > b; a hint listing a above b (later =
+     greater) must be respected, and the reverse hint must fail. *)
+  let a_op = Signature.declare sg "kb-ha" [] g ~attrs:[] in
+  let b_op = Signature.declare sg "kb-hb" [] g ~attrs:[] in
+  let r = Rewrite.rule ~label:"ab" (Term.const a_op) (Term.const b_op) in
+  let ok = Order.search_precedence ~hint:[ b_op; a_op ] ~ops:[ a_op; b_op ] [ r ] in
+  Alcotest.(check int) "hint b < a orients" 0 (List.length ok.Order.unoriented);
+  let bad = Order.search_precedence ~hint:[ a_op; b_op ] ~ops:[ a_op; b_op ] [ r ] in
+  Alcotest.(check int) "hint a < b cannot orient" 1
+    (List.length bad.Order.unoriented)
+
 (* ------------------------------------------------------------------ *)
 (* Completion of free groups *)
 
@@ -200,6 +244,9 @@ let tests =
     "terminating check", `Quick, test_terminating_check;
     "critical pairs assoc/unit", `Quick, test_critical_pairs_assoc_unit;
     "self overlap skips root", `Quick, test_self_overlap_skips_root;
+    "assoc self overlap", `Quick, test_assoc_self_overlap;
+    "search precedence group", `Quick, test_search_precedence_group;
+    "search precedence hint", `Quick, test_search_precedence_hint;
     "group completion succeeds", `Quick, test_group_completion_succeeds;
     "group theorems", `Quick, test_group_theorems;
     "group non-theorems", `Quick, test_group_non_theorems;
