@@ -27,6 +27,10 @@ type record = {
 
 let records : record list ref = ref []
 let lint_ms = ref 0.0
+let certify_ms = ref 0.0
+let cert_bytes = ref 0
+let red_untraced_ms = ref 0.0
+let red_traced_ms = ref 0.0
 
 let record ?(steps = 0) ?(splits = 0) name wall =
   records :=
@@ -48,8 +52,11 @@ let json_escape s =
 
 let write_json file ~jobs =
   let oc = open_out file in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"lint_ms\": %.3f,\n  \"experiments\": ["
-    jobs !lint_ms;
+  Printf.fprintf oc
+    "{\n  \"jobs\": %d,\n  \"lint_ms\": %.3f,\n  \"certify_ms\": %.3f,\n  \
+     \"cert_bytes\": %d,\n  \"red_untraced_ms\": %.3f,\n  \"red_traced_ms\": \
+     %.3f,\n  \"experiments\": ["
+    jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
@@ -264,7 +271,82 @@ let report ~pool () =
     "E13 lint: generated TLS spec certified=%b (%d errors, %d warnings, %d infos) in %.3fs@."
     (lr.Analysis.Lint.errors = 0)
     lr.Analysis.Lint.errors lr.Analysis.Lint.warnings lr.Analysis.Lint.infos dt;
-  record "lint-generated-tls" dt
+  record "lint-generated-tls" dt;
+
+  section "E14: proof certificates (trace, emit, independently re-check)";
+  let spec = Tls.Model.spec Tls.Model.Original in
+  (* traced-vs-untraced overhead of red on the E1 gleaning observation *)
+  (let full = Tls.Scenario.full_handshake () in
+   let nwt = Tls.Model.nw full.Tls.Scenario.ots (Tls.Scenario.final full) in
+   let c = Tls.Scenario.cast in
+   let pms =
+     Tls.Data.pms_ ~client:c.Tls.Scenario.alice ~server:c.Tls.Scenario.bob
+       c.Tls.Scenario.sec1
+   in
+   let sys = Cafeobj.Spec.system spec in
+   let goal = Tls.Data.in_cpms pms nwt in
+   let reps = 50 in
+   let time f =
+     f ();
+     let t0 = Unix.gettimeofday () in
+     for _ = 1 to reps do
+       f ()
+     done;
+     (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+   in
+   let untraced =
+     time (fun () ->
+         Rewrite.clear_cache sys;
+         ignore (Rewrite.normalize sys goal))
+   in
+   let traced =
+     time (fun () ->
+         Rewrite.clear_cache sys;
+         ignore (Rewrite.normalize_traced sys goal))
+   in
+   red_untraced_ms := untraced;
+   red_traced_ms := traced;
+   Format.printf
+     "E14 red tracing overhead: %.3f ms untraced, %.3f ms traced (%+.1f%%)@."
+     untraced traced
+     ((traced -. untraced) /. untraced *. 100.));
+  (* one invariant's campaign as a certificate, replayed independently *)
+  (let env = Tls.Model.env Tls.Model.Original in
+   let inv1 = Proofs.Tls_invariants.find Tls.Model.Original "inv1" in
+   let tr = Rewrite.tracer () in
+   Rewrite.set_tracer (Some tr);
+   let t0 = Unix.gettimeofday () in
+   ignore (Proofs.Tls_invariants.run ~pool env inv1);
+   let run_s = Unix.gettimeofday () -. t0 in
+   Rewrite.set_tracer None;
+   let t0 = Unix.gettimeofday () in
+   let b = Analysis.Certgen.create () in
+   Analysis.Certgen.add_obligations b (Rewrite.obligations tr);
+   let term_res = Analysis.Termination.check spec in
+   if term_res.Analysis.Termination.certified then
+     Analysis.Certgen.add_lpo b
+       ~precedence:term_res.Analysis.Termination.search.Order.precedence
+       (Cafeobj.Spec.all_rules spec);
+   let conf = Analysis.Confluence.check ~pool ~certify:true spec in
+   Analysis.Certgen.add_joins b
+     ~rules:(Cafeobj.Spec.all_rules spec)
+     conf.Analysis.Confluence.certs;
+   let cert = Analysis.Certgen.cert b in
+   let bytes = String.length (Certify.Cert.to_string cert) in
+   let produce_s = Unix.gettimeofday () -. t0 in
+   let t0 = Unix.gettimeofday () in
+   let res = Analysis.Certgen.check ~pool cert in
+   let check_s = Unix.gettimeofday () -. t0 in
+   certify_ms := check_s *. 1000.;
+   cert_bytes := bytes;
+   Format.printf
+     "E14 inv1 certificate: %d obligations, %d steps replayed, %d bytes; \
+      proof %.2fs, emit %.2fs, check %.2fs (check/produce %.2fx)%s@."
+     res.Analysis.Certgen.obligations res.Analysis.Certgen.steps_replayed bytes
+     run_s produce_s check_s
+     (check_s /. (run_s +. produce_s))
+     (if res.Analysis.Certgen.errors = [] then "" else " — REJECTED (unexpected)");
+   record "certify-inv1" check_s)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing *)

@@ -2,6 +2,8 @@
 
    Usage:
      caferepl file.cafe ...     evaluate files, then exit
+     caferepl --trace ...       additionally print every rewrite step of
+                                each red (rule label, redex position, term)
      caferepl                   interactive session (phrases end with '.';
                                 'mod' blocks end with '}') *)
 
@@ -12,6 +14,11 @@ let process env src =
     true
   | exception Cafeobj.Eval.Error m ->
     Format.printf "error: %s@." m;
+    false
+  | exception (Kernel.Rewrite.Limit_exceeded _ as e) ->
+    (* distinct from a normal result: the reduction was cut off, no
+       (partial) normal form is shown *)
+    Format.printf "error: %s@." (Printexc.to_string e);
     false
   | exception Cafeobj.Parser.Error m ->
     Format.printf "parse error: %s@." m;
@@ -63,7 +70,10 @@ let repl env =
 
 let () =
   let env = Cafeobj.Eval.create () in
-  match List.tl (Array.to_list Sys.argv) with
+  let args = List.tl (Array.to_list Sys.argv) in
+  let files = List.filter (fun a -> a <> "--trace") args in
+  if List.mem "--trace" args then Cafeobj.Eval.set_tracing env true;
+  match files with
   | [] -> repl env
   | files ->
     let ok = List.for_all (fun f -> process env (read_file f)) files in

@@ -1,0 +1,139 @@
+(* check — replay a proof certificate with the independent checker.
+
+   Usage:
+     check FILE            validate every obligation in FILE
+     check FILE --json     machine-readable report on stdout
+     check FILE --jobs N   chunk obligations across N domains
+
+   This binary deliberately links only [certify] (the trusted replay
+   kernel) and [sched] (a generic domain pool): the rewriting engine, AC
+   matcher and proof strategy are nowhere in the executable, so accepting
+   a certificate depends on nothing the engine computed.
+
+   Exit status:
+     0  certificate accepted
+     1  certificate rejected (diagnostics on stderr, or in the JSON report)
+     2  usage error, unreadable file or malformed certificate *)
+
+let usage = "check FILE [--json] [--jobs N]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chunks_of n xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+type job = Jlpo | Jred of Certify.Cert.red list | Jjoin of Certify.Cert.join list
+
+let () =
+  let json = ref false in
+  let jobs = ref 1 in
+  let file = ref "" in
+  let spec =
+    [
+      "--json", Arg.Set json, "print a machine-readable report";
+      "--jobs", Arg.Set_int jobs, "N number of domains (default: 1)";
+    ]
+  in
+  Arg.parse spec
+    (fun s ->
+      if !file = "" then file := s
+      else raise (Arg.Bad ("unexpected argument " ^ s)))
+    usage;
+  if !file = "" then begin
+    prerr_endline ("check: no certificate file given\nusage: " ^ usage);
+    exit 2
+  end;
+  if !jobs < 1 then begin
+    prerr_endline "check: --jobs must be at least 1";
+    exit 2
+  end;
+  let contents =
+    try In_channel.with_open_bin !file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "check: %s\n" msg;
+      exit 2
+  in
+  let cert =
+    match Certify.Cert.of_string contents with
+    | Ok c -> c
+    | Error msg ->
+      Printf.eprintf "check: %s: %s\n" !file msg;
+      exit 2
+  in
+  let t0 = Sys.time () in
+  let njobs = !jobs * 4 in
+  let nred = List.length cert.Certify.Cert.reds in
+  let chunk = max 1 ((nred + njobs - 1) / njobs) in
+  let work =
+    (if cert.Certify.Cert.lpo = None then [] else [ Jlpo ])
+    @ List.map (fun rs -> Jred rs) (chunks_of chunk cert.Certify.Cert.reds)
+    @ match cert.Certify.Cert.joins with [] -> [] | js -> [ Jjoin js ]
+  in
+  let run job =
+    (* one checker per chunk: the memo tables are single-domain *)
+    let ck = Certify.Check.create cert in
+    let errs =
+      match job with
+      | Jlpo -> Certify.Check.check_lpo ck
+      | Jred rs -> List.filter_map (Certify.Check.check_red ck) rs
+      | Jjoin js -> List.filter_map (Certify.Check.check_join ck) js
+    in
+    (errs, Certify.Check.steps_validated ck)
+  in
+  let results =
+    if !jobs = 1 then List.map run work
+    else Sched.Pool.with_pool ~jobs:!jobs (fun pool -> Sched.Pool.parallel_map pool run work)
+  in
+  let errors = List.concat_map fst results in
+  let steps = List.fold_left (fun acc (_, s) -> acc + s) 0 results in
+  let dt = Sys.time () -. t0 in
+  let njoin = List.length cert.Certify.Cert.joins in
+  let has_lpo = cert.Certify.Cert.lpo <> None in
+  if !json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"file\":\"%s\",\"ok\":%b,\"reds\":%d,\"joins\":%d,\"lpo\":%b,\
+          \"steps_replayed\":%d,\"cert_bytes\":%d,\"check_ms\":%.1f,\"errors\":["
+         (json_escape !file) (errors = []) nred njoin has_lpo steps
+         (String.length contents) (dt *. 1000.));
+    List.iteri
+      (fun i (e : Certify.Check.error) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"path\":\"%s\",\"msg\":\"%s\"}" (json_escape e.e_path)
+             (json_escape e.e_msg)))
+      errors;
+    Buffer.add_string b "]}";
+    print_endline (Buffer.contents b)
+  end
+  else begin
+    Printf.printf "check: %s: %d red(s), %d join(s)%s; %d steps replayed in %.2fs\n"
+      !file nred njoin
+      (if has_lpo then ", lpo certificate" else "")
+      steps dt;
+    List.iter
+      (fun e -> Format.eprintf "check: %a@." Certify.Check.pp_error e)
+      errors;
+    if errors = [] then print_endline "check: certificate ACCEPTED"
+    else Printf.eprintf "check: certificate REJECTED (%d error(s))\n" (List.length errors)
+  end;
+  if errors <> [] then exit 1

@@ -10,6 +10,11 @@
                                 refuse to prove over an uncertified system
      verify --stats             print campaign totals only
      verify --jobs N            verify on N domains (work-stealing pool)
+     verify --certify           trace every red, rebuild the campaign as a
+                                proof certificate (LPO + critical-pair joins
+                                included) and replay it with the independent
+                                Certify checker
+     verify --certify-out FILE  also write the certificate (implies --certify)
 
    Exit status:
      0  every requested proof succeeded (and, with --negative, the failing
@@ -20,6 +25,8 @@
      3  the --lint gate failed: the rewrite system behind the proofs is
         not certified (termination/confluence/… error diagnostics) —
         no proof was attempted
+     4  certificate rejected: the independent checker refused a recorded
+        derivation, the LPO certificate or a join certificate
 
    Results are independent of --jobs: every case runs in its own branched
    spec environment, so statistics and outcomes are byte-identical to the
@@ -39,6 +46,8 @@ let () =
   let extensions = ref false in
   let lint = ref false in
   let stats_only = ref false in
+  let certify = ref false in
+  let certify_out = ref "" in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let spec =
     [
@@ -48,10 +57,15 @@ let () =
       "--extensions", Arg.Set extensions, "also prove the beyond-paper invariants";
       "--lint", Arg.Set lint, "lint the spec and refuse to prove over an uncertified system";
       "--stats", Arg.Set stats_only, "print summary only";
+      "--certify", Arg.Set certify, "record and independently re-check proof certificates";
+      ( "--certify-out",
+        Arg.Set_string certify_out,
+        "FILE write the certificate to FILE (implies --certify)" );
       "--jobs", Arg.Set_int jobs, "N number of domains (default: cores)";
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "verify [options]";
+  if !certify_out <> "" then certify := true;
   if !jobs < 1 then begin
     prerr_endline "verify: --jobs must be at least 1";
     exit 2
@@ -100,6 +114,14 @@ let () =
     Format.printf "lint gate: %s certified in %.2fs (%d warnings, %d infos)@.@."
       label dt report.Analysis.Lint.warnings report.Analysis.Lint.infos
   end;
+  let tracer =
+    if !certify then begin
+      let tr = Kernel.Rewrite.tracer () in
+      Kernel.Rewrite.set_tracer (Some tr);
+      Some tr
+    end
+    else None
+  in
   let t0 = Unix.gettimeofday () in
   let results =
     if !stats_only then
@@ -108,6 +130,7 @@ let () =
         proofs
     else List.map (run_one ~pool env) proofs
   in
+  Kernel.Rewrite.set_tracer None;
   Format.printf "%a@." Report.pp_summary (Report.summarize results);
   Format.printf "wall-clock: %.2fs (%d domain%s)@."
     (Unix.gettimeofday () -. t0)
@@ -122,5 +145,57 @@ let () =
         if r.Induction.proved then unexpected_proof := true)
       [ Proofs.Tls_invariants.prop2' style; Proofs.Tls_invariants.prop3' style ]
   end;
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+    (* Rebuild everything the campaign relied on as one certificate — the
+       traced reds plus the termination and local-confluence evidence —
+       and replay it with the engine-independent checker. *)
+    Format.printf "@.--- proof certificate ---@.";
+    let spec = Tls.Model.spec style in
+    let t0 = Unix.gettimeofday () in
+    let b = Analysis.Certgen.create () in
+    Analysis.Certgen.add_obligations b (Kernel.Rewrite.obligations tr);
+    let term = Analysis.Termination.check spec in
+    if term.Analysis.Termination.certified then
+      Analysis.Certgen.add_lpo b
+        ~precedence:term.Analysis.Termination.search.Kernel.Order.precedence
+        (Cafeobj.Spec.all_rules spec)
+    else Format.printf "certify: no LPO certificate (termination search failed)@.";
+    let conf = Analysis.Confluence.check ~pool ~certify:true spec in
+    Analysis.Certgen.add_joins b
+      ~rules:(Cafeobj.Spec.all_rules spec)
+      conf.Analysis.Confluence.certs;
+    let cert = Analysis.Certgen.cert b in
+    let produce_s = Unix.gettimeofday () -. t0 in
+    let bytes =
+      if !certify_out = "" then String.length (Certify.Cert.to_string cert)
+      else begin
+        let s = Certify.Cert.to_string cert in
+        let oc = open_out !certify_out in
+        output_string oc s;
+        output_char oc '\n';
+        close_out oc;
+        String.length s
+      end
+    in
+    let t1 = Unix.gettimeofday () in
+    let res = Analysis.Certgen.check ~pool cert in
+    let check_s = Unix.gettimeofday () -. t1 in
+    Format.printf
+      "certify: %d obligations (%d reds, %d joins%s), %d steps replayed, %d bytes@."
+      res.Analysis.Certgen.obligations
+      (List.length cert.Certify.Cert.reds)
+      (List.length cert.Certify.Cert.joins)
+      (if cert.Certify.Cert.lpo = None then "" else ", lpo")
+      res.Analysis.Certgen.steps_replayed bytes;
+    Format.printf "certify: produced in %.2fs, checked in %.2fs@." produce_s check_s;
+    if !certify_out <> "" then Format.printf "certify: wrote %s@." !certify_out;
+    match res.Analysis.Certgen.errors with
+    | [] -> Format.printf "certify: certificate ACCEPTED@."
+    | errs ->
+      List.iter (fun e -> Format.eprintf "certify: %a@." Certify.Check.pp_error e) errs;
+      Format.eprintf "certify: certificate REJECTED (%d error(s))@." (List.length errs);
+      exit 4);
   let failures = Report.failures results in
   if failures <> [] || !unexpected_proof then exit 1

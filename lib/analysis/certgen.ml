@@ -1,0 +1,258 @@
+(* Bridge from the engine to the certificate world: converts traced
+   derivations, the LPO search result and confluence join certificates into
+   a [Certify.Cert.t].  This module is on the UNTRUSTED side of the trust
+   boundary — a bug here produces a certificate the independent checker
+   rejects, never one it wrongly accepts. *)
+
+open Kernel
+module C = Certify.Cert
+
+module Phys = Hashtbl.Make (struct
+  type t = Obj.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  ops : C.op Phys.t;  (* engine op -> cert op *)
+  terms : C.term Term.Tbl.t;  (* structural: equal engine terms share one cert term *)
+  rules : C.rule Phys.t;  (* engine rule -> cert rule *)
+  rsets : (int, C.rset) Hashtbl.t;  (* sys uid -> cert rule set *)
+  derivs : C.deriv Phys.t;  (* engine deriv node -> cert deriv (keeps DAG sharing) *)
+  mutable reds : C.red list;  (* reversed *)
+  mutable next_red : int;
+  mutable lpo : C.lpo option;
+  mutable joins : C.join list;  (* reversed *)
+}
+
+let create () =
+  {
+    ops = Phys.create 256;
+    terms = Term.Tbl.create 4096;
+    rules = Phys.create 256;
+    rsets = Hashtbl.create 16;
+    derivs = Phys.create 4096;
+    reds = [];
+    next_red = 0;
+    lpo = None;
+    joins = [];
+  }
+
+let flags_of (o : Signature.op) =
+  let module B = Signature.Builtin in
+  List.concat
+    [
+      (if Signature.is_ac o then [ C.Ac ] else []);
+      (if Signature.is_comm o then [ C.Comm ] else []);
+      (if Signature.op_equal o B.tt then [ C.Tt ] else []);
+      (if Signature.op_equal o B.ff then [ C.Ff ] else []);
+      (if Signature.op_equal o B.not_ then [ C.Not ] else []);
+      (if Signature.op_equal o B.and_ then [ C.And ] else []);
+      (if Signature.op_equal o B.or_ then [ C.Or ] else []);
+      (if Signature.op_equal o B.xor then [ C.Xor ] else []);
+      (if Signature.op_equal o B.implies then [ C.Implies ] else []);
+      (if Signature.op_equal o B.iff then [ C.Iff ] else []);
+      (if B.is_if o then [ C.If ] else []);
+      (if B.is_eq o then [ C.Eq ] else []);
+    ]
+
+let op b (o : Signature.op) =
+  match Phys.find_opt b.ops (Obj.repr o) with
+  | Some co -> co
+  | None ->
+    let co =
+      {
+        C.op_name = o.Signature.name;
+        op_arity = List.map (fun (s : Sort.t) -> s.Sort.name) o.Signature.arity;
+        op_sort = o.Signature.sort.Sort.name;
+        op_flags = flags_of o;
+      }
+    in
+    Phys.replace b.ops (Obj.repr o) co;
+    co
+
+let rec term b (t : Term.t) =
+  match Term.Tbl.find_opt b.terms t with
+  | Some ct -> ct
+  | None ->
+    let ct =
+      match t with
+      | Term.Var v -> C.V { v_name = v.Term.v_name; v_sort = v.Term.v_sort.Sort.name }
+      | Term.App (o, args) -> C.A (op b o, List.map (term b) args)
+    in
+    Term.Tbl.replace b.terms t ct;
+    ct
+
+let rule b (r : Rewrite.rule) =
+  match Phys.find_opt b.rules (Obj.repr r) with
+  | Some cr -> cr
+  | None ->
+    let cr =
+      {
+        C.r_label = r.Rewrite.label;
+        r_lhs = term b r.Rewrite.lhs;
+        r_rhs = term b r.Rewrite.rhs;
+        r_cond = Option.map (term b) r.Rewrite.cond;
+      }
+    in
+    Phys.replace b.rules (Obj.repr r) cr;
+    cr
+
+let rec rset b (si : Rewrite.sys_info) =
+  match Hashtbl.find_opt b.rsets si.Rewrite.si_uid with
+  | Some rs -> rs
+  | None ->
+    let rs =
+      {
+        C.rs_parent = Option.map (rset b) si.Rewrite.si_parent;
+        rs_rules = List.map (rule b) si.Rewrite.si_added;
+      }
+    in
+    Hashtbl.replace b.rsets si.Rewrite.si_uid rs;
+    rs
+
+let sub_bindings b (s : Subst.t) =
+  List.map
+    (fun ((v : Term.var), img) -> (v.Term.v_name, v.Term.v_sort.Sort.name, term b img))
+    (Subst.bindings s)
+
+let rec deriv b (d : Rewrite.deriv) =
+  match Phys.find_opt b.derivs (Obj.repr d) with
+  | Some cd -> cd
+  | None ->
+    let node =
+      match d.Rewrite.d_node with
+      | Rewrite.Triv -> C.Triv
+      | Rewrite.Dapp { children; perm; step } ->
+        C.App
+          {
+            children = List.map (deriv b) children;
+            perm;
+            step =
+              Option.map
+                (fun (s : Rewrite.rstep) ->
+                  {
+                    C.s_rule = rule b s.Rewrite.rs_rule;
+                    s_sub = sub_bindings b s.Rewrite.rs_sub;
+                    s_cond = Option.map (deriv b) s.Rewrite.rs_cond;
+                    s_next = deriv b s.Rewrite.rs_next;
+                  })
+                step;
+          }
+    in
+    let cd =
+      { C.d_in = term b d.Rewrite.d_in; d_out = term b d.Rewrite.d_out; d_node = node }
+    in
+    Phys.replace b.derivs (Obj.repr d) cd;
+    cd
+
+let add_obligation b (ob : Rewrite.obligation) =
+  let n = b.next_red in
+  b.next_red <- n + 1;
+  let d = deriv b ob.Rewrite.ob_deriv in
+  b.reds <-
+    {
+      C.red_name = Printf.sprintf "r%d" n;
+      red_rset = rset b ob.Rewrite.ob_info;
+      red_in = term b ob.Rewrite.ob_input;
+      red_out = d.C.d_out;
+      red_deriv = d;
+    }
+    :: b.reds
+
+let add_obligations b obs = List.iter (add_obligation b) obs
+
+let add_lpo b ~precedence rules =
+  b.lpo <-
+    Some
+      { C.lpo_prec = List.map (op b) precedence; lpo_rules = List.map (rule b) rules }
+
+let add_join b ~rs (ov : Completion.overlap) (jc : Confluence.jcert) =
+  let rec conv (jc : Confluence.jcert) =
+    {
+      C.jc_left = deriv b jc.Confluence.jc_left;
+      jc_right = deriv b jc.Confluence.jc_right;
+      jc_tail =
+        (match jc.Confluence.jc_tail with
+        | Confluence.Tsyn -> C.Jsyn
+        | Confluence.Tring -> C.Jring
+        | Confluence.Tsplit (c, jt, jf) -> C.Jsplit (term b c, conv jt, conv jf));
+    }
+  in
+  b.joins <-
+    {
+      C.j_label =
+        Printf.sprintf "%s/%s" ov.Completion.outer.Rewrite.label
+          ov.Completion.inner.Rewrite.label;
+      j_rset = rs;
+      j_peak = term b ov.Completion.peak;
+      j_left = term b ov.Completion.left;
+      j_right = term b ov.Completion.right;
+      j_cert = conv jc;
+    }
+    :: b.joins
+
+let add_joins b ~rules certs =
+  (* Join derivations were produced by private systems over the spec's full
+     rule list; their certificate scope is that flat rule set. *)
+  let rs = { C.rs_parent = None; rs_rules = List.map (rule b) rules } in
+  List.iter (fun (ov, jc) -> add_join b ~rs ov jc) certs
+
+let cert b =
+  { C.reds = List.rev b.reds; lpo = b.lpo; joins = List.rev b.joins }
+
+(* ------------------------------------------------------------------ *)
+(* Pool-chunked checking.  Each chunk gets its own checker (the memo
+   tables are not thread-safe); the LPO obligation rides with the first
+   chunk. *)
+
+type check_result = {
+  errors : Certify.Check.error list;
+  obligations : int;
+  steps_replayed : int;
+}
+
+let chunks_of n xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+type job =
+  | Jlpo
+  | Jred of C.red list
+  | Jjoin of C.join list
+
+let check ?pool (c : C.t) : check_result =
+  let njobs = match pool with Some p -> Sched.Pool.jobs p * 4 | None -> 1 in
+  let nred = List.length c.C.reds in
+  let chunk = max 1 ((nred + njobs - 1) / njobs) in
+  let jobs =
+    (if c.C.lpo = None then [] else [ Jlpo ])
+    @ List.map (fun rs -> Jred rs) (chunks_of chunk c.C.reds)
+    @ match c.C.joins with [] -> [] | js -> [ Jjoin js ]
+  in
+  let run job =
+    let ck = Certify.Check.create c in
+    let errs =
+      match job with
+      | Jlpo -> Certify.Check.check_lpo ck
+      | Jred rs -> List.filter_map (Certify.Check.check_red ck) rs
+      | Jjoin js -> List.filter_map (Certify.Check.check_join ck) js
+    in
+    (errs, Certify.Check.steps_validated ck)
+  in
+  let results =
+    match pool with
+    | None -> List.map run jobs
+    | Some p -> Sched.Pool.parallel_map p run jobs
+  in
+  {
+    errors = List.concat_map fst results;
+    obligations = nred + List.length c.C.joins;
+    steps_replayed = List.fold_left (fun acc (_, s) -> acc + s) 0 results;
+  }

@@ -6,9 +6,17 @@ type join_status =
   | Undecided
   | Unjoinable of Term.t * Term.t
 
+(* A join certificate: how each side of the divergence was reduced, and how
+   the two reducts were reconciled — syntactic identity, boolean-ring
+   identity, or a Shannon split on an [if] condition with a certificate per
+   branch.  Replayed by the engine-independent [Certify] checker. *)
+type jtail = Tsyn | Tring | Tsplit of Term.t * jcert * jcert
+and jcert = { jc_left : Rewrite.deriv; jc_right : Rewrite.deriv; jc_tail : jtail }
+
 type pair_report = {
   overlap : Completion.overlap;
   status : join_status;
+  cert : jcert option;
 }
 
 type result = {
@@ -17,11 +25,16 @@ type result = {
   syntactic : int;
   semantic : int;
   reports : pair_report list;
+  certs : (Completion.overlap * jcert) list;
   diagnostics : Diagnostic.t list;
 }
 
 let norm sys t =
-  try Some (Rewrite.normalize sys t) with Rewrite.Step_limit_exceeded -> None
+  try Some (Rewrite.normalize sys t) with Rewrite.Limit_exceeded _ -> None
+
+let norm_traced sys t =
+  try Some (Rewrite.normalize_traced sys t)
+  with Rewrite.Limit_exceeded _ -> None
 
 let bool_equal l r =
   Sort.equal (Term.sort l) Sort.bool
@@ -76,14 +89,48 @@ let rec join sys fuel l r =
             (Term.replace ~old:c ~by:(Term.bool_ v) l')
             (Term.replace ~old:c ~by:(Term.bool_ v) r')
         in
-        let combine a b =
-          match a, b with
-          | Unjoinable _, _ -> a
-          | _, Unjoinable _ -> b
-          | Undecided, _ | _, Undecided -> Undecided
-          | (Syntactic | Semantic), (Syntactic | Semantic) -> Semantic
-        in
         combine (branch true) (branch false))
+
+and combine a b =
+  match a, b with
+  | Unjoinable _, _ -> a
+  | _, Unjoinable _ -> b
+  | Undecided, _ | _, Undecided -> Undecided
+  | (Syntactic | Semantic), (Syntactic | Semantic) -> Semantic
+
+(* [join], but additionally building the replayable certificate.  Kept as a
+   separate function so the common (untraced) linter path pays no
+   derivation-recording cost. *)
+let rec join_cert sys fuel l r =
+  match norm_traced sys l, norm_traced sys r with
+  | None, _ | _, None -> (Undecided, None)
+  | Some (l', dl), Some (r', dr) ->
+    let leaf tail = Some { jc_left = dl; jc_right = dr; jc_tail = tail } in
+    if Term.equal l' r' then (Syntactic, leaf Tsyn)
+    else if bool_equal l' r' then (Semantic, leaf Tring)
+    else if fuel <= 0 then (Undecided, None)
+    else (
+      match
+        (match split_candidate l' with
+        | Some _ as c -> c
+        | None -> split_candidate r')
+      with
+      | None -> (Unjoinable (l', r'), None)
+      | Some c ->
+        let branch v =
+          join_cert sys (fuel - 1)
+            (Term.replace ~old:c ~by:(Term.bool_ v) l')
+            (Term.replace ~old:c ~by:(Term.bool_ v) r')
+        in
+        let st, ct = branch true in
+        let sf, cf = branch false in
+        let status = combine st sf in
+        let cert =
+          match ct, cf with
+          | Some ct, Some cf -> leaf (Tsplit (c, ct, cf))
+          | _ -> None
+        in
+        (status, cert))
 
 let chunks size xs =
   let rec go acc cur n = function
@@ -94,7 +141,7 @@ let chunks size xs =
   in
   go [] [] 0 xs
 
-let check ?pool ?(budget = 20_000) ?(fuel = 8) spec =
+let check ?pool ?(budget = 20_000) ?(fuel = 8) ?(certify = false) spec =
   let name = Cafeobj.Spec.name spec in
   let rules = Cafeobj.Spec.all_rules spec in
   let overlaps = Completion.all_critical_pairs rules in
@@ -107,7 +154,12 @@ let check ?pool ?(budget = 20_000) ?(fuel = 8) spec =
     Rewrite.set_step_limit sys budget;
     List.map
       (fun (o : Completion.overlap) ->
-        { overlap = o; status = join sys fuel o.Completion.left o.Completion.right })
+        let status, cert =
+          if certify then join_cert sys fuel o.Completion.left o.Completion.right
+          else
+            (join sys fuel o.Completion.left o.Completion.right, None)
+        in
+        { overlap = o; status; cert })
       os
   in
   let chunked = chunks (max 8 (total / 64)) overlaps in
@@ -148,5 +200,18 @@ let check ?pool ?(budget = 20_000) ?(fuel = 8) spec =
               labels Term.pp o.Completion.peak Term.pp l Term.pp r))
   in
   let diagnostics = List.filter_map diag reports in
+  let certs =
+    List.filter_map
+      (fun p -> Option.map (fun c -> (p.overlap, c)) p.cert)
+      reports
+  in
   let reports = List.filter (fun p -> p.status <> Syntactic) reports in
-  { certified = syntactic + semantic = total; total; syntactic; semantic; reports; diagnostics }
+  {
+    certified = syntactic + semantic = total;
+    total;
+    syntactic;
+    semantic;
+    reports;
+    certs;
+    diagnostics;
+  }

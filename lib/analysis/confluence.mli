@@ -20,9 +20,18 @@ type join_status =
   | Undecided  (** step budget or split fuel exhausted *)
   | Unjoinable of Term.t * Term.t  (** the divergent normal forms *)
 
+(** A replayable join certificate: the derivation of each side's reduct and
+    the reconciliation tail — syntactic identity, boolean-ring identity, or
+    a Shannon split on an [if] condition with one certificate per branch.
+    Checked by the engine-independent [Certify] kernel; the enumeration of
+    critical pairs itself remains trusted (documented trust boundary). *)
+type jtail = Tsyn | Tring | Tsplit of Term.t * jcert * jcert
+and jcert = { jc_left : Rewrite.deriv; jc_right : Rewrite.deriv; jc_tail : jtail }
+
 type pair_report = {
   overlap : Completion.overlap;
   status : join_status;
+  cert : jcert option;  (** present when [check ~certify:true] decided the pair *)
 }
 
 type result = {
@@ -31,13 +40,21 @@ type result = {
   syntactic : int;
   semantic : int;
   reports : pair_report list;  (** the non-syntactic pairs *)
+  certs : (Completion.overlap * jcert) list;
+      (** with [~certify:true]: one join certificate per decided pair *)
   diagnostics : Diagnostic.t list;
 }
 
-(** [check ?pool ?budget ?fuel spec] — [budget] caps rewrite steps per
-    normalization (default 20k), [fuel] caps Shannon splits per pair
+(** [check ?pool ?budget ?fuel ?certify spec] — [budget] caps rewrite steps
+    per normalization (default 20k), [fuel] caps Shannon splits per pair
     (default 8).  With [pool], pair chunks are joined in parallel; each
     chunk rebuilds a private rewrite system, so results are deterministic
-    and race-free. *)
+    and race-free.  With [certify] (default [false]), every decided pair
+    also records a join certificate in [certs]. *)
 val check :
-  ?pool:Sched.Pool.t -> ?budget:int -> ?fuel:int -> Cafeobj.Spec.t -> result
+  ?pool:Sched.Pool.t ->
+  ?budget:int ->
+  ?fuel:int ->
+  ?certify:bool ->
+  Cafeobj.Spec.t ->
+  result

@@ -130,8 +130,8 @@ let load_file path =
         List.iter (fun (phrase, _) -> ignore (Cafeobj.Eval.eval env phrase)) program
       with
       | exception Cafeobj.Eval.Error m -> fail_diag "elaboration-error" m
-      | exception Kernel.Rewrite.Step_limit_exceeded ->
-        fail_diag "step-limit" "a red command exceeded the step limit"
+      | exception Kernel.Rewrite.Limit_exceeded _ ->
+        fail_diag "step-limit" "a red command exceeded its step/deadline limit"
       | () ->
         let names =
           List.filter_map

@@ -15,6 +15,7 @@ type env = {
   mutable opened : scope option;
   mutable scratch_counter : int;
   mutable eq_counter : int;
+  mutable tracing : bool;
 }
 
 let create () =
@@ -24,12 +25,20 @@ let create () =
     opened = None;
     scratch_counter = 0;
     eq_counter = 0;
+    tracing = false;
   }
+
+let set_tracing env on = env.tracing <- on
 
 let find_module env name =
   Option.map (fun sc -> sc.spec) (Hashtbl.find_opt env.modules name)
 
-type reduction = { input : Term.t; normal_form : Term.t; steps : int }
+type reduction = {
+  input : Term.t;
+  normal_form : Term.t;
+  steps : int;
+  trace : Trace.step list option;
+}
 
 type output =
   | Defined of string
@@ -198,8 +207,19 @@ let eval env (phrase : Parser.toplevel) =
     let input = elaborate sc t in
     let sys = Spec.system sc.spec in
     let before = Rewrite.steps sys in
-    let normal_form = Rewrite.normalize sys input in
-    Reduced { input; normal_form; steps = Rewrite.steps sys - before }
+    if env.tracing then begin
+      let normal_form, deriv = Rewrite.normalize_traced sys input in
+      Reduced
+        {
+          input;
+          normal_form;
+          steps = Rewrite.steps sys - before;
+          trace = Some (Trace.linearize deriv);
+        }
+    end
+    else
+      let normal_form = Rewrite.normalize sys input in
+      Reduced { input; normal_form; steps = Rewrite.steps sys - before; trace = None }
   | Parser.TOpen name -> (
     match Hashtbl.find_opt env.modules name with
     | None -> fail "unknown module %s" name
@@ -239,9 +259,12 @@ let reduce_string env src =
 
 let pp_output ppf = function
   | Defined name -> Format.fprintf ppf "defined module %s" name
-  | Reduced r ->
-    Format.fprintf ppf "@[<v2>reduce %a@,result: %a (%d rewrites)@]" Term.pp
-      r.input Term.pp r.normal_form r.steps
+  | Reduced r -> (
+    Format.fprintf ppf "@[<v2>reduce %a@," Term.pp r.input;
+    (match r.trace with
+    | None | Some [] -> ()
+    | Some steps -> Format.fprintf ppf "%a@," Trace.pp_steps steps);
+    Format.fprintf ppf "result: %a (%d rewrites)@]" Term.pp r.normal_form r.steps)
   | Opened name -> Format.fprintf ppf "opened %s" name
   | Closed -> Format.pp_print_string ppf "closed"
   | Shown text -> Format.pp_print_string ppf text

@@ -9,6 +9,11 @@ type env
 
 val create : unit -> env
 
+(** [set_tracing env on] — with tracing on, every [red] also records its
+    derivation and {!reduction.trace} carries the linearized steps
+    ([caferepl --trace]). *)
+val set_tracing : env -> bool -> unit
+
 (** [find_module env name] returns an elaborated module. *)
 val find_module : env -> string -> Spec.t option
 
@@ -16,6 +21,7 @@ type reduction = {
   input : Term.t;
   normal_form : Term.t;
   steps : int;  (** rule applications used by this reduction *)
+  trace : Trace.step list option;  (** with {!set_tracing}: one entry per step *)
 }
 
 type output =

@@ -1,0 +1,170 @@
+type t = Atom of string | List of t list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let bare_re c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  (* [;] is deliberately absent: it starts a comment, so an atom containing
+     it must print quoted to round-trip. *)
+  | '-' | '_' | '.' | ':' | '/' | '#' | '+' | '*' | '=' | '<' | '>' | '!'
+  | '?' | '@' | '$' | '%' | '^' | '&' | '~' | '\'' | ',' | '[' | ']' | '{'
+  | '}' | '|' ->
+    true
+  | _ -> false
+
+let is_bare s = s <> "" && String.for_all bare_re s
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf = function
+  | Atom s -> if is_bare s then Buffer.add_string buf s else escape buf s
+  | List xs ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ' ';
+        to_buffer buf x)
+      xs;
+    Buffer.add_char buf ')'
+
+let to_string x =
+  let buf = Buffer.create 1024 in
+  to_buffer buf x;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+type pos = { line : int; col : int }
+
+exception Parse_error of pos * string
+
+let error line col msg = raise (Parse_error ({ line; col }, msg))
+
+(* A hand-rolled recursive-descent reader with line/column tracking.  Kept
+   deliberately small: this file is part of the trusted checker. *)
+let parse_many s =
+  let n = String.length s in
+  let i = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let advance () =
+    (if !i < n then
+       match s.[!i] with
+       | '\n' ->
+         incr line;
+         col := 1
+       | _ -> incr col);
+    incr i
+  in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      let rec to_eol () =
+        match peek () with
+        | Some '\n' | None -> ()
+        | Some _ ->
+          advance ();
+          to_eol ()
+      in
+      to_eol ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let read_quoted () =
+    let l0 = !line and c0 = !col in
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> error l0 c0 "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents buf
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | None -> error l0 c0 "unterminated escape"
+        | Some c ->
+          advance ();
+          Buffer.add_char buf
+            (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+          go ())
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let read_bare () =
+    let start = !i in
+    let rec go () =
+      match peek () with
+      | Some c when bare_re c ->
+        advance ();
+        go ()
+      | _ -> ()
+    in
+    go ();
+    String.sub s start (!i - start)
+  in
+  let rec read_one () =
+    skip_ws ();
+    match peek () with
+    | None -> error !line !col "unexpected end of input"
+    | Some '(' ->
+      let l0 = !line and c0 = !col in
+      advance ();
+      let rec items acc =
+        skip_ws ();
+        match peek () with
+        | None -> error l0 c0 "unclosed parenthesis"
+        | Some ')' ->
+          advance ();
+          List (List.rev acc)
+        | Some _ -> items (read_one () :: acc)
+      in
+      items []
+    | Some ')' -> error !line !col "unexpected ')'"
+    | Some '"' -> Atom (read_quoted ())
+    | Some c when bare_re c -> Atom (read_bare ())
+    | Some c -> error !line !col (Printf.sprintf "unexpected character %C" c)
+  in
+  let rec top acc =
+    skip_ws ();
+    match peek () with
+    | None -> List.rev acc
+    | Some _ -> top (read_one () :: acc)
+  in
+  top []
+
+let parse_string s =
+  match parse_many s with
+  | exception Parse_error (p, msg) ->
+    Error (Printf.sprintf "parse error at %d:%d: %s" p.line p.col msg)
+  | xs -> Ok xs
+
+let parse_one s =
+  match parse_string s with
+  | Error _ as e -> e
+  | Ok [ x ] -> Ok x
+  | Ok xs -> Error (Printf.sprintf "expected one s-expression, got %d" (List.length xs))

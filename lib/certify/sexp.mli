@@ -1,0 +1,17 @@
+(** Minimal S-expressions for the certificate format.
+
+    Atoms print bare when they contain only symbol-safe characters and are
+    double-quoted (with [\\]-escapes) otherwise; [;] starts a comment to end
+    of line.  Part of the trusted checker: no dependencies, ~150 lines. *)
+
+type t = Atom of string | List of t list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+(** [parse_string s] reads every toplevel s-expression in [s]; errors carry
+    [line:col] positions. *)
+val parse_string : string -> (t list, string) result
+
+(** [parse_one s] expects exactly one toplevel s-expression. *)
+val parse_one : string -> (t, string) result

@@ -295,7 +295,18 @@ let prove ?(config = default_config) ctx ~hyps ~goal =
   try
     go ctx.system [] [] 0;
     Proved (mk_stats st)
-  with Stop outcome -> outcome
+  with
+  | Stop outcome -> outcome
+  | Rewrite.Limit_exceeded { limit; _ } ->
+    (* A truncated reduction proves nothing: surface the exhaustion as an
+       inconclusive outcome instead of letting a partial run masquerade as
+       progress (or crash the whole campaign). *)
+    let reason =
+      match limit with
+      | Rewrite.Steps n -> Printf.sprintf "rewrite step limit %d exhausted" n
+      | Rewrite.Deadline d -> Printf.sprintf "rewrite deadline %.3fs exhausted" d
+    in
+    Unknown { reason; residual = goal; stats = mk_stats st }
 
 let outcome_stats = function
   | Proved s -> s

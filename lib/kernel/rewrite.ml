@@ -35,13 +35,41 @@ let rule ?cond ~label lhs rhs =
   | None -> ());
   { label; lhs; rhs; cond }
 
+(* ------------------------------------------------------------------ *)
+(* Derivations.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type deriv = { d_in : Term.t; d_out : Term.t; d_node : dnode }
+
+and dnode =
+  | Triv
+  | Dapp of { children : deriv list; perm : int list option; step : rstep option }
+
+and rstep = {
+  rs_rule : rule;
+  rs_sub : Subst.t;
+  rs_cond : deriv option;
+  rs_next : deriv;
+}
+
+type sys_info = {
+  si_uid : int;
+  si_parent : sys_info option;
+  si_added : rule list;
+}
+
 type system = {
   ordered : rule list;
   index : (string, rule list) Hashtbl.t;  (** head operator name -> rules *)
   cache : Term.t Term.Tbl.t;
+  mutable dcache : deriv Term.Tbl.t option;
+      (** derivation memo, allocated lazily on first traced run *)
   mutable step_limit : int;
+  mutable deadline : float;  (** CPU-seconds per [normalize]; [0.] = none *)
+  mutable deadline_at : float;
   steps_total : int ref;  (** shared with systems derived by [extend] *)
   mutable budget : int;
+  info : sys_info;
 }
 
 let head_name r =
@@ -59,17 +87,25 @@ let build_index rules =
     rules;
   index
 
+let uid_counter = Atomic.make 0
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1
+
 let make rules =
   {
     ordered = rules;
     index = build_index rules;
     cache = Term.Tbl.create 1024;
+    dcache = None;
     step_limit = 5_000_000;
+    deadline = 0.;
+    deadline_at = 0.;
     steps_total = ref 0;
     budget = 0;
+    info = { si_uid = fresh_uid (); si_parent = None; si_added = rules };
   }
 
 let rules sys = sys.ordered
+let info sys = sys.info
 
 let extend sys extra =
   let rules = extra @ sys.ordered in
@@ -77,22 +113,50 @@ let extend sys extra =
     ordered = rules;
     index = build_index rules;
     cache = Term.Tbl.create 1024;
+    dcache = None;
     step_limit = sys.step_limit;
+    deadline = sys.deadline;
+    deadline_at = 0.;
     steps_total = sys.steps_total;
     budget = 0;
+    info = { si_uid = fresh_uid (); si_parent = Some sys.info; si_added = extra };
   }
 
-exception Step_limit_exceeded
+type limit = Steps of int | Deadline of float
+
+exception Limit_exceeded of { limit : limit; steps : int }
+
+let () =
+  Printexc.register_printer (function
+    | Limit_exceeded { limit = Steps n; steps } ->
+      Some
+        (Printf.sprintf
+           "Rewrite.Limit_exceeded (step limit %d reached after %d steps)" n steps)
+    | Limit_exceeded { limit = Deadline d; steps } ->
+      Some
+        (Printf.sprintf
+           "Rewrite.Limit_exceeded (deadline %.3fs reached after %d steps)" d
+           steps)
+    | _ -> None)
 
 let set_step_limit sys n = sys.step_limit <- n
+let set_deadline sys d = sys.deadline <- d
 let steps sys = !(sys.steps_total)
 let reset_steps sys = sys.steps_total := 0
-let clear_cache sys = Term.Tbl.reset sys.cache
+
+let clear_cache sys =
+  Term.Tbl.reset sys.cache;
+  sys.dcache <- None
 
 let tick sys =
   incr sys.steps_total;
   sys.budget <- sys.budget - 1;
-  if sys.budget <= 0 then raise Step_limit_exceeded
+  if sys.budget <= 0 then
+    raise (Limit_exceeded { limit = Steps sys.step_limit; steps = sys.step_limit });
+  if sys.deadline > 0. && Sys.time () > sys.deadline_at then
+    raise
+      (Limit_exceeded
+         { limit = Deadline sys.deadline; steps = sys.step_limit - sys.budget })
 
 (* Leftmost-innermost normalization with memoization.  Children are
    normalized first; then root rules are tried until none applies.  A rule's
@@ -147,9 +211,198 @@ and try_rules sys t = function
         norm sys (Subst.apply sub r.rhs)
       end))
 
-let normalize sys t =
+(* ------------------------------------------------------------------ *)
+(* Traced normalization.                                               *)
+(*                                                                     *)
+(* The traced path mirrors [norm] exactly — same strategy, same step   *)
+(* accounting — but records a derivation for every visited term.  The  *)
+(* derivation memo is separate from the plain normal-form cache: a     *)
+(* cache entry warmed by an earlier untraced run has no derivation, so *)
+(* traced runs consult only [dcache]; the plain cache is warmed only   *)
+(* at derivation roots (hashing every subterm into both tables showed  *)
+(* up as the bulk of the tracing overhead).                            *)
+(*                                                                     *)
+(* Derivations certify reachability (input rewrites to output using    *)
+(* the recorded rules), which is what soundness of a proof score       *)
+(* needs; they do not certify that the output is a normal form.  A     *)
+(* node that performs no step anywhere collapses to [Triv].            *)
+(* ------------------------------------------------------------------ *)
+
+let dcache sys =
+  match sys.dcache with
+  | Some dc -> dc
+  | None ->
+    let dc = Term.Tbl.create 1024 in
+    sys.dcache <- Some dc;
+    dc
+
+let triv t = { d_in = t; d_out = t; d_node = Triv }
+
+(* AC/Comm canonicalization of [t'], recording the permutation of the
+   flattened argument list.  Mirrors [Ac.normalize] on terms whose children
+   are already canonical; [None] when canonicalization is the identity.
+
+   Fast path: with canonical children, [l·r] is already canonical iff [l]
+   is a leaf of the comb (not [o]-headed) and [l <=] the first leaf of [r]
+   — an O(1) test that skips the flatten/sort/rebuild on the overwhelmingly
+   common already-sorted case (this is what keeps tracing overhead low). *)
+let ac_perm o t' =
+  match t' with
+  | Term.App (_, [ l; r ]) when Signature.is_ac o ->
+    let l_is_comb =
+      match l with
+      | Term.App (lo, [ _; _ ]) -> Signature.op_equal lo o
+      | _ -> false
+    in
+    let first_leaf_r =
+      match r with
+      | Term.App (ro, [ a; _ ]) when Signature.op_equal ro o -> a
+      | _ -> r
+    in
+    if (not l_is_comb) && Term.compare l first_leaf_r <= 0 then (None, t')
+    else begin
+      let flat = Ac.flatten o t' in
+      let idx = List.mapi (fun i t -> (t, i)) flat in
+      let sorted =
+        List.stable_sort (fun (a, _) (b, _) -> Term.compare a b) idx
+      in
+      let t'' = Ac.rebuild o (List.map fst sorted) in
+      if Term.equal t'' t' then (None, t')
+      else (Some (List.map snd sorted), t'')
+    end
+  | Term.App (_, [ a; b ]) when Signature.is_comm o ->
+    if Term.compare a b <= 0 then (None, t')
+    else (Some [ 1; 0 ], Term.App (o, [ b; a ]))
+  | _ -> (None, t')
+
+let rec norm_t sys t =
+  let dc = dcache sys in
+  match Term.Tbl.find_opt dc t with
+  | Some d -> d
+  | None ->
+    let d =
+      match t with
+      | Term.Var _ -> triv t
+      | Term.App (o, args) ->
+        let children = List.map (norm_t sys) args in
+        (* reuse [t] when no child moved: keeps the stepless [Term.equal]
+           below on its physical-equality fast path *)
+        let t' =
+          if List.for_all2 (fun d a -> d.d_out == a) children args then t
+          else Term.App (o, List.map (fun d -> d.d_out) children)
+        in
+        let perm, t'' =
+          if Signature.is_ac o || Signature.is_comm o then ac_perm o t'
+          else (None, t')
+        in
+        let step =
+          match Hashtbl.find_opt sys.index o.Signature.name with
+          | None -> None
+          | Some candidates -> try_rules_t sys t'' candidates
+        in
+        (match step with
+        | None ->
+          if Term.equal t'' t then triv t
+          else { d_in = t; d_out = t''; d_node = Dapp { children; perm; step = None } }
+        | Some rs ->
+          {
+            d_in = t;
+            d_out = rs.rs_next.d_out;
+            d_node = Dapp { children; perm; step = Some rs };
+          })
+    in
+    Term.Tbl.replace dc t d;
+    d
+
+and try_rules_t sys t = function
+  | [] -> None
+  | r :: rest -> (
+    let matcher =
+      match r.lhs, t with
+      | Term.App (po, _), Term.App (so, _)
+        when Signature.is_ac po && Signature.op_equal po so ->
+        Ac.match_first r.lhs t
+      | _ -> Matching.match_ r.lhs t
+    in
+    match matcher with
+    | None -> try_rules_t sys t rest
+    | Some sub -> (
+      let discharged =
+        match r.cond with
+        | None -> Some None
+        | Some c ->
+          let dc = norm_t sys (Subst.apply sub c) in
+          if Term.equal dc.d_out Term.tt then Some (Some dc) else None
+      in
+      match discharged with
+      | None -> try_rules_t sys t rest
+      | Some rs_cond ->
+        tick sys;
+        let rs_next = norm_t sys (Subst.apply sub r.rhs) in
+        Some { rs_rule = r; rs_sub = sub; rs_cond; rs_next }))
+
+let start_run sys =
   sys.budget <- sys.step_limit;
-  norm sys t
+  if sys.deadline > 0. then sys.deadline_at <- Sys.time () +. sys.deadline
+
+let normalize_traced sys t =
+  start_run sys;
+  let d = norm_t sys t in
+  Term.Tbl.replace sys.cache t d.d_out;
+  (d.d_out, d)
+
+(* ------------------------------------------------------------------ *)
+(* Global tracer.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type obligation = { ob_info : sys_info; ob_input : Term.t; ob_deriv : deriv }
+
+type tracer = {
+  tr_lock : Mutex.t;
+  mutable tr_obs : obligation list;
+  tr_seen : (int, unit Term.Tbl.t) Hashtbl.t;
+}
+
+let tracer () =
+  { tr_lock = Mutex.create (); tr_obs = []; tr_seen = Hashtbl.create 64 }
+
+let tracer_slot : tracer option Atomic.t = Atomic.make None
+let set_tracer tr = Atomic.set tracer_slot tr
+
+let obligations tr =
+  Mutex.protect tr.tr_lock (fun () -> List.rev tr.tr_obs)
+
+let record tr sys t d =
+  match d.d_node with
+  | Triv -> ()  (* zero-step runs carry nothing to check *)
+  | _ ->
+    Mutex.protect tr.tr_lock (fun () ->
+        let uid = sys.info.si_uid in
+        let seen =
+          match Hashtbl.find_opt tr.tr_seen uid with
+          | Some s -> s
+          | None ->
+            let s = Term.Tbl.create 64 in
+            Hashtbl.replace tr.tr_seen uid s;
+            s
+        in
+        if not (Term.Tbl.mem seen t) then begin
+          Term.Tbl.replace seen t ();
+          tr.tr_obs <-
+            { ob_info = sys.info; ob_input = t; ob_deriv = d } :: tr.tr_obs
+        end)
+
+let normalize sys t =
+  match Atomic.get tracer_slot with
+  | None ->
+    start_run sys;
+    norm sys t
+  | Some tr ->
+    start_run sys;
+    let d = norm_t sys t in
+    Term.Tbl.replace sys.cache t d.d_out;
+    record tr sys t d;
+    d.d_out
 
 let pp_rule ppf r =
   match r.cond with

@@ -8,7 +8,13 @@
     Systems are immutable; proof passages extend a base system with their
     assumption equations ({!extend}), which mirrors CafeOBJ's
     [open ... close] temporary modules.  Each system carries a memoization
-    table and rewrite-step counters used by the benchmarks. *)
+    table and rewrite-step counters used by the benchmarks.
+
+    Normalization can additionally record a {e derivation} — a replayable
+    proof trace of every rule application, condition discharge and AC
+    permutation — which the engine-independent [Certify] checker validates
+    (de Bruijn criterion: the big engine emits certificates, a small
+    separate kernel checks them). *)
 
 type rule = private {
   label : string;
@@ -35,16 +41,30 @@ val rules : system -> rule list
     CafeOBJ, where the innermost module's equations shadow imports). *)
 val extend : system -> rule list -> system
 
-(** [normalize sys t] is the normal form of [t].
-    @raise Step_limit_exceeded if the step budget is exhausted (a safety
-    net against non-terminating rule sets). *)
+(** [normalize sys t] is the normal form of [t].  When a global tracer is
+    installed ({!set_tracer}), the run additionally records a derivation
+    obligation for later certification.
+    @raise Limit_exceeded if the step budget or deadline is exhausted (a
+    safety net against non-terminating rule sets).  The exhausted run
+    {e never} returns a partial normal form: callers either propagate the
+    exception or report the reduction as inconclusive — a truncated
+    reduction must not be mistaken for a proved [true]. *)
 val normalize : system -> Term.t -> Term.t
 
-exception Step_limit_exceeded
+(** Which resource ran out: the per-call step budget, or the per-call
+    CPU-seconds deadline. *)
+type limit = Steps of int | Deadline of float
+
+exception Limit_exceeded of { limit : limit; steps : int }
 
 (** [set_step_limit sys n] caps the number of rule applications in a single
     [normalize] call (default [5_000_000]). *)
 val set_step_limit : system -> int -> unit
+
+(** [set_deadline sys d] additionally caps a single [normalize] call at [d]
+    CPU-seconds ([Sys.time]); [0.] (the default) disables the deadline.
+    Checked once per rule application. *)
+val set_deadline : system -> float -> unit
 
 (** [steps sys] is the cumulative number of rule applications performed by
     this system since creation. *)
@@ -53,8 +73,80 @@ val steps : system -> int
 (** [reset_steps sys] zeroes the counter. *)
 val reset_steps : system -> unit
 
-(** [clear_cache sys] drops the memoization table (normal forms remain
+(** [clear_cache sys] drops the memoization tables (normal forms remain
     valid; this is only for memory control in long benchmark runs). *)
 val clear_cache : system -> unit
 
 val pp_rule : Format.formatter -> rule -> unit
+
+(** {1 Derivations}
+
+    A derivation mirrors the innermost strategy: children first, then AC
+    canonicalization at the root, then at most one root rule application
+    whose result is normalized by a nested derivation.  A derivation
+    certifies {e reachability} — [d_in] rewrites to [d_out] with the
+    recorded rules — which is exactly what the soundness of a proof score
+    rests on.  Subterms on which nothing happened collapse to {!Triv}
+    ([d_in == d_out], zero steps), keeping certificates small. *)
+
+type deriv = { d_in : Term.t; d_out : Term.t; d_node : dnode }
+
+and dnode =
+  | Triv
+  | Dapp of {
+      children : deriv list;  (** one derivation per argument, in order *)
+      perm : int list option;
+          (** AC/Comm canonicalization: permutation applied to the
+              flattened argument list (AC) or the two arguments (Comm);
+              [None] when canonicalization was the identity *)
+      step : rstep option;  (** the root rule application, if any *)
+    }
+
+and rstep = {
+  rs_rule : rule;
+  rs_sub : Subst.t;  (** the matching substitution, recorded — never searched for by the checker *)
+  rs_cond : deriv option;  (** discharge of the instantiated condition down to [true] *)
+  rs_next : deriv;  (** normalization of the instantiated right-hand side *)
+}
+
+(** [normalize_traced sys t] normalizes [t] and returns the derivation,
+    bypassing the global tracer (no obligation is recorded).
+    @raise Limit_exceeded as {!normalize}. *)
+val normalize_traced : system -> Term.t -> Term.t * deriv
+
+(** {1 System identity}
+
+    Proof passages extend systems with branch-local assumption rules
+    ([split-n] ground equations).  Certificates must scope every derivation
+    to the rules that were actually available, so each system carries a
+    unique id and a pointer to the system it extended. *)
+
+type sys_info = {
+  si_uid : int;
+  si_parent : sys_info option;
+  si_added : rule list;  (** rules this system added over [si_parent] *)
+}
+
+val info : system -> sys_info
+
+(** {1 Global tracer}
+
+    [set_tracer (Some tr)] makes every {!normalize} call — everywhere, on
+    every domain — record its derivation into [tr] as a proof obligation.
+    Recording is mutex-protected and deduplicated per (system, input);
+    zero-step runs are skipped.  [set_tracer None] turns tracing off (the
+    default; the untraced path costs one atomic load). *)
+
+type obligation = {
+  ob_info : sys_info;
+  ob_input : Term.t;
+  ob_deriv : deriv;
+}
+
+type tracer
+
+val tracer : unit -> tracer
+val set_tracer : tracer option -> unit
+
+(** [obligations tr] returns the recorded obligations in recording order. *)
+val obligations : tracer -> obligation list

@@ -1,0 +1,81 @@
+type step = { st_path : int list; st_label : string; st_term : Term.t }
+
+(* Walk the derivation in execution order (children left-to-right, then AC
+   canonicalization, then the root step and its right-hand-side
+   normalization), threading a context-embedding function so every emitted
+   step shows the whole term.  Condition discharges are summarized as one
+   [(cond <label>)] marker rather than expanded — the full sub-derivation
+   lives in the certificate. *)
+let linearize (d : Rewrite.deriv) : step list =
+  let acc = ref [] in
+  let emit path label term =
+    acc := { st_path = List.rev path; st_label = label; st_term = term } :: !acc
+  in
+  let rec go path ctx (d : Rewrite.deriv) =
+    match d.Rewrite.d_node with
+    | Rewrite.Triv -> ()
+    | Rewrite.Dapp { children; perm; step } ->
+      let o =
+        match d.Rewrite.d_in with
+        | Term.App (o, _) -> o
+        | Term.Var _ -> assert false
+      in
+      let arr = Array.of_list children in
+      Array.iteri
+        (fun i di ->
+          let child_ctx x =
+            let args =
+              Array.to_list
+                (Array.mapi
+                   (fun j (dj : Rewrite.deriv) ->
+                     if j < i then dj.Rewrite.d_out
+                     else if j = i then x
+                     else dj.Rewrite.d_in)
+                   arr)
+            in
+            ctx (Term.App (o, args))
+          in
+          go (i :: path) child_ctx di)
+        arr;
+      let t' =
+        Term.App (o, List.map (fun (c : Rewrite.deriv) -> c.Rewrite.d_out) children)
+      in
+      let t'' = match perm with None -> t' | Some _ -> Ac.normalize t' in
+      (match perm with
+      | Some _ -> emit path "(ac)" (ctx t'')
+      | None -> ());
+      (match step with
+      | None -> ()
+      | Some rs ->
+        (match rs.Rewrite.rs_cond with
+        | None -> ()
+        | Some _ ->
+          emit path
+            (Printf.sprintf "(cond %s)" rs.Rewrite.rs_rule.Rewrite.label)
+            (ctx t''));
+        let rhs_inst =
+          Subst.apply rs.Rewrite.rs_sub rs.Rewrite.rs_rule.Rewrite.rhs
+        in
+        emit path rs.Rewrite.rs_rule.Rewrite.label (ctx rhs_inst);
+        go path ctx rs.Rewrite.rs_next)
+  in
+  go [] (fun x -> x) d;
+  List.rev !acc
+
+let pp_path ppf = function
+  | [] -> Format.pp_print_string ppf "root"
+  | path ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+      Format.pp_print_int ppf path
+
+let pp_step ppf s =
+  Format.fprintf ppf "@[<hv 2>[%s @@ %a]@ %a@]" s.st_label pp_path s.st_path
+    Term.pp s.st_term
+
+let pp_steps ppf steps =
+  let n = List.length steps in
+  Format.fprintf ppf "%d step%s@." n (if n = 1 then "" else "s");
+  List.iteri
+    (fun i s -> Format.fprintf ppf "%3d. %a@." (i + 1) pp_step s)
+    steps

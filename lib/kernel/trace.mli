@@ -1,0 +1,19 @@
+(** Human-readable linearization of {!Rewrite} derivations.
+
+    A derivation is tree-shaped (it mirrors the innermost strategy);
+    [linearize] flattens it into the classical step-by-step presentation —
+    one entry per rule application or AC canonicalization, each showing the
+    {e whole} term after the step and the redex position as a path of
+    argument indices.  Used by [caferepl --trace]. *)
+
+type step = {
+  st_path : int list;  (** redex position: argument indices from the root *)
+  st_label : string;
+      (** rule label; ["(ac)"] for an AC/Comm canonicalization step;
+          ["(cond l)"] marks the condition discharge of rule [l] *)
+  st_term : Term.t;  (** the whole term after the step *)
+}
+
+val linearize : Rewrite.deriv -> step list
+val pp_step : Format.formatter -> step -> unit
+val pp_steps : Format.formatter -> step list -> unit

@@ -17,4 +17,5 @@ let () =
       Test_mc.suite;
       Test_nspk_sym.suite;
       Test_sched.suite;
+      Test_certify.suite;
     ]

@@ -404,7 +404,7 @@ let certified_normal_forms_agree (eqs, terms) =
     else
       let nf sys t =
         try Some (Rewrite.normalize sys t)
-        with Rewrite.Step_limit_exceeded -> None
+        with Rewrite.Limit_exceeded _ -> None
       in
       let sys = Rewrite.make rules in
       Rewrite.set_step_limit sys 50_000;

@@ -1,0 +1,310 @@
+(* Certificate round-trip and adversarial-tampering tests: a valid traced
+   campaign must check, and every forged certificate — wrong rule, wrong
+   position, wrong substitution, skipped condition discharge, bogus AC
+   permutation, reversed LPO precedence — must be rejected with a
+   positioned diagnostic. *)
+
+open Kernel
+module C = Certify.Cert
+
+let nat = Sort.visible "TcNat"
+let sg = Signature.create ()
+let zop = Signature.declare sg "tcZ" [] nat ~attrs:[ Signature.Ctor ]
+let sop = Signature.declare sg "tcS" [ nat ] nat ~attrs:[ Signature.Ctor ]
+let plusop = Signature.declare sg "tcP" [ nat; nat ] nat ~attrs:[]
+let uop = Signature.declare sg "tcU" [ nat; nat ] nat ~attrs:[ Signature.Ac ]
+let iszop = Signature.declare sg "tcIsz" [ nat ] Sort.bool ~attrs:[]
+let gateop = Signature.declare sg "tcGate" [ nat ] nat ~attrs:[]
+let caop = Signature.declare sg "tcA" [] nat ~attrs:[ Signature.Ctor ]
+let cbop = Signature.declare sg "tcB" [] nat ~attrs:[ Signature.Ctor ]
+let ccop = Signature.declare sg "tcC" [] nat ~attrs:[ Signature.Ctor ]
+let z = Term.const zop
+let s t = Term.app sop [ t ]
+let plus a b = Term.app plusop [ a; b ]
+let u a b = Term.app uop [ a; b ]
+let isz t = Term.app iszop [ t ]
+let gate t = Term.app gateop [ t ]
+let vM = Term.var "M" nat
+let vN = Term.var "N" nat
+
+let rules =
+  [
+    Rewrite.rule ~label:"tc-p0" (plus z vN) vN;
+    Rewrite.rule ~label:"tc-ps" (plus (s vM) vN) (s (plus vM vN));
+    Rewrite.rule ~label:"tc-isz" (isz z) Term.tt;
+    Rewrite.rule ~cond:(isz vN) ~label:"tc-gate" (gate vN) z;
+  ]
+
+(* Trace three reductions: a two-step [plus], a pure AC reorder (records a
+   permutation, no rule step) and a conditional rule discharge. *)
+let traced_cert () =
+  let sys = Rewrite.make rules in
+  let tr = Rewrite.tracer () in
+  Rewrite.set_tracer (Some tr);
+  Fun.protect ~finally:(fun () -> Rewrite.set_tracer None) @@ fun () ->
+  ignore (Rewrite.normalize sys (plus (s z) (s (s z))));
+  ignore (Rewrite.normalize sys (u (Term.const ccop) (u (Term.const caop) (Term.const cbop))));
+  ignore (Rewrite.normalize sys (gate z));
+  let b = Analysis.Certgen.create () in
+  Analysis.Certgen.add_obligations b (Rewrite.obligations tr);
+  Analysis.Certgen.cert b
+
+let check_errors cert = Certify.Check.create cert |> Certify.Check.check_all
+
+let expect_reject what cert ~path ~msg =
+  match check_errors cert with
+  | [] -> Alcotest.failf "%s: tampered certificate was accepted" what
+  | e :: _ ->
+    let contains hay needle =
+      let lh = String.length hay and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      ln = 0 || go 0
+    in
+    if not (contains e.Certify.Check.e_path path) then
+      Alcotest.failf "%s: diagnostic path %S does not mention %S" what
+        e.Certify.Check.e_path path;
+    if not (contains e.Certify.Check.e_msg msg) then
+      Alcotest.failf "%s: diagnostic %S does not mention %S" what
+        e.Certify.Check.e_msg msg
+
+(* Rebuild the cert with red number [i]'s derivation transformed. *)
+let tamper_red cert i f =
+  {
+    cert with
+    C.reds =
+      List.mapi
+        (fun j (r : C.red) -> if i = j then { r with C.red_deriv = f r.red_deriv } else r)
+        cert.C.reds;
+  }
+
+(* [App] carries an inlined record, so the rebuild has to happen inside
+   the match: [f] maps the (children, perm, step) triple. *)
+let map_root_app what (d : C.deriv) f =
+  match d.C.d_node with
+  | C.App { children; perm; step } ->
+    let children, perm, step = f children perm step in
+    { d with C.d_node = C.App { children; perm; step } }
+  | C.Triv -> Alcotest.failf "%s: expected an app derivation at the root" what
+
+let map_root_step what (d : C.deriv) f =
+  map_root_app what d (fun children perm step ->
+      match step with
+      | Some st -> (children, perm, f st)
+      | None -> Alcotest.failf "%s: expected a rule step at the root" what)
+
+(* ------------------------------------------------------------------ *)
+
+let test_valid_cert () =
+  let cert = traced_cert () in
+  Alcotest.(check int) "three obligations" 3 (List.length cert.C.reds);
+  (match check_errors cert with
+  | [] -> ()
+  | e :: _ ->
+    Alcotest.failf "valid certificate rejected: %s: %s" e.Certify.Check.e_path
+      e.Certify.Check.e_msg);
+  let ck = Certify.Check.create cert in
+  ignore (Certify.Check.check_all ck);
+  Alcotest.(check bool) "steps were replayed" true (Certify.Check.steps_validated ck >= 3)
+
+let test_roundtrip () =
+  let cert = traced_cert () in
+  let text = C.to_string cert in
+  match C.of_string text with
+  | Error m -> Alcotest.failf "serialized certificate does not parse: %s" m
+  | Ok cert' ->
+    Alcotest.(check bool) "round-trip is identical" true (C.equal cert cert');
+    Alcotest.(check int) "round-tripped cert checks" 0 (List.length (check_errors cert'))
+
+let test_tamper_wrong_rule () =
+  let cert = traced_cert () in
+  let other =
+    match
+      List.find_opt
+        (fun (r : C.rule) -> r.C.r_label = "tc-isz")
+        (List.hd cert.C.reds).C.red_rset.C.rs_rules
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "fixture rule tc-isz not in rule set"
+  in
+  (* make the plus step claim it used tc-isz *)
+  let wrong =
+    tamper_red cert 0 (fun d ->
+        map_root_step "wrong-rule" d (fun st -> Some { st with C.s_rule = other }))
+  in
+  expect_reject "wrong-rule" wrong ~path:"red r0" ~msg:"does not match the redex"
+
+let test_tamper_wrong_position () =
+  let cert = traced_cert () in
+  (* swap the argument derivations: each now starts at the other argument *)
+  let wrong =
+    tamper_red cert 0 (fun d ->
+        map_root_app "wrong-position" d (fun children perm step ->
+            (List.rev children, perm, step)))
+  in
+  expect_reject "wrong-position" wrong ~path:"red r0/arg 0" ~msg:"not argument"
+
+let test_tamper_wrong_substitution () =
+  let cert = traced_cert () in
+  (* swap the images bound to M and N: same variables, wrong instance *)
+  let wrong =
+    tamper_red cert 0 (fun d ->
+        map_root_step "wrong-subst" d (fun st ->
+            let sub =
+              match st.C.s_sub with
+              | [ (n1, s1, t1); (n2, s2, t2) ] -> [ (n1, s1, t2); (n2, s2, t1) ]
+              | _ -> Alcotest.fail "expected two bindings in the plus step"
+            in
+            Some { st with C.s_sub = sub }))
+  in
+  expect_reject "wrong-subst" wrong ~path:"red r0" ~msg:"does not match the redex"
+
+let test_tamper_skipped_condition () =
+  let cert = traced_cert () in
+  (* red r2 is the conditional gate rule: drop its condition discharge *)
+  let wrong =
+    tamper_red cert 2 (fun d ->
+        map_root_step "skip-cond" d (fun st -> Some { st with C.s_cond = None }))
+  in
+  expect_reject "skip-cond" wrong ~path:"red r2" ~msg:"records no condition discharge"
+
+let test_tamper_bogus_perm () =
+  let cert = traced_cert () in
+  (* red r1 is the pure AC reorder: replace its permutation with a non-bijection *)
+  let wrong =
+    tamper_red cert 1 (fun d ->
+        map_root_app "bogus-perm" d (fun children perm step ->
+            (match perm with
+            | Some _ -> ()
+            | None -> Alcotest.fail "fixture AC derivation records no permutation");
+            (children, Some [ 0; 0; 0 ], step)))
+  in
+  expect_reject "bogus-perm" wrong ~path:"red r1/perm" ~msg:"bogus AC permutation"
+
+(* ------------------------------------------------------------------ *)
+
+let lpo_cert () =
+  let ops = [ zop; sop; plusop; uop; iszop; gateop; caop; cbop; ccop ] in
+  let sr = Order.search_precedence ~ops rules in
+  Alcotest.(check int) "fixture rules orient" 0 (List.length sr.Order.unoriented);
+  let b = Analysis.Certgen.create () in
+  Analysis.Certgen.add_lpo b ~precedence:sr.Order.precedence rules;
+  Analysis.Certgen.cert b
+
+let test_lpo_cert () =
+  let cert = lpo_cert () in
+  (match check_errors cert with
+  | [] -> ()
+  | e :: _ ->
+    Alcotest.failf "valid LPO certificate rejected: %s: %s" e.Certify.Check.e_path
+      e.Certify.Check.e_msg);
+  (* reversing the precedence must break at least one orientation *)
+  let reversed =
+    match cert.C.lpo with
+    | Some l -> { cert with C.lpo = Some { l with C.lpo_prec = List.rev l.C.lpo_prec } }
+    | None -> Alcotest.fail "certificate has no LPO section"
+  in
+  expect_reject "reversed-precedence" reversed ~path:"lpo/rule" ~msg:"not LPO-greater"
+
+let test_join_cert () =
+  let b = Analysis.Certgen.create () in
+  let cert0 = Analysis.Certgen.cert b in
+  let cterm name = C.A ({ C.op_name = name; op_arity = []; op_sort = "TcNat"; op_flags = [] }, []) in
+  let l = cterm "tcA" in
+  let r = cterm "tcB" in
+  let triv t = { C.d_in = t; d_out = t; d_node = C.Triv } in
+  let rs = { C.rs_parent = None; rs_rules = [] } in
+  let join jc_right =
+    {
+      C.j_label = "t1";
+      j_rset = rs;
+      j_peak = l;
+      j_left = l;
+      j_right = l;
+      j_cert = { C.jc_left = triv l; jc_right; jc_tail = C.Jsyn };
+    }
+  in
+  let good = { cert0 with C.joins = [ join (triv l) ] } in
+  (match check_errors good with
+  | [] -> ()
+  | e :: _ ->
+    Alcotest.failf "valid join certificate rejected: %s: %s" e.Certify.Check.e_path
+      e.Certify.Check.e_msg);
+  (* a join whose right side silently ends somewhere else must be refused *)
+  let bad = { cert0 with C.joins = [ { (join (triv r)) with C.j_right = r } ] } in
+  expect_reject "unjoined" bad ~path:"join t1" ~msg:"distinct terms"
+
+(* ------------------------------------------------------------------ *)
+(* Serialization fuzz: random certificates (weird atom spellings
+   included) must round-trip to structurally identical values. *)
+
+let gen_name =
+  QCheck.Gen.(
+    oneof
+      [
+        map (Printf.sprintf "op-%d") (int_bound 30);
+        map (Printf.sprintf "weird %d \"quoted\" \\ ;semi") (int_bound 9);
+        return "";
+      ])
+
+let gen_term =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun nm -> C.V { v_name = nm; v_sort = "S" }) gen_name;
+              map
+                (fun nm ->
+                  C.A ({ C.op_name = nm; op_arity = []; op_sort = "S"; op_flags = [] }, []))
+                gen_name;
+            ]
+        else
+          map2
+            (fun nm args ->
+              C.A
+                ( {
+                    C.op_name = nm;
+                    op_arity = List.map (fun _ -> "S") args;
+                    op_sort = "S";
+                    op_flags = [];
+                  },
+                  args ))
+            gen_name
+            (list_size (int_bound 3) (self (n / 2)))))
+
+let gen_cert =
+  QCheck.Gen.(
+    map2
+      (fun lhs rhs ->
+        let rule = { C.r_label = "g"; r_lhs = lhs; r_rhs = lhs; r_cond = None } in
+        let rs = { C.rs_parent = None; rs_rules = [ rule ] } in
+        let d = { C.d_in = rhs; d_out = rhs; d_node = C.Triv } in
+        {
+          C.reds =
+            [ { C.red_name = "r0"; red_rset = rs; red_in = rhs; red_out = rhs; red_deriv = d } ];
+          lpo = None;
+          joins = [];
+        })
+      gen_term gen_term)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"certificate serialization round-trips" ~count:200
+    (QCheck.make gen_cert) (fun cert ->
+      match C.of_string (C.to_string cert) with
+      | Ok cert' -> C.equal cert cert'
+      | Error _ -> false)
+
+let suite =
+  ( "certify",
+    [
+      "valid certificate accepted", `Quick, test_valid_cert;
+      "serialize/parse round-trip", `Quick, test_roundtrip;
+      "tamper: wrong rule", `Quick, test_tamper_wrong_rule;
+      "tamper: wrong position", `Quick, test_tamper_wrong_position;
+      "tamper: wrong substitution", `Quick, test_tamper_wrong_substitution;
+      "tamper: skipped condition", `Quick, test_tamper_skipped_condition;
+      "tamper: bogus AC permutation", `Quick, test_tamper_bogus_perm;
+      "LPO certificate and reversed precedence", `Quick, test_lpo_cert;
+      "join certificate and unjoined tamper", `Quick, test_join_cert;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+    ] )

@@ -230,8 +230,24 @@ let test_rewrite_step_limit () =
   let sys = Rewrite.make rules in
   Rewrite.set_step_limit sys 1000;
   Alcotest.check_raises "diverging system trips the limit"
-    Rewrite.Step_limit_exceeded (fun () ->
+    (Rewrite.Limit_exceeded { limit = Rewrite.Steps 1000; steps = 1000 }) (fun () ->
       ignore (Rewrite.normalize sys (Term.app loop [ nat_term 0 ])))
+
+let test_rewrite_deadline () =
+  let loop = Signature.declare sg "loop" [ nat ] nat ~attrs:[] in
+  let rules =
+    [
+      Rewrite.rule ~label:"spin" (Term.app loop [ x ])
+        (Term.app loop [ Term.app succ [ x ] ]);
+    ]
+  in
+  let sys = Rewrite.make rules in
+  Rewrite.set_deadline sys 0.02;
+  match Rewrite.normalize sys (Term.app loop [ nat_term 0 ]) with
+  | _ -> Alcotest.fail "diverging system returned a normal form"
+  | exception Rewrite.Limit_exceeded { limit = Rewrite.Deadline d; steps } ->
+    Alcotest.(check (float 1e-9)) "reported deadline" 0.02 d;
+    Alcotest.(check bool) "some steps were counted" true (steps > 0)
 
 let test_rewrite_rule_validation () =
   Alcotest.(check bool) "rhs extra var rejected" true
@@ -510,6 +526,7 @@ let tests =
     "rewrite extend shadows", `Quick, test_rewrite_extend_shadows;
     "rewrite conditional", `Quick, test_rewrite_conditional;
     "rewrite step limit", `Quick, test_rewrite_step_limit;
+    "rewrite deadline", `Quick, test_rewrite_deadline;
     "rewrite rule validation", `Quick, test_rewrite_rule_validation;
     "boolring tautologies", `Quick, test_boolring_tautologies;
     "boolring non-tautologies", `Quick, test_boolring_non_tautologies;
