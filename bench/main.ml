@@ -31,6 +31,9 @@ let certify_ms = ref 0.0
 let cert_bytes = ref 0
 let red_untraced_ms = ref 0.0
 let red_traced_ms = ref 0.0
+let red_memo_ms = ref 0.0
+let memo_hit_rate = ref 0.0
+let intern_table_len = ref 0
 
 let record ?(steps = 0) ?(splits = 0) name wall =
   records :=
@@ -55,8 +58,10 @@ let write_json file ~jobs =
   Printf.fprintf oc
     "{\n  \"jobs\": %d,\n  \"lint_ms\": %.3f,\n  \"certify_ms\": %.3f,\n  \
      \"cert_bytes\": %d,\n  \"red_untraced_ms\": %.3f,\n  \"red_traced_ms\": \
-     %.3f,\n  \"experiments\": ["
-    jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms;
+     %.3f,\n  \"red_memo_ms\": %.3f,\n  \"memo_hit_rate\": %.4f,\n  \
+     \"intern_table_len\": %d,\n  \"experiments\": ["
+    jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms
+    !red_memo_ms !memo_hit_rate !intern_table_len;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
@@ -309,7 +314,22 @@ let report ~pool () =
    Format.printf
      "E14 red tracing overhead: %.3f ms untraced, %.3f ms traced (%+.1f%%)@."
      untraced traced
-     ((traced -. untraced) /. untraced *. 100.));
+     ((traced -. untraced) /. untraced *. 100.);
+   (* E15: the same red through the warm normal-form memo — steady state of
+      a proof campaign, where most subterms have been normalized before. *)
+   let memo =
+     time (fun () -> ignore (Rewrite.normalize sys goal))
+   in
+   red_memo_ms := memo;
+   let ms = Rewrite.memo_stats sys in
+   let looked_up = ms.Rewrite.hits + ms.Rewrite.misses in
+   memo_hit_rate :=
+     (if looked_up = 0 then 0. else float_of_int ms.Rewrite.hits /. float_of_int looked_up);
+   intern_table_len := Term.intern_table_len ();
+   Format.printf
+     "E15 red memo: %.3f ms warm (%.1fx untraced), hit rate %.1f%%, %d live interned terms@."
+     memo (untraced /. Float.max memo 1e-9)
+     (!memo_hit_rate *. 100.) !intern_table_len);
   (* one invariant's campaign as a certificate, replayed independently *)
   (let env = Tls.Model.env Tls.Model.Original in
    let inv1 = Proofs.Tls_invariants.find Tls.Model.Original "inv1" in

@@ -77,7 +77,7 @@ let rec term b (t : Term.t) =
   | Some ct -> ct
   | None ->
     let ct =
-      match t with
+      match Term.view t with
       | Term.Var v -> C.V { v_name = v.Term.v_name; v_sort = v.Term.v_sort.Sort.name }
       | Term.App (o, args) -> C.A (op b o, List.map (term b) args)
     in

@@ -31,7 +31,7 @@ let splitters ~ops sort =
         ops
 
 let head_is (f : Signature.op) t =
-  match t with
+  match Term.view t with
   | Term.App (o, args) ->
     Signature.op_equal o f && List.length args = List.length f.Signature.arity
   | Term.Var _ -> false
@@ -40,7 +40,7 @@ let head_is (f : Signature.op) t =
    where the pattern has a variable and the rule's lhs an application:
    the variable to split to make progress towards the rule. *)
 let rec split_var pat lhs =
-  match pat, lhs with
+  match Term.view pat, Term.view lhs with
   | Term.Var v, Term.App _ -> Some v
   | Term.App (_, ps), Term.App (_, ls) when List.length ps = List.length ls ->
     List.find_map (fun (p, l) -> split_var p l) (List.combine ps ls)
@@ -153,7 +153,7 @@ let check spec =
           let projection =
             List.for_all
               (fun (r : Rewrite.rule) ->
-                match r.Rewrite.rhs with
+                match Term.view r.Rewrite.rhs with
                 | Term.Var _ -> true
                 (* if-lifting rules ride along with every selector; they do
                    not make it a computing op. *)

@@ -53,12 +53,16 @@ let split_candidate t =
   let conds =
     List.filter_map
       (fun s ->
-        match s with
+        match Term.view s with
         | Term.App (o, [ c; _; _ ]) when Signature.Builtin.is_if o -> Some c
         | _ -> None)
       (Term.subterms t)
   in
-  match List.find_opt (function Term.App _ -> true | Term.Var _ -> false) conds with
+  match
+    List.find_opt
+      (fun c -> match Term.view c with Term.App _ -> true | Term.Var _ -> false)
+      conds
+  with
   | Some _ as c -> c
   | None -> ( match conds with c :: _ -> Some c | [] -> None)
 

@@ -12,7 +12,7 @@ let option_equal eq a b =
   | _ -> false
 
 let head_name (r : Rewrite.rule) =
-  match r.Rewrite.lhs with
+  match Term.view r.Rewrite.lhs with
   | Term.App (o, _) -> o.Signature.name
   | Term.Var _ -> ""
 
@@ -97,7 +97,7 @@ let unused spec name ~ops ~rules =
   let note t =
     List.iter
       (fun sub ->
-        match sub with
+        match Term.view sub with
         | Term.App (o, _) ->
           Hashtbl.replace used_ops o.Signature.name ();
           note_sort o.Signature.sort;

@@ -16,6 +16,7 @@ type env = {
   mutable scratch_counter : int;
   mutable eq_counter : int;
   mutable tracing : bool;
+  mutable uncached : bool;
 }
 
 let create () =
@@ -26,9 +27,11 @@ let create () =
     scratch_counter = 0;
     eq_counter = 0;
     tracing = false;
+    uncached = false;
   }
 
 let set_tracing env on = env.tracing <- on
+let set_uncached env on = env.uncached <- on
 
 let find_module env name =
   Option.map (fun sc -> sc.spec) (Hashtbl.find_opt env.modules name)
@@ -218,7 +221,10 @@ let eval env (phrase : Parser.toplevel) =
         }
     end
     else
-      let normal_form = Rewrite.normalize sys input in
+      let normal_form =
+        if env.uncached then Rewrite.normalize_uncached sys input
+        else Rewrite.normalize sys input
+      in
       Reduced { input; normal_form; steps = Rewrite.steps sys - before; trace = None }
   | Parser.TOpen name -> (
     match Hashtbl.find_opt env.modules name with

@@ -14,6 +14,12 @@ val create : unit -> env
     ([caferepl --trace]). *)
 val set_tracing : env -> bool -> unit
 
+(** [set_uncached env on] — with uncached on, every untraced [red] runs
+    through {!Kernel.Rewrite.normalize_uncached} (the seed engine's path,
+    private per-call memo) instead of the shared normal-form memo.  Used by
+    the differential test suite to compare both engines on every spec. *)
+val set_uncached : env -> bool -> unit
+
 (** [find_module env name] returns an elaborated module. *)
 val find_module : env -> string -> Spec.t option
 

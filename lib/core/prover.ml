@@ -27,7 +27,8 @@ type ctx = {
 (* ------------------------------------------------------------------ *)
 (* Atom classification *)
 
-let is_opaque_constant = function
+let is_opaque_constant t =
+  match Term.view t with
   | Term.App (o, []) ->
     (not (Signature.is_ctor o)) && not (Signature.Builtin.is_builtin o)
   | Term.App _ | Term.Var _ -> false
@@ -38,7 +39,7 @@ type atom_kind =
   | Plain
 
 let classify ctx atom =
-  match atom with
+  match Term.view atom with
   | Term.App (o, [ t1; t2 ]) when Signature.Builtin.is_eq o -> Equality (t1, t2)
   | Term.App (o, [ m ]) when is_opaque_constant m -> (
     match ctx.ctor_of_recognizer o with
@@ -50,7 +51,7 @@ let classify ctx atom =
    of [t]: the equation [t = inside] is then unsatisfiable in the free
    algebra (occurs check). *)
 let rec ctor_occurs ~inside t =
-  match inside with
+  match Term.view inside with
   | Term.Var _ -> false
   | Term.App (o, args) ->
     Signature.is_ctor o
@@ -61,7 +62,10 @@ let rec ctor_occurs ~inside t =
    gleaning rules applicable); otherwise rewrite the larger side to the
    smaller.  Returns [None] when no terminating orientation is safe. *)
 let orient t1 t2 =
-  let c = Term.compare t1 t2 in
+  (* [ac_compare], not the raw id order: the tie-break decides which way an
+     assumption rewrites, and that choice must not depend on intern-table
+     allocation history (ids are reused-free but weak-table-unstable). *)
+  let c = Term.ac_compare t1 t2 in
   if c = 0 then None
   else
     let const1 = is_opaque_constant t1 and const2 = is_opaque_constant t2 in

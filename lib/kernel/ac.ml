@@ -1,5 +1,5 @@
 let rec flatten op t =
-  match t with
+  match Term.view t with
   | Term.App (o, [ l; r ]) when Signature.op_equal o op ->
     flatten op l @ flatten op r
   | Term.App _ | Term.Var _ -> [ t ]
@@ -8,19 +8,24 @@ let rebuild op args =
   match List.rev args with
   | [] -> invalid_arg "Ac.rebuild: empty argument list"
   | last :: rest ->
-    List.fold_left (fun acc t -> Term.App (op, [ t; acc ])) last rest
+    List.fold_left (fun acc t -> Term.app_unchecked op [ t; acc ]) last rest
 
 let rec normalize t =
-  match t with
-  | Term.Var _ -> t
-  | Term.App (o, [ _; _ ]) when Signature.is_ac o ->
-    let args = flatten o t |> List.map normalize |> List.sort Term.compare in
-    rebuild o args
-  | Term.App (o, [ a; b ]) when Signature.is_comm o ->
-    let a = normalize a and b = normalize b in
-    if Term.compare a b <= 0 then Term.App (o, [ a; b ])
-    else Term.App (o, [ b; a ])
-  | Term.App (o, args) -> Term.App (o, List.map normalize args)
+  (* Interned terms carry their canonicity: the common already-canonical
+     case is a single flag read (the [canonical] field is computed at
+     intern time to agree with this function). *)
+  if Term.ac_canonical t then t
+  else
+    match Term.view t with
+    | Term.Var _ -> t
+    | Term.App (o, [ _; _ ]) when Signature.is_ac o ->
+      let args = flatten o t |> List.map normalize |> List.sort Term.ac_compare in
+      rebuild o args
+    | Term.App (o, [ a; b ]) when Signature.is_comm o ->
+      let a = normalize a and b = normalize b in
+      if Term.ac_compare a b <= 0 then Term.app_unchecked o [ a; b ]
+      else Term.app_unchecked o [ b; a ]
+    | Term.App (o, args) -> Term.app_unchecked o (List.map normalize args)
 
 let ac_equal t1 t2 = Term.equal (normalize t1) (normalize t2)
 
@@ -47,7 +52,7 @@ let nonempty_submultisets xs =
   List.filter (fun (inside, _) -> inside <> []) (submultisets xs)
 
 let rec match_term sub pat subject k =
-  match pat, subject with
+  match Term.view pat, Term.view subject with
   | Term.Var v, _ -> (
     if not (Sort.equal v.Term.v_sort (Term.sort subject)) then []
     else
@@ -77,7 +82,9 @@ and match_ac sub op pats subjects k =
   (* Match rigid (non-variable) patterns first, then distribute the leftover
      subject arguments among the variable patterns. *)
   let rigid, flex =
-    List.partition (function Term.Var _ -> false | Term.App _ -> true) pats
+    List.partition
+      (fun p -> match Term.view p with Term.Var _ -> false | Term.App _ -> true)
+      pats
   in
   let rec place_rigid sub rigid remaining k =
     match rigid with
@@ -108,7 +115,7 @@ and match_ac sub op pats subjects k =
 let dedup subs =
   let key sub =
     List.map
-      (fun ((v : Term.var), t) -> v.v_name, Term.to_string (normalize t))
+      (fun ((v : Term.var), t) -> v.v_name, Term.id (normalize t))
       (Subst.bindings sub)
   in
   let seen = Hashtbl.create 8 in

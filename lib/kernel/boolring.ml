@@ -10,17 +10,21 @@ type t = monomial list
 let tru : t = [ [] ]
 let fls : t = []
 
-let mono_compare = List.compare Term.compare
+(* Atom and monomial order: [Term.ac_compare] (hash-major), not the raw id
+   order — polynomial layout leaks into rebuilt terms ([to_term]), and with
+   a weak intern table ids are not stable over time, so an id-based order
+   would make boolean normal forms depend on allocation history. *)
+let mono_compare = List.compare Term.ac_compare
 
 (* Canonical atom: orient equality atoms by term order; reflexive equalities
    collapse to true. *)
 let canonical_atom t =
-  match t with
+  match Term.view t with
   | Term.App (o, [ a; b ]) when B.is_eq o ->
-    let c = Term.compare a b in
+    let c = Term.ac_compare a b in
     if c = 0 then None
     else if c < 0 then Some t
-    else Some (Term.App (o, [ b; a ]))
+    else Some (Term.app_unchecked o [ b; a ])
   | Term.App _ | Term.Var _ -> Some t
 
 let atom t =
@@ -46,7 +50,7 @@ let mono_mul (m : monomial) (n : monomial) : monomial =
     | [], n -> n
     | m, [] -> m
     | a :: m', b :: n' ->
-      let c = Term.compare a b in
+      let c = Term.ac_compare a b in
       if c = 0 then a :: merge m' n'
       else if c < 0 then a :: merge m' n
       else b :: merge m n'
@@ -67,7 +71,7 @@ let is_false p = p = fls
 let equal (p : t) (q : t) = List.compare mono_compare p q = 0
 
 let rec of_term t =
-  match t with
+  match Term.view t with
   | Term.App (o, []) when Signature.op_equal o B.tt -> tru
   | Term.App (o, []) when Signature.op_equal o B.ff -> fls
   | Term.App (o, [ a ]) when Signature.op_equal o B.not_ -> not_ (of_term a)

@@ -13,7 +13,7 @@ type result =
    pre-order (root first). *)
 let rec contexts t =
   let here = t, fun x -> x in
-  match t with
+  match Term.view t with
   | Term.Var _ -> [ here ]
   | Term.App (o, args) ->
     let sub =
@@ -24,7 +24,8 @@ let rec contexts t =
                (fun (s, rebuild) ->
                  ( s,
                    fun x ->
-                     Term.App (o, List.mapi (fun j b -> if i = j then rebuild x else b) args) ))
+                     Term.app_unchecked o
+                       (List.mapi (fun j b -> if i = j then rebuild x else b) args) ))
                (contexts a))
            args)
     in
@@ -57,14 +58,22 @@ type overlap = {
 (* Overlaps of [r2]'s lhs (renamed apart) into non-variable positions of
    [r1]'s lhs.  The root overlap of a rule with (a copy of) itself is the
    trivial one and is skipped; every other self-overlap — e.g. the classic
-   associativity overlap — is genuine and kept. *)
-let overlaps (r1 : Rewrite.rule) (r2 : Rewrite.rule) =
+   associativity overlap — is genuine and kept.
+
+   [renamed2] lets a caller rename [r2] once and reuse the copy across many
+   [r1] partners: under the hash-consed kernel each [rename_apart] interns a
+   fresh copy of the rule's whole term DAG (the fresh tag makes every
+   subterm containing a variable new), so renaming per pair floods the
+   intern table.  A shared copy is sound because its tag came from the
+   global counter, so it cannot collide with variables of any rule that
+   existed before it was made. *)
+let overlaps ?renamed2 (r1 : Rewrite.rule) (r2 : Rewrite.rule) =
   let same = Term.equal r1.Rewrite.lhs r2.Rewrite.lhs && Term.equal r1.Rewrite.rhs r2.Rewrite.rhs in
   let orig2 = r2 in
-  let r2 = rename_apart r2 in
+  let r2 = match renamed2 with Some r -> r | None -> rename_apart r2 in
   List.filter_map
     (fun (s, rebuild) ->
-      match s with
+      match Term.view s with
       | Term.Var _ -> None
       | Term.App _ ->
         let at_root = Term.equal s r1.Rewrite.lhs in
@@ -94,7 +103,7 @@ let all_critical_pairs (rules : Rewrite.rule list) =
   let arr = Array.of_list rules in
   let n = Array.length arr in
   let head (r : Rewrite.rule) =
-    match r.Rewrite.lhs with
+    match Term.view r.Rewrite.lhs with
     | Term.App (o, _) -> o.Signature.name
     | Term.Var _ -> ""
   in
@@ -103,21 +112,22 @@ let all_critical_pairs (rules : Rewrite.rule list) =
       (fun (r : Rewrite.rule) ->
         List.fold_left
           (fun set t ->
-            match t with
+            match Term.view t with
             | Term.App (o, _) -> StringSet.add o.Signature.name set
             | Term.Var _ -> set)
           StringSet.empty
           (Term.subterms r.Rewrite.lhs))
       arr
   in
+  let renamed = Array.map rename_apart arr in
   let acc = ref [] in
   for i = n - 1 downto 0 do
     for j = n - 1 downto i do
       let r1 = arr.(i) and r2 = arr.(j) in
       if j > i && StringSet.mem (head r1) heads_in.(j) then
-        acc := overlaps r2 r1 @ !acc;
+        acc := overlaps ~renamed2:renamed.(i) r2 r1 @ !acc;
       if StringSet.mem (head r2) heads_in.(i) then
-        acc := overlaps r1 r2 @ !acc
+        acc := overlaps ~renamed2:renamed.(j) r1 r2 @ !acc
     done
   done;
   !acc

@@ -35,8 +35,12 @@ type overlap = {
 (** [overlaps r1 r2] computes the overlaps of [r2]'s left-hand side into
     non-variable positions of [r1]'s (variables renamed apart).  With
     [r1 = r2] this includes the genuine self-overlaps — e.g. the classic
-    associativity overlap — and skips only the trivial root one. *)
-val overlaps : Rewrite.rule -> Rewrite.rule -> overlap list
+    associativity overlap — and skips only the trivial root one.
+    [renamed2] supplies a pre-renamed copy of [r2], letting a caller that
+    pairs [r2] against many partners rename once instead of per pair (the
+    hash-consed kernel would otherwise intern a fresh copy of the rule's
+    term DAG for every call). *)
+val overlaps : ?renamed2:Rewrite.rule -> Rewrite.rule -> Rewrite.rule -> overlap list
 
 (** [critical_pairs r1 r2] is [overlaps r1 r2] reduced to the divergent
     term pairs [(left, right)]. *)

@@ -1,7 +1,7 @@
 let commutative o = Signature.is_comm o || Signature.is_ac o
 
 let rec go sub pat subject =
-  match pat, subject with
+  match Term.view pat, Term.view subject with
   | Term.Var v, _ -> (
     if not (Sort.equal v.Term.v_sort (Term.sort subject)) then None
     else
@@ -33,23 +33,26 @@ let matches pat subject = Option.is_some (match_ pat subject)
    applying the current bindings before inspecting a term. *)
 
 let rec resolve sub t =
-  match t with
+  match Term.view t with
   | Term.Var v -> (
     match Subst.find sub v with Some t' -> resolve sub t' | None -> t)
   | Term.App _ -> t
 
+let bind_resolved sub (v : Term.var) t =
+  if not (Sort.equal v.Term.v_sort (Term.sort t)) then None
+  else
+    let t' = Subst.apply sub t in
+    if Term.occurs ~inside:t' (Term.var v.Term.v_name v.Term.v_sort) then None
+    else Some (Subst.bind sub v t')
+
 let rec unify_go sub t1 t2 =
   let t1 = resolve sub t1 and t2 = resolve sub t2 in
-  match t1, t2 with
+  match Term.view t1, Term.view t2 with
   | Term.Var v1, Term.Var v2
     when String.equal v1.v_name v2.v_name && Sort.equal v1.v_sort v2.v_sort ->
     Some sub
-  | Term.Var v, t | t, Term.Var v ->
-    if not (Sort.equal v.Term.v_sort (Term.sort t)) then None
-    else
-      let t' = Subst.apply sub t in
-      if Term.occurs ~inside:t' (Term.Var v) then None
-      else Some (Subst.bind sub v t')
+  | Term.Var v, _ -> bind_resolved sub v t2
+  | _, Term.Var v -> bind_resolved sub v t1
   | Term.App (o1, a1), Term.App (o2, a2)
     when Signature.op_equal o1 o2 && List.length a1 = List.length a2 ->
     List.fold_left2

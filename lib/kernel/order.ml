@@ -8,7 +8,7 @@ let var_equal (v1 : Term.var) (v2 : Term.var) =
    - t = f(t1..tn) with (s1..sm) >lex (t1..tn) and s > tj for all j. *)
 let lpo ~prec s t =
   let rec gt s t =
-    match s, t with
+    match Term.view s, Term.view t with
     | Term.Var _, _ -> false
     | Term.App _, Term.Var v ->
       List.exists (var_equal v) (Term.vars s)
@@ -142,7 +142,7 @@ let search_precedence ?(hint = []) ~ops rules =
   in
   seed hint;
   let rec gt s t =
-    match s, t with
+    match Term.view s, Term.view t with
     | Term.Var _, _ -> false
     | Term.App _, Term.Var v -> List.exists (var_equal v) (Term.vars s)
     | Term.App (f, ss), Term.App (g, ts) ->
@@ -178,7 +178,7 @@ let search_precedence ?(hint = []) ~ops rules =
   List.iter
     (fun (r : Rewrite.rule) ->
       List.iter
-        (fun t -> match t with Term.App (o, _) -> add_op o | Term.Var _ -> ())
+        (fun t -> match Term.view t with Term.App (o, _) -> add_op o | Term.Var _ -> ())
         (Term.subterms r.Rewrite.lhs @ Term.subterms r.Rewrite.rhs
         @ match r.Rewrite.cond with None -> [] | Some c -> Term.subterms c))
     rules;

@@ -16,7 +16,7 @@ let var_subset small big =
     (Term.vars small)
 
 let rule ?cond ~label lhs rhs =
-  (match lhs with
+  (match Term.view lhs with
   | Term.Var _ -> invalid_arg (Printf.sprintf "Rewrite.rule %s: variable lhs" label)
   | Term.App _ -> ());
   if not (Sort.equal (Term.sort lhs) (Term.sort rhs)) then
@@ -58,10 +58,86 @@ type sys_info = {
   si_added : rule list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Normal-form memo.
+
+   Hash-consed terms make the memo a pointer-keyed table with a
+   precomputed hash — no recursive hashing or comparison on lookup.  The
+   table is striped (mutex per shard, shard picked by the term's hash) so
+   the sched pool's domains share one read-mostly memo without contending
+   on a single lock.  Every entry is stamped with the memo's generation at
+   store time; [invalidate] bumps the generation, turning all existing
+   entries into misses at once — this is what ties cached normal forms to
+   the rule set they were computed under. *)
+
+type memo_shard = { ms_lock : Mutex.t; ms_tbl : (int * Term.t) Term.Tbl.t }
+
+type memo = {
+  m_shards : memo_shard array;
+  m_gen : int Atomic.t;
+  m_hits : int Atomic.t;
+  m_misses : int Atomic.t;
+}
+
+(* Keep creation cheap: the prover allocates a fresh system per split
+   branch, so the empty memo must cost next to nothing.  16 shards is
+   plenty of lock spread for the pool sizes we run; tables grow on
+   demand. *)
+let memo_shard_count = 16
+
+let memo_create () =
+  {
+    m_shards =
+      Array.init memo_shard_count (fun _ ->
+          { ms_lock = Mutex.create (); ms_tbl = Term.Tbl.create 16 });
+    m_gen = Atomic.make 0;
+    m_hits = Atomic.make 0;
+    m_misses = Atomic.make 0;
+  }
+
+let memo_find m t =
+  let s = m.m_shards.(Term.hash t land (memo_shard_count - 1)) in
+  Mutex.lock s.ms_lock;
+  let r = Term.Tbl.find_opt s.ms_tbl t in
+  Mutex.unlock s.ms_lock;
+  match r with
+  | Some (g, nf) when g = Atomic.get m.m_gen ->
+    Atomic.incr m.m_hits;
+    Some nf
+  | Some _ | None ->
+    Atomic.incr m.m_misses;
+    None
+
+let memo_store m t nf =
+  let g = Atomic.get m.m_gen in
+  let s = m.m_shards.(Term.hash t land (memo_shard_count - 1)) in
+  Mutex.lock s.ms_lock;
+  Term.Tbl.replace s.ms_tbl t (g, nf);
+  Mutex.unlock s.ms_lock
+
+let memo_reset m =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.ms_lock;
+      Term.Tbl.reset s.ms_tbl;
+      Mutex.unlock s.ms_lock)
+    m.m_shards
+
+let memo_entries m =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.ms_lock;
+      let n = Term.Tbl.length s.ms_tbl in
+      Mutex.unlock s.ms_lock;
+      acc + n)
+    0 m.m_shards
+
+type memo_stats = { hits : int; misses : int; entries : int; generation : int }
+
 type system = {
   ordered : rule list;
   index : (string, rule list) Hashtbl.t;  (** head operator name -> rules *)
-  cache : Term.t Term.Tbl.t;
+  memo : memo;
   mutable dcache : deriv Term.Tbl.t option;
       (** derivation memo, allocated lazily on first traced run *)
   mutable step_limit : int;
@@ -73,7 +149,7 @@ type system = {
 }
 
 let head_name r =
-  match r.lhs with
+  match Term.view r.lhs with
   | Term.App (o, _) -> o.Signature.name
   | Term.Var _ -> assert false
 
@@ -94,7 +170,7 @@ let make rules =
   {
     ordered = rules;
     index = build_index rules;
-    cache = Term.Tbl.create 1024;
+    memo = memo_create ();
     dcache = None;
     step_limit = 5_000_000;
     deadline = 0.;
@@ -107,12 +183,14 @@ let make rules =
 let rules sys = sys.ordered
 let info sys = sys.info
 
+(* A derived system gets a fresh memo: the extra rules rewrite terms the
+   base system considered normal, so no base entry may be trusted. *)
 let extend sys extra =
   let rules = extra @ sys.ordered in
   {
     ordered = rules;
     index = build_index rules;
-    cache = Term.Tbl.create 1024;
+    memo = memo_create ();
     dcache = None;
     step_limit = sys.step_limit;
     deadline = sys.deadline;
@@ -145,8 +223,18 @@ let steps sys = !(sys.steps_total)
 let reset_steps sys = sys.steps_total := 0
 
 let clear_cache sys =
-  Term.Tbl.reset sys.cache;
+  memo_reset sys.memo;
   sys.dcache <- None
+
+let invalidate_memo sys = Atomic.incr sys.memo.m_gen
+
+let memo_stats sys =
+  {
+    hits = Atomic.get sys.memo.m_hits;
+    misses = Atomic.get sys.memo.m_misses;
+    entries = memo_entries sys.memo;
+    generation = Atomic.get sys.memo.m_gen;
+  }
 
 let tick sys =
   incr sys.steps_total;
@@ -160,65 +248,87 @@ let tick sys =
 
 (* Leftmost-innermost normalization with memoization.  Children are
    normalized first; then root rules are tried until none applies.  A rule's
-   condition is normalized recursively and must reach the literal [true]. *)
-let rec norm sys t =
-  match Term.Tbl.find_opt sys.cache t with
+   condition is normalized recursively and must reach the literal [true].
+
+   The traversal is parameterized by its cache: [normalize] runs against
+   the system's shared striped memo, [normalize_uncached] against a
+   private per-call table — same strategy, same step accounting, so the
+   two are differentially comparable. *)
+
+type cache_ops = {
+  c_find : Term.t -> Term.t option;
+  c_store : Term.t -> Term.t -> unit;
+}
+
+let rec norm ops sys t =
+  match ops.c_find t with
   | Some nf -> nf
   | None ->
     let nf =
-      match t with
+      match Term.view t with
       | Term.Var _ -> t
       | Term.App (o, args) ->
-        let t' = Term.App (o, List.map (norm sys) args) in
+        let args' = List.map (norm ops sys) args in
+        let t' =
+          if List.for_all2 ( == ) args args' then t
+          else Term.app_unchecked o args'
+        in
         let t' =
           if Signature.is_ac o || Signature.is_comm o then Ac.normalize t'
           else t'
         in
-        reduce_root sys t'
+        reduce_root ops sys t'
     in
-    Term.Tbl.replace sys.cache t nf;
+    ops.c_store t nf;
     nf
 
-and reduce_root sys t =
-  match t with
+and reduce_root ops sys t =
+  match Term.view t with
   | Term.Var _ -> t
   | Term.App (o, _) -> (
     match Hashtbl.find_opt sys.index o.Signature.name with
     | None -> t
-    | Some candidates -> try_rules sys t candidates)
+    | Some candidates -> try_rules ops sys t candidates)
 
-and try_rules sys t = function
+and try_rules ops sys t = function
   | [] -> t
   | r :: rest -> (
     let matcher =
-      match r.lhs, t with
+      match Term.view r.lhs, Term.view t with
       | Term.App (po, _), Term.App (so, _)
         when Signature.is_ac po && Signature.op_equal po so ->
         Ac.match_first r.lhs t
       | _ -> Matching.match_ r.lhs t
     in
     match matcher with
-    | None -> try_rules sys t rest
+    | None -> try_rules ops sys t rest
     | Some sub -> (
       let fires =
         match r.cond with
         | None -> true
-        | Some c -> Term.equal (norm sys (Subst.apply sub c)) Term.tt
+        | Some c -> Term.equal (norm ops sys (Subst.apply sub c)) Term.tt
       in
-      if not fires then try_rules sys t rest
+      if not fires then try_rules ops sys t rest
       else begin
         tick sys;
-        norm sys (Subst.apply sub r.rhs)
+        norm ops sys (Subst.apply sub r.rhs)
       end))
+
+let shared_ops sys =
+  { c_find = memo_find sys.memo; c_store = memo_store sys.memo }
+
+let local_ops () =
+  let tbl = Term.Tbl.create 1024 in
+  { c_find = Term.Tbl.find_opt tbl; c_store = Term.Tbl.replace tbl }
 
 (* ------------------------------------------------------------------ *)
 (* Traced normalization.                                               *)
 (*                                                                     *)
 (* The traced path mirrors [norm] exactly — same strategy, same step   *)
 (* accounting — but records a derivation for every visited term.  The  *)
-(* derivation memo is separate from the plain normal-form cache: a     *)
-(* cache entry warmed by an earlier untraced run has no derivation, so *)
-(* traced runs consult only [dcache]; the plain cache is warmed only   *)
+(* derivation memo is separate from the plain normal-form memo: a memo *)
+(* entry warmed by an earlier untraced run has no derivation, so       *)
+(* traced runs consult only [dcache]; the plain memo is warmed only    *)
 (* at derivation roots (hashing every subterm into both tables showed  *)
 (* up as the bulk of the tracing overhead).                            *)
 (*                                                                     *)
@@ -242,38 +352,26 @@ let triv t = { d_in = t; d_out = t; d_node = Triv }
    flattened argument list.  Mirrors [Ac.normalize] on terms whose children
    are already canonical; [None] when canonicalization is the identity.
 
-   Fast path: with canonical children, [l·r] is already canonical iff [l]
-   is a leaf of the comb (not [o]-headed) and [l <=] the first leaf of [r]
-   — an O(1) test that skips the flatten/sort/rebuild on the overwhelmingly
-   common already-sorted case (this is what keeps tracing overhead low). *)
+   Fast path: interned terms carry their canonicity, so the overwhelmingly
+   common already-sorted case is a single flag read (no flatten, no
+   compare — this is what keeps tracing overhead low). *)
 let ac_perm o t' =
-  match t' with
-  | Term.App (_, [ l; r ]) when Signature.is_ac o ->
-    let l_is_comb =
-      match l with
-      | Term.App (lo, [ _; _ ]) -> Signature.op_equal lo o
-      | _ -> false
-    in
-    let first_leaf_r =
-      match r with
-      | Term.App (ro, [ a; _ ]) when Signature.op_equal ro o -> a
-      | _ -> r
-    in
-    if (not l_is_comb) && Term.compare l first_leaf_r <= 0 then (None, t')
-    else begin
+  if Term.ac_canonical t' then (None, t')
+  else
+    match Term.view t' with
+    | Term.App (_, [ _; _ ]) when Signature.is_ac o ->
       let flat = Ac.flatten o t' in
       let idx = List.mapi (fun i t -> (t, i)) flat in
       let sorted =
-        List.stable_sort (fun (a, _) (b, _) -> Term.compare a b) idx
+        List.stable_sort (fun (a, _) (b, _) -> Term.ac_compare a b) idx
       in
       let t'' = Ac.rebuild o (List.map fst sorted) in
       if Term.equal t'' t' then (None, t')
       else (Some (List.map snd sorted), t'')
-    end
-  | Term.App (_, [ a; b ]) when Signature.is_comm o ->
-    if Term.compare a b <= 0 then (None, t')
-    else (Some [ 1; 0 ], Term.App (o, [ b; a ]))
-  | _ -> (None, t')
+    | Term.App (_, [ a; b ]) when Signature.is_comm o ->
+      if Term.ac_compare a b <= 0 then (None, t')
+      else (Some [ 1; 0 ], Term.app_unchecked o [ b; a ])
+    | _ -> (None, t')
 
 let rec norm_t sys t =
   let dc = dcache sys in
@@ -281,7 +379,7 @@ let rec norm_t sys t =
   | Some d -> d
   | None ->
     let d =
-      match t with
+      match Term.view t with
       | Term.Var _ -> triv t
       | Term.App (o, args) ->
         let children = List.map (norm_t sys) args in
@@ -289,7 +387,7 @@ let rec norm_t sys t =
            below on its physical-equality fast path *)
         let t' =
           if List.for_all2 (fun d a -> d.d_out == a) children args then t
-          else Term.App (o, List.map (fun d -> d.d_out) children)
+          else Term.app_unchecked o (List.map (fun d -> d.d_out) children)
         in
         let perm, t'' =
           if Signature.is_ac o || Signature.is_comm o then ac_perm o t'
@@ -318,7 +416,7 @@ and try_rules_t sys t = function
   | [] -> None
   | r :: rest -> (
     let matcher =
-      match r.lhs, t with
+      match Term.view r.lhs, Term.view t with
       | Term.App (po, _), Term.App (so, _)
         when Signature.is_ac po && Signature.op_equal po so ->
         Ac.match_first r.lhs t
@@ -348,7 +446,7 @@ let start_run sys =
 let normalize_traced sys t =
   start_run sys;
   let d = norm_t sys t in
-  Term.Tbl.replace sys.cache t d.d_out;
+  memo_store sys.memo t d.d_out;
   (d.d_out, d)
 
 (* ------------------------------------------------------------------ *)
@@ -396,13 +494,21 @@ let normalize sys t =
   match Atomic.get tracer_slot with
   | None ->
     start_run sys;
-    norm sys t
+    norm (shared_ops sys) sys t
   | Some tr ->
     start_run sys;
     let d = norm_t sys t in
-    Term.Tbl.replace sys.cache t d.d_out;
+    memo_store sys.memo t d.d_out;
     record tr sys t d;
     d.d_out
+
+(* The seed engine's path: identical strategy and step accounting, but
+   against a private table that dies with the call — nothing read from or
+   written to the shared memo.  The differential suite runs every spec
+   through both entry points. *)
+let normalize_uncached sys t =
+  start_run sys;
+  norm (local_ops ()) sys t
 
 let pp_rule ppf r =
   match r.cond with

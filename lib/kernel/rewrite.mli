@@ -51,6 +51,14 @@ val extend : system -> rule list -> system
     reduction must not be mistaken for a proved [true]. *)
 val normalize : system -> Term.t -> Term.t
 
+(** [normalize_uncached sys t] is the seed engine's path: identical
+    strategy and step accounting to {!normalize}, but memoized only in a
+    private table that dies with the call — the shared memo is neither
+    read nor written.  Kept as the reference implementation for the
+    differential test suite.
+    @raise Limit_exceeded as {!normalize}. *)
+val normalize_uncached : system -> Term.t -> Term.t
+
 (** Which resource ran out: the per-call step budget, or the per-call
     CPU-seconds deadline. *)
 type limit = Steps of int | Deadline of float
@@ -76,6 +84,31 @@ val reset_steps : system -> unit
 (** [clear_cache sys] drops the memoization tables (normal forms remain
     valid; this is only for memory control in long benchmark runs). *)
 val clear_cache : system -> unit
+
+(** {1 Normal-form memo}
+
+    Each system owns a striped, generation-stamped memo mapping interned
+    terms to their normal forms, shared read-mostly across the sched
+    pool's domains.  Entries are stamped with the memo's generation at
+    store time and ignored once the generation moves on — {!extend}
+    allocates a fresh memo for the derived system (its extra rules
+    invalidate every base normal form), and {!invalidate_memo} bumps the
+    generation in place. *)
+
+(** [invalidate_memo sys] advances the memo generation: every cached
+    normal form becomes stale (a guaranteed miss) without touching the
+    tables.  Use when the meaning of the rule set changes under an
+    existing system. *)
+val invalidate_memo : system -> unit
+
+type memo_stats = {
+  hits : int;  (** lookups answered by a current-generation entry *)
+  misses : int;  (** lookups finding nothing, or only a stale entry *)
+  entries : int;  (** live table entries, stale ones included *)
+  generation : int;
+}
+
+val memo_stats : system -> memo_stats
 
 val pp_rule : Format.formatter -> rule -> unit
 

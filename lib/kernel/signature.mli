@@ -56,6 +56,12 @@ val is_ac : op -> bool
 val is_comm : op -> bool
 val op_equal : op -> op -> bool
 val op_compare : op -> op -> int
+
+(** [same_profile o1 o2] — same arity sorts and result sort (the name is not
+    compared).  Two same-named operators with the same profile denote the
+    same function symbol: the hash-consed term kernel collapses them, so any
+    consumer telling overloads apart must compare profiles, not pointers. *)
+val same_profile : op -> op -> bool
 val pp_op : Format.formatter -> op -> unit
 
 (** Builtin operators of the [Bool] sort, shared by every signature.  Their

@@ -26,9 +26,16 @@ let of_list bindings = List.fold_left (fun s (v, t) -> bind s v t) empty binding
 let bindings sub = M.bindings sub
 
 let rec apply sub t =
-  match t with
-  | Term.Var v -> ( match M.find_opt v sub with Some t' -> t' | None -> t)
-  | Term.App (o, args) -> Term.App (o, List.map (apply sub) args)
+  (* Ground terms and unchanged applications come back physically intact —
+     with interning this keeps substitution allocation-free off the spine
+     of the redex. *)
+  if Term.is_ground t then t
+  else
+    match Term.view t with
+    | Term.Var v -> ( match M.find_opt v sub with Some t' -> t' | None -> t)
+    | Term.App (o, args) ->
+      let args' = List.map (apply sub) args in
+      if List.for_all2 ( == ) args args' then t else Term.app_unchecked o args'
 
 let domain sub = List.map fst (M.bindings sub)
 

@@ -1,25 +1,50 @@
-(** First-order terms over an order-sorted signature.
+(** First-order terms over an order-sorted signature, with maximal sharing.
 
     A term is either a sorted variable or the application of an operator to
     argument terms (constants are nullary applications).  Terms are the
     universal currency of the kernel: protocol states, messages, boolean
-    formulas and proof goals are all terms. *)
+    formulas and proof goals are all terms.
+
+    Terms are hash-consed: every structurally distinct term is interned
+    exactly once in a domain-safe table, so structural equality coincides
+    with pointer equality, {!compare} is a constant-time id comparison, and
+    {!hash}, {!size}, {!depth}, {!is_ground} and {!ac_canonical} are
+    precomputed at construction.  Pattern-match on terms through {!view}. *)
 
 type var = { v_name : string; v_sort : Sort.t }
 
-type t =
+type t = private {
+  node : node;
+  id : int;  (** unique per structurally-distinct term, process-wide *)
+  hash : int;  (** structural hash, stable across processes *)
+  term_size : int;
+  term_depth : int;
+  ground : bool;
+  canonical : bool;  (** the term is its own AC/Comm canonical form *)
+}
+
+and node =
   | Var of var
   | App of Signature.op * t list
 
+(** [view t] is [t]'s top node, for pattern matching:
+    [match Term.view t with Term.Var v -> ... | Term.App (o, args) -> ...]. *)
+val view : t -> node
+
 (** {1 Construction} *)
 
-(** [var name sort] builds a variable. *)
+(** [var name sort] builds (interns) a variable. *)
 val var : string -> Sort.t -> t
 
 (** [app op args] builds an application.
     @raise Invalid_argument if the number of arguments does not match the
     operator's arity (sorts of the arguments are checked too). *)
 val app : Signature.op -> t list -> t
+
+(** [app_unchecked op args] interns an application without re-validating
+    arity or argument sorts.  For kernel internals (substitution, AC
+    rebuilds, rewriting) reassembling nodes from already-checked pieces. *)
+val app_unchecked : Signature.op -> t list -> t
 
 (** [const op] is [app op []]. *)
 val const : Signature.op -> t
@@ -54,26 +79,49 @@ val ite : t -> t -> t -> t
 (** [sort t] is the sort of [t]. *)
 val sort : t -> Sort.t
 
-(** [equal]/[compare] are structural (variables by name and sort, operators
-    by name). *)
+(** [equal] is structural equality (variables by name and sort, operators
+    by name) — pointer equality, thanks to interning. *)
 val equal : t -> t -> bool
 
+(** [compare] is a total order consistent with {!equal}: id comparison.
+    Subterms were interned before their parents, so a term's id is strictly
+    greater than its proper subterms' — the order is a simplification order
+    on any fixed set of terms within one process, but NOT stable across
+    processes or runs. *)
 val compare : t -> t -> int
 
-(** [hash t] is a structural hash consistent with {!equal}. *)
+(** [hash t] is the precomputed structural hash, consistent with {!equal}
+    and stable across processes. *)
 val hash : t -> int
+
+(** [id t] is [t]'s unique intern id. *)
+val id : t -> int
+
+(** [ac_compare] — the total order used to canonicalize AC/Comm argument
+    lists (and every other order that leaks into stored term structure):
+    hash-major, structural walk on collision.  Purely a function of the
+    structure — unlike {!compare}, it does not change when a term is
+    collected from the weak intern table and later re-interned with a
+    fresh id, so canonical forms are stable over time, across domains and
+    across processes. *)
+val ac_compare : t -> t -> int
 
 (** [vars t] lists the distinct variables of [t], left-to-right. *)
 val vars : t -> var list
 
-(** [is_ground t] is [true] iff [t] has no variables. *)
+(** [is_ground t] is [true] iff [t] has no variables (precomputed). *)
 val is_ground : t -> bool
 
-(** [size t] counts operator and variable occurrences. *)
+(** [size t] counts operator and variable occurrences (precomputed). *)
 val size : t -> int
 
-(** [depth t] is the height of the term tree ([1] for leaves). *)
+(** [depth t] is the height of the term tree ([1] for leaves,
+    precomputed). *)
 val depth : t -> int
+
+(** [ac_canonical t] is [true] iff [t] is its own AC/Comm canonical form,
+    i.e. [Ac.normalize] returns [t] unchanged (precomputed at intern). *)
+val ac_canonical : t -> bool
 
 (** [subterms t] lists every subterm of [t] including [t] itself
     (pre-order). *)
@@ -86,8 +134,13 @@ val occurs : inside:t -> t -> bool
     [by] in [t] (used for congruence-by-substitution in the prover). *)
 val replace : old:t -> by:t -> t -> t
 
-(** [map_children f t] applies [f] to the immediate children of [t]. *)
+(** [map_children f t] applies [f] to the immediate children of [t],
+    reusing [t] when every child comes back physically unchanged. *)
 val map_children : (t -> t) -> t -> t
+
+(** [intern_table_len ()] is the number of live interned terms — the
+    footprint of maximal sharing, exported for bench/stats reporting. *)
+val intern_table_len : unit -> int
 
 (** {1 Printing} *)
 
@@ -95,6 +148,10 @@ val map_children : (t -> t) -> t -> t
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+(** {!Set} and {!Map} order elements by {!ac_compare} (structure-stable),
+    so iteration order does not depend on intern-table allocation
+    history. *)
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t

@@ -16,7 +16,7 @@ let linearize (d : Rewrite.deriv) : step list =
     | Rewrite.Triv -> ()
     | Rewrite.Dapp { children; perm; step } ->
       let o =
-        match d.Rewrite.d_in with
+        match Term.view d.Rewrite.d_in with
         | Term.App (o, _) -> o
         | Term.Var _ -> assert false
       in
@@ -33,12 +33,13 @@ let linearize (d : Rewrite.deriv) : step list =
                      else dj.Rewrite.d_in)
                    arr)
             in
-            ctx (Term.App (o, args))
+            ctx (Term.app_unchecked o args)
           in
           go (i :: path) child_ctx di)
         arr;
       let t' =
-        Term.App (o, List.map (fun (c : Rewrite.deriv) -> c.Rewrite.d_out) children)
+        Term.app_unchecked o
+          (List.map (fun (c : Rewrite.deriv) -> c.Rewrite.d_out) children)
       in
       let t'' = match perm with None -> t' | Some _ -> Ac.normalize t' in
       (match perm with

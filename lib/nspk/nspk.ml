@@ -58,8 +58,10 @@ let nonces_pool =
 (* ------------------------------------------------------------------ *)
 (* Intruder knowledge *)
 
-let name = function Term.App (o, _) -> o.Signature.name | Term.Var _ -> "?"
-let args = function Term.App (_, a) -> a | Term.Var _ -> []
+let name t =
+  match Term.view t with Term.App (o, _) -> o.Signature.name | Term.Var _ -> "?"
+
+let args t = match Term.view t with Term.App (_, a) -> a | Term.Var _ -> []
 
 module Algebra = struct
   type t = Term.t

@@ -73,7 +73,7 @@ let holds run t = Term.equal (eval run t) Term.tt
    applied to.  Each step's state term is [act(s, args…)], so both the
    action and its arguments can be read back from it. *)
 let step_fired run { label = _; state } =
-  match state with
+  match Term.view state with
   | Term.App (op, s :: args) ->
     let a = Ots.action run.ots op.Signature.name in
     let sub =

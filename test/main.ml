@@ -1,21 +1,52 @@
-(* Aggregated test runner: each [Test_*] module exports a [suite]. *)
+(* Aggregated test runner: each [Test_*] module exports a [suite].
+
+   Every test case is wrapped to accumulate wall-clock time per suite; the
+   totals print after the Alcotest summary, so a slow suite is visible at a
+   glance instead of hiding inside the grand total. *)
+
+let timings : (string * float ref) list ref = ref []
+
+let timed (name, cases) =
+  let total = ref 0. in
+  timings := !timings @ [ (name, total) ];
+  let wrap (case_name, speed, fn) =
+    ( case_name,
+      speed,
+      fun arg ->
+        let t0 = Unix.gettimeofday () in
+        Fun.protect
+          ~finally:(fun () -> total := !total +. (Unix.gettimeofday () -. t0))
+          (fun () -> fn arg) )
+  in
+  (name, List.map wrap cases)
+
+let report () =
+  prerr_newline ();
+  prerr_endline "Per-suite timing:";
+  List.iter
+    (fun (name, total) -> Printf.eprintf "  %-20s %8.3fs\n%!" name !total)
+    !timings
 
 let () =
+  at_exit report;
   Alcotest.run "eqtls"
-    [
-      Test_kernel.suite;
-      Test_completion.suite;
-      Test_matching_props.suite;
-      Test_dolevyao.suite;
-      Test_cafeobj.suite;
-      Test_analysis.suite;
-      Test_export.suite;
-      Test_core.suite;
-      Test_prover.suite;
-      Test_tls.suite;
-      Test_proofs.suite;
-      Test_mc.suite;
-      Test_nspk_sym.suite;
-      Test_sched.suite;
-      Test_certify.suite;
-    ]
+    (List.map timed
+       [
+         Test_kernel.suite;
+         Test_hashcons.suite;
+         Test_differential.suite;
+         Test_completion.suite;
+         Test_matching_props.suite;
+         Test_dolevyao.suite;
+         Test_cafeobj.suite;
+         Test_analysis.suite;
+         Test_export.suite;
+         Test_core.suite;
+         Test_prover.suite;
+         Test_tls.suite;
+         Test_proofs.suite;
+         Test_mc.suite;
+         Test_nspk_sym.suite;
+         Test_sched.suite;
+         Test_certify.suite;
+       ])

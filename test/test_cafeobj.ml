@@ -39,13 +39,15 @@ let test_reduce_in_assumptions () =
   let m = Spec.create "CO-ASSM" in
   let p = Term.const (Spec.declare_op m "co-p" [] Sort.bool ~attrs:[]) in
   let q = Term.const (Spec.declare_op m "co-q" [] Sort.bool ~attrs:[]) in
+  (* Without the assumptions the conjunction is stuck (up to boolean
+     canonicalization); record that form to compare against after close. *)
+  let before = Spec.reduce m (Term.and_ p (Term.not_ q)) in
   Alcotest.check term_testable "open ... close semantics" Term.tt
     (Spec.reduce_in m
        ~assumptions:[ p, Term.tt; q, Term.ff ]
        (Term.and_ p (Term.not_ q)));
   (* The module itself is unchanged afterwards. *)
-  Alcotest.check term_testable "module untouched"
-    (Term.and_ p (Term.not_ q))
+  Alcotest.check term_testable "module untouched" before
     (Spec.reduce m (Term.and_ p (Term.not_ q)))
 
 let test_hsiang_module_complete () =

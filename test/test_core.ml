@@ -189,7 +189,7 @@ let test_successor_equation_shape () =
   Alcotest.(check string)
     "lhs" "lock(enter(S:LockState, J:Pid))" (Term.to_string lhs);
   Alcotest.(check bool) "rhs guarded" true
-    (match rhs with Term.App (o, _) -> Signature.Builtin.is_if o | _ -> false)
+    (match Term.view rhs with Term.App (o, _) -> Signature.Builtin.is_if o | _ -> false)
 
 let test_reduction_of_concrete_run () =
   let env = make_env () in

@@ -93,7 +93,7 @@ let test_term_eq_reflexivity_check () =
 (* Substitution and matching *)
 
 let test_subst_apply () =
-  let sub = Subst.of_list [ (match x with Term.Var v -> v | _ -> assert false), nat_term 2 ] in
+  let sub = Subst.of_list [ (match Term.view x with Term.Var v -> v | _ -> assert false), nat_term 2 ] in
   Alcotest.check term_testable "apply"
     (Term.app succ [ nat_term 2 ])
     (Subst.apply sub (Term.app succ [ x ]))
@@ -352,7 +352,7 @@ let test_term_collections () =
     (Term.Tbl.find_opt tbl (nat_term 1))
 
 let test_subst_bind_conflicts () =
-  let v = match x with Term.Var v -> v | _ -> assert false in
+  let v = match Term.view x with Term.Var v -> v | _ -> assert false in
   let s1 = Subst.bind Subst.empty v (nat_term 1) in
   let s2 = Subst.bind s1 v (nat_term 1) in
   Alcotest.(check bool) "rebinding same value ok" true
@@ -456,7 +456,7 @@ let arb_formula = QCheck.make ~print:Term.to_string gen_formula
 (* Reference semantics: evaluate under all 8 valuations of pa,qa,ra. *)
 let rec eval env t =
   let module B = Signature.Builtin in
-  match t with
+  match Term.view t with
   | Term.App (o, []) when Signature.op_equal o B.tt -> true
   | Term.App (o, []) when Signature.op_equal o B.ff -> false
   | Term.App (o, [ a ]) when Signature.op_equal o B.not_ -> not (eval env a)
@@ -465,7 +465,7 @@ let rec eval env t =
   | Term.App (o, [ a; b ]) when Signature.op_equal o B.xor -> eval env a <> eval env b
   | Term.App (o, [ a; b ]) when Signature.op_equal o B.implies ->
     (not (eval env a)) || eval env b
-  | t -> List.assoc (Term.to_string t) env
+  | _ -> List.assoc (Term.to_string t) env
 
 let valuations =
   List.concat_map

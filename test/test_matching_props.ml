@@ -11,6 +11,8 @@ let plus = Signature.declare sg "mpP" [ nat; nat ] nat ~attrs:[]
 let union = Signature.declare sg "mpU" [ nat; nat ] nat ~attrs:[ Signature.Ac ]
 let vx = { Term.v_name = "X"; v_sort = nat }
 let vy = { Term.v_name = "Y"; v_sort = nat }
+let tvx = Term.var "X" nat
+let tvy = Term.var "Y" nat
 
 let rec ground n =
   if n <= 0 then Term.const zero else Term.app succ [ ground (n - 1) ]
@@ -20,11 +22,11 @@ let gen_pattern =
   QCheck.Gen.(
     sized @@ fix (fun self n ->
         if n <= 0 then
-          oneof [ return (Term.Var vx); return (Term.Var vy); return (Term.const zero) ]
+          oneof [ return tvx; return tvy; return (Term.const zero) ]
         else
           frequency
             [
-              2, oneof [ return (Term.Var vx); return (Term.Var vy) ];
+              2, oneof [ return tvx; return tvy ];
               1, return (Term.const zero);
               2, map (fun t -> Term.app succ [ t ]) (self (n / 2));
               2, map2 (fun a b -> Term.app plus [ a; b ]) (self (n / 2)) (self (n / 2));
