@@ -34,6 +34,10 @@ let red_traced_ms = ref 0.0
 let red_memo_ms = ref 0.0
 let memo_hit_rate = ref 0.0
 let intern_table_len = ref 0
+let telemetry_overhead_pct = ref 0.0
+
+(* per invariant, the top rules by self-time: (label, fires, self_ms) *)
+let hot_rules : (string * (string * int * float) list) list ref = ref []
 
 let record ?(steps = 0) ?(splits = 0) name wall =
   records :=
@@ -59,15 +63,30 @@ let write_json file ~jobs =
     "{\n  \"jobs\": %d,\n  \"lint_ms\": %.3f,\n  \"certify_ms\": %.3f,\n  \
      \"cert_bytes\": %d,\n  \"red_untraced_ms\": %.3f,\n  \"red_traced_ms\": \
      %.3f,\n  \"red_memo_ms\": %.3f,\n  \"memo_hit_rate\": %.4f,\n  \
-     \"intern_table_len\": %d,\n  \"experiments\": ["
+     \"intern_table_len\": %d,\n  \"telemetry_overhead_pct\": %.2f,\n  \
+     \"experiments\": ["
     jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms
-    !red_memo_ms !memo_hit_rate !intern_table_len;
+    !red_memo_ms !memo_hit_rate !intern_table_len !telemetry_overhead_pct;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
         (if i = 0 then "" else ",")
         (json_escape r.rec_name) r.rec_wall r.rec_steps r.rec_splits)
     (List.rev !records);
+  Printf.fprintf oc "\n  ],\n  \"hot_rules\": [";
+  List.iteri
+    (fun i (inv, rules) ->
+      Printf.fprintf oc "%s\n    { \"invariant\": \"%s\", \"rules\": ["
+        (if i = 0 then "" else ",")
+        (json_escape inv);
+      List.iteri
+        (fun j (label, fires, self_ms) ->
+          Printf.fprintf oc "%s{\"rule\": \"%s\", \"fires\": %d, \"self_ms\": %.3f}"
+            (if j = 0 then "" else ", ")
+            (json_escape label) fires self_ms)
+        rules;
+      Printf.fprintf oc "] }")
+    !hot_rules;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc
 
@@ -366,7 +385,81 @@ let report ~pool () =
      run_s produce_s check_s
      (check_s /. (run_s +. produce_s))
      (if res.Analysis.Certgen.errors = [] then "" else " — REJECTED (unexpected)");
-   record "certify-inv1" check_s)
+   record "certify-inv1" check_s);
+
+  section "E16: telemetry overhead and per-invariant hot rules";
+  (let full = Tls.Scenario.full_handshake () in
+   let nwt = Tls.Model.nw full.Tls.Scenario.ots (Tls.Scenario.final full) in
+   let c = Tls.Scenario.cast in
+   let pms =
+     Tls.Data.pms_ ~client:c.Tls.Scenario.alice ~server:c.Tls.Scenario.bob
+       c.Tls.Scenario.sec1
+   in
+   let sys = Cafeobj.Spec.system (Tls.Model.spec Tls.Model.Original) in
+   let goal = Tls.Data.in_cpms pms nwt in
+   let reps = 50 in
+   let time f =
+     f ();
+     let t0 = Unix.gettimeofday () in
+     for _ = 1 to reps do
+       f ()
+     done;
+     (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+   in
+   let red () =
+     Rewrite.clear_cache sys;
+     ignore (Rewrite.normalize sys goal)
+   in
+   (* the cold E14 red, with recording off and on: the on-path records a
+      span per red plus rule profiles, so this is the worst-case price of
+      --profile, not of the flag merely existing (that price is measured
+      by the CI guard on red_untraced_ms) *)
+   Telemetry.Probe.set_enabled false;
+   let off = time red in
+   Telemetry.Probe.set_span_min_ns 1_000_000;
+   Telemetry.Probe.set_enabled true;
+   let on = time red in
+   Telemetry.Probe.set_enabled false;
+   Telemetry.Probe.reset ();
+   telemetry_overhead_pct := (on -. off) /. Float.max off 1e-9 *. 100.;
+   Format.printf
+     "E16 telemetry: red %.3f ms off, %.3f ms recording (%+.1f%%)@." off on
+     !telemetry_overhead_pct;
+   (* per-invariant rule attribution: sequential on purpose — reset/snapshot
+      need quiescence, and one invariant at a time keeps the profiles
+      separable *)
+   let env = Tls.Model.env Tls.Model.Original in
+   Telemetry.Probe.set_enabled true;
+   hot_rules :=
+     List.map
+       (fun proof ->
+         Telemetry.Probe.reset ();
+         ignore (Proofs.Tls_invariants.run env proof);
+         let snap = Telemetry.Probe.snapshot () in
+         ( Proofs.Tls_invariants.name_of proof,
+           List.map
+             (fun (r : Telemetry.Probe.rule_stat) ->
+               ( r.Telemetry.Probe.rl_label,
+                 r.Telemetry.Probe.rl_fires,
+                 float_of_int
+                   (r.Telemetry.Probe.rl_rw_self_ns
+                   + r.Telemetry.Probe.rl_cond_self_ns)
+                 /. 1e6 ))
+             (Telemetry.Hotspot.hot_rules ~top:3 snap) ))
+       (Proofs.Tls_invariants.all Tls.Model.Original);
+   Telemetry.Probe.set_enabled false;
+   Telemetry.Probe.reset ();
+   let weight (_, rules) =
+     List.fold_left (fun acc (_, _, ms) -> acc +. ms) 0. rules
+   in
+   match List.stable_sort (fun a b -> compare (weight b) (weight a)) !hot_rules with
+   | [] -> ()
+   | (inv, rules) :: _ ->
+     Format.printf "E16 hottest invariant %s:@." inv;
+     List.iter
+       (fun (label, fires, self_ms) ->
+         Format.printf "      %-32s %5d fires %10.3f ms self@." label fires self_ms)
+       rules)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing *)

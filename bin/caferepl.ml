@@ -4,6 +4,9 @@
      caferepl file.cafe ...     evaluate files, then exit
      caferepl --trace ...       additionally print every rewrite step of
                                 each red (rule label, redex position, term)
+     caferepl --profile ...     record telemetry; print a hotspot report
+                                (per-rule self-time) on exit
+     caferepl --trace-out FILE  write a Chrome/Perfetto trace on exit
      caferepl                   interactive session (phrases end with '.';
                                 'mod' blocks end with '}') *)
 
@@ -71,10 +74,27 @@ let repl env =
 let () =
   let env = Cafeobj.Eval.create () in
   let args = List.tl (Array.to_list Sys.argv) in
-  let files = List.filter (fun a -> a <> "--trace") args in
-  if List.mem "--trace" args then Cafeobj.Eval.set_tracing env true;
+  let rec parse files trace profile trace_out = function
+    | [] -> List.rev files, trace, profile, trace_out
+    | "--trace" :: rest -> parse files true profile trace_out rest
+    | "--profile" :: rest -> parse files trace true trace_out rest
+    | "--trace-out" :: out :: rest -> parse files trace profile out rest
+    | [ "--trace-out" ] ->
+      prerr_endline "caferepl: --trace-out needs a file argument";
+      exit 2
+    | f :: rest -> parse (f :: files) trace profile trace_out rest
+  in
+  let files, trace, profile, trace_out = parse [] false false "" args in
+  if trace then Cafeobj.Eval.set_tracing env true;
+  Telemetry.Cli.setup ~profile ~trace_out ();
+  let finish () =
+    Telemetry.Cli.flush ~process_name:"caferepl" ~profile ~trace_out ()
+  in
   match files with
-  | [] -> repl env
+  | [] ->
+    repl env;
+    finish ()
   | files ->
     let ok = List.for_all (fun f -> process env (read_file f)) files in
+    finish ();
     if not ok then exit 1

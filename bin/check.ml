@@ -4,18 +4,21 @@
      check FILE            validate every obligation in FILE
      check FILE --json     machine-readable report on stdout
      check FILE --jobs N   chunk obligations across N domains
+     check FILE --profile  record telemetry, print a hotspot report
+     check FILE --trace-out OUT  write a Chrome/Perfetto trace of the replay
 
    This binary deliberately links only [certify] (the trusted replay
-   kernel) and [sched] (a generic domain pool): the rewriting engine, AC
-   matcher and proof strategy are nowhere in the executable, so accepting
-   a certificate depends on nothing the engine computed.
+   kernel), [sched] (a generic domain pool) and [telemetry] (passive
+   observation): the rewriting engine, AC matcher and proof strategy are
+   nowhere in the executable, so accepting a certificate depends on
+   nothing the engine computed.
 
    Exit status:
      0  certificate accepted
      1  certificate rejected (diagnostics on stderr, or in the JSON report)
      2  usage error, unreadable file or malformed certificate *)
 
-let usage = "check FILE [--json] [--jobs N]"
+let usage = "check FILE [--json] [--jobs N] [--profile] [--trace-out OUT]"
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -46,10 +49,16 @@ let () =
   let json = ref false in
   let jobs = ref 1 in
   let file = ref "" in
+  let profile = ref false in
+  let trace_out = ref "" in
   let spec =
     [
       "--json", Arg.Set json, "print a machine-readable report";
       "--jobs", Arg.Set_int jobs, "N number of domains (default: 1)";
+      "--profile", Arg.Set profile, "record telemetry and print a hotspot report";
+      ( "--trace-out",
+        Arg.Set_string trace_out,
+        "OUT write a Chrome/Perfetto trace (implies recording)" );
     ]
   in
   Arg.parse spec
@@ -87,7 +96,15 @@ let () =
     @ List.map (fun rs -> Jred rs) (chunks_of chunk cert.Certify.Cert.reds)
     @ match cert.Certify.Cert.joins with [] -> [] | js -> [ Jjoin js ]
   in
+  Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
   let run job =
+    let label =
+      match job with
+      | Jlpo -> "lpo"
+      | Jred rs -> Printf.sprintf "reds[%d]" (List.length rs)
+      | Jjoin js -> Printf.sprintf "joins[%d]" (List.length js)
+    in
+    Telemetry.Probe.with_span ~always:true ~cat:"check" label @@ fun () ->
     (* one checker per chunk: the memo tables are single-domain *)
     let ck = Certify.Check.create cert in
     let errs =
@@ -102,6 +119,8 @@ let () =
     if !jobs = 1 then List.map run work
     else Sched.Pool.with_pool ~jobs:!jobs (fun pool -> Sched.Pool.parallel_map pool run work)
   in
+  Telemetry.Cli.flush ~process_name:"check" ~profile:!profile
+    ~trace_out:!trace_out ();
   let errors = List.concat_map fst results in
   let steps = List.fold_left (fun acc (_, s) -> acc + s) 0 results in
   let dt = Sys.time () -. t0 in

@@ -14,6 +14,8 @@
      lint --budget N               rewrite steps per critical-pair join
      lint --fuel N                 case splits per critical-pair join
      lint --jobs N                 join critical pairs on N domains
+     lint --profile                record telemetry, print a hotspot report
+     lint --trace-out FILE         write a Chrome/Perfetto trace of the run
 
    Exit status:
      0  no error-severity diagnostics
@@ -30,6 +32,8 @@ let () =
   let prec = ref "" in
   let budget = ref Analysis.Lint.default_options.Analysis.Lint.budget in
   let fuel = ref Analysis.Lint.default_options.Analysis.Lint.fuel in
+  let profile = ref false in
+  let trace_out = ref "" in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let spec =
     [
@@ -42,6 +46,10 @@ let () =
       "--budget", Arg.Set_int budget, "N rewrite steps per critical-pair join (default 20000)";
       "--fuel", Arg.Set_int fuel, "N case splits per critical-pair join (default 8)";
       "--jobs", Arg.Set_int jobs, "N number of domains (default: cores)";
+      "--profile", Arg.Set profile, "record telemetry and print a hotspot report";
+      ( "--trace-out",
+        Arg.Set_string trace_out,
+        "FILE write a Chrome/Perfetto trace (implies recording)" );
     ]
   in
   Arg.parse spec (fun f -> files := f :: !files) "lint [options] [files]";
@@ -74,6 +82,7 @@ let () =
       fuel = !fuel;
     }
   in
+  Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
   let report =
     try
       Sched.Pool.with_pool ~jobs:!jobs @@ fun pool ->
@@ -89,4 +98,13 @@ let () =
     close_out oc;
     Format.printf "wrote %s@." !json
   end;
+  Telemetry.Cli.flush ~process_name:"lint"
+    ~gauges:(fun () ->
+      let shards = Kernel.Term.intern_shard_stats () in
+      [
+        "kernel.intern.live_terms",
+        float_of_int (Array.fold_left ( + ) 0 shards);
+        "kernel.intern.max_shard", float_of_int (Array.fold_left max 0 shards);
+      ])
+    ~profile:!profile ~trace_out:!trace_out ();
   exit (if report.Analysis.Lint.errors > 0 then 1 else 0)

@@ -15,6 +15,10 @@
                                 included) and replay it with the independent
                                 Certify checker
      verify --certify-out FILE  also write the certificate (implies --certify)
+     verify --profile           record telemetry and print a hotspot report
+                                (top rules by self-time, slowest proof cases)
+     verify --trace-out FILE    write a Chrome/Perfetto trace of the campaign
+                                (implies recording; open at ui.perfetto.dev)
 
    Exit status:
      0  every requested proof succeeded (and, with --negative, the failing
@@ -34,6 +38,19 @@
 
 open Core
 
+(* Flush-time gauges: sampled once, after the campaign has settled. *)
+let intern_gauges () =
+  let shards = Kernel.Term.intern_shard_stats () in
+  let live = Array.fold_left ( + ) 0 shards in
+  let occupied =
+    Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 shards
+  in
+  [
+    "kernel.intern.live_terms", float_of_int live;
+    "kernel.intern.shards_occupied", float_of_int occupied;
+    "kernel.intern.max_shard", float_of_int (Array.fold_left max 0 shards);
+  ]
+
 let run_one ?pool env proof =
   let r = Proofs.Tls_invariants.run ?pool env proof in
   Format.printf "%a@.@." Report.pp_result r;
@@ -48,6 +65,8 @@ let () =
   let stats_only = ref false in
   let certify = ref false in
   let certify_out = ref "" in
+  let profile = ref false in
+  let trace_out = ref "" in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let spec =
     [
@@ -61,6 +80,10 @@ let () =
       ( "--certify-out",
         Arg.Set_string certify_out,
         "FILE write the certificate to FILE (implies --certify)" );
+      "--profile", Arg.Set profile, "record telemetry and print a hotspot report";
+      ( "--trace-out",
+        Arg.Set_string trace_out,
+        "FILE write a Chrome/Perfetto trace (implies recording)" );
       "--jobs", Arg.Set_int jobs, "N number of domains (default: cores)";
     ]
   in
@@ -70,6 +93,7 @@ let () =
     prerr_endline "verify: --jobs must be at least 1";
     exit 2
   end;
+  Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
   let style = if !variant then Tls.Model.Cf2First else Tls.Model.Original in
   let env = Tls.Model.env style in
   let proofs =
@@ -86,7 +110,8 @@ let () =
             exit 2)
         (List.rev names)
   in
-  Sched.Pool.with_pool ~jobs:!jobs @@ fun pool ->
+  let code =
+    Sched.Pool.with_pool ~jobs:!jobs @@ fun pool ->
   if !lint then begin
     (* Gate the campaign on the static certificate: a looping or
        non-confluent system makes every red result meaningless. *)
@@ -197,5 +222,11 @@ let () =
       List.iter (fun e -> Format.eprintf "certify: %a@." Certify.Check.pp_error e) errs;
       Format.eprintf "certify: certificate REJECTED (%d error(s))@." (List.length errs);
       exit 4);
-  let failures = Report.failures results in
-  if failures <> [] || !unexpected_proof then exit 1
+    let failures = Report.failures results in
+    if failures <> [] || !unexpected_proof then 1 else 0
+  in
+  (* flush outside with_pool so the shutdown-time utilization gauge and
+     every worker's buffers are included *)
+  Telemetry.Cli.flush ~process_name:"verify" ~gauges:intern_gauges
+    ~profile:!profile ~trace_out:!trace_out ();
+  if code <> 0 then exit code

@@ -53,20 +53,34 @@ let enabled opts c =
 let check_spec ?pool ~opts ~source spec =
   let name = Cafeobj.Spec.name spec in
   let hint = List.filter_map (Cafeobj.Spec.find_op spec) opts.hint in
+  (* one span per checker per module, so the trace shows where lint wall
+     time goes (critical-pair joining dwarfs the rest on the TLS spec) *)
+  let span checker f =
+    Telemetry.Probe.with_span ~always:true ~cat:"lint"
+      (checker ^ ":" ^ name) f
+  in
   let term_result =
-    if enabled opts "termination" then Some (Termination.check ~hint spec) else None
+    if enabled opts "termination" then
+      Some (span "termination" (fun () -> Termination.check ~hint spec))
+    else None
   in
   let conf_result =
     if enabled opts "confluence" then
-      Some (Confluence.check ?pool ~budget:opts.budget ~fuel:opts.fuel spec)
+      Some
+        (span "confluence" (fun () ->
+             Confluence.check ?pool ~budget:opts.budget ~fuel:opts.fuel spec))
     else None
   in
   let comp_diags =
-    if enabled opts "completeness" then (Completeness.check spec).Completeness.diagnostics
+    if enabled opts "completeness" then
+      (span "completeness" (fun () -> Completeness.check spec))
+        .Completeness.diagnostics
     else []
   in
   let hyg_diags =
-    if enabled opts "hygiene" then (Hygiene.check spec).Hygiene.diagnostics else []
+    if enabled opts "hygiene" then
+      (span "hygiene" (fun () -> Hygiene.check spec)).Hygiene.diagnostics
+    else []
   in
   let diagnostics =
     (match term_result with Some r -> r.Termination.diagnostics | None -> [])

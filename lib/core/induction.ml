@@ -98,10 +98,12 @@ let prover_ctx env =
     ctor_of_recognizer = ctor_of_recognizer env;
   }
 
+(* Monotonic, like every duration in the telemetry layer: wall-clock time
+   can step backwards under NTP and would mis-report a case's duration. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Probe.now_ns () in
   let r = f () in
-  r, Unix.gettimeofday () -. t0
+  r, float_of_int (Telemetry.Probe.now_ns () - t0) /. 1e9
 
 let base_case ?config env inv =
   let ctx = prover_ctx env in
@@ -150,6 +152,9 @@ let branch_env env label =
   }
 
 let prove_derived ?config env ~hyps inv =
+  Telemetry.Probe.with_span ~always:true ~cat:"case"
+    (inv.inv_name ^ "@derived")
+  @@ fun () ->
   let env = branch_env env ("derived@" ^ inv.inv_name) in
   let ctx = prover_ctx env in
   let s = fresh_const env env.env_ots.Ots.hidden in
@@ -177,6 +182,9 @@ let prove_invariant ?config ?pool env ~hints inv =
       Printf.sprintf "%s@%s" inv.inv_name
         (Option.value ~default:"init" case)
     in
+    (* One span per proof case, attributed to whichever pool domain the
+       work-stealing scheduler ran it on. *)
+    Telemetry.Probe.with_span ~always:true ~cat:"case" label @@ fun () ->
     let env' = branch_env env label in
     match case with
     | None -> base_case ?config env' inv

@@ -1,3 +1,5 @@
+module Probe = Telemetry.Probe
+
 type rule = {
   label : string;
   lhs : Term.t;
@@ -95,6 +97,13 @@ let memo_create () =
     m_misses = Atomic.make 0;
   }
 
+(* The per-system atomics above are the source of truth (memo_stats);
+   the telemetry counters mirror them across every system so a profiled
+   run sees one process-wide hit/miss figure without holding a system. *)
+let c_memo_hits = Probe.counter "kernel.memo.hits"
+let c_memo_misses = Probe.counter "kernel.memo.misses"
+let c_memo_invalidations = Probe.counter "kernel.memo.invalidations"
+
 let memo_find m t =
   let s = m.m_shards.(Term.hash t land (memo_shard_count - 1)) in
   Mutex.lock s.ms_lock;
@@ -103,9 +112,11 @@ let memo_find m t =
   match r with
   | Some (g, nf) when g = Atomic.get m.m_gen ->
     Atomic.incr m.m_hits;
+    Probe.incr c_memo_hits;
     Some nf
   | Some _ | None ->
     Atomic.incr m.m_misses;
+    Probe.incr c_memo_misses;
     None
 
 let memo_store m t nf =
@@ -143,7 +154,7 @@ type system = {
   mutable step_limit : int;
   mutable deadline : float;  (** CPU-seconds per [normalize]; [0.] = none *)
   mutable deadline_at : float;
-  steps_total : int ref;  (** shared with systems derived by [extend] *)
+  steps_total : int Atomic.t;  (** shared with systems derived by [extend] *)
   mutable budget : int;
   info : sys_info;
 }
@@ -175,7 +186,7 @@ let make rules =
     step_limit = 5_000_000;
     deadline = 0.;
     deadline_at = 0.;
-    steps_total = ref 0;
+    steps_total = Atomic.make 0;
     budget = 0;
     info = { si_uid = fresh_uid (); si_parent = None; si_added = rules };
   }
@@ -219,14 +230,16 @@ let () =
 
 let set_step_limit sys n = sys.step_limit <- n
 let set_deadline sys d = sys.deadline <- d
-let steps sys = !(sys.steps_total)
-let reset_steps sys = sys.steps_total := 0
+let steps sys = Atomic.get sys.steps_total
+let reset_steps sys = Atomic.set sys.steps_total 0
 
 let clear_cache sys =
   memo_reset sys.memo;
   sys.dcache <- None
 
-let invalidate_memo sys = Atomic.incr sys.memo.m_gen
+let invalidate_memo sys =
+  Atomic.incr sys.memo.m_gen;
+  Probe.incr c_memo_invalidations
 
 let memo_stats sys =
   {
@@ -236,8 +249,11 @@ let memo_stats sys =
     generation = Atomic.get sys.memo.m_gen;
   }
 
+(* [steps_total] is atomic: a base system's counter is shared (via
+   [extend]) by every branched system the proof pool runs concurrently,
+   so a plain [incr] loses updates and [--jobs] totals under-report. *)
 let tick sys =
-  incr sys.steps_total;
+  Atomic.incr sys.steps_total;
   sys.budget <- sys.budget - 1;
   if sys.budget <= 0 then
     raise (Limit_exceeded { limit = Steps sys.step_limit; steps = sys.step_limit });
@@ -303,15 +319,43 @@ and try_rules ops sys t = function
     match matcher with
     | None -> try_rules ops sys t rest
     | Some sub -> (
+      (* Profiling brackets both timed regions — condition discharge and
+         right-hand-side normalization — with a per-domain frame so the
+         hotspot report gets exact self-times.  The probe-off path is the
+         seed path plus one flag read; the differential suite holds the
+         two to identical normal forms and step counts. *)
       let fires =
         match r.cond with
         | None -> true
-        | Some c -> Term.equal (norm ops sys (Subst.apply sub c)) Term.tt
+        | Some c ->
+          let inst = Subst.apply sub c in
+          if not (Probe.enabled ()) then Term.equal (norm ops sys inst) Term.tt
+          else begin
+            let f = Probe.rule_enter () in
+            match norm ops sys inst with
+            | nf ->
+              Probe.rule_exit f ~kind:Probe.Cond ~label:r.label;
+              Term.equal nf Term.tt
+            | exception e ->
+              Probe.rule_exit f ~kind:Probe.Cond ~label:r.label;
+              raise e
+          end
       in
       if not fires then try_rules ops sys t rest
-      else begin
+      else if not (Probe.enabled ()) then begin
         tick sys;
         norm ops sys (Subst.apply sub r.rhs)
+      end
+      else begin
+        let f = Probe.rule_enter () in
+        tick sys;
+        match norm ops sys (Subst.apply sub r.rhs) with
+        | nf ->
+          Probe.rule_exit f ~kind:Probe.Rewrite ~label:r.label;
+          nf
+        | exception e ->
+          Probe.rule_exit f ~kind:Probe.Rewrite ~label:r.label;
+          raise e
       end))
 
 let shared_ops sys =
@@ -429,25 +473,67 @@ and try_rules_t sys t = function
         match r.cond with
         | None -> Some None
         | Some c ->
-          let dc = norm_t sys (Subst.apply sub c) in
+          let inst = Subst.apply sub c in
+          let dc =
+            if not (Probe.enabled ()) then norm_t sys inst
+            else begin
+              let f = Probe.rule_enter () in
+              match norm_t sys inst with
+              | dc ->
+                Probe.rule_exit f ~kind:Probe.Cond ~label:r.label;
+                dc
+              | exception e ->
+                Probe.rule_exit f ~kind:Probe.Cond ~label:r.label;
+                raise e
+            end
+          in
           if Term.equal dc.d_out Term.tt then Some (Some dc) else None
       in
       match discharged with
       | None -> try_rules_t sys t rest
       | Some rs_cond ->
-        tick sys;
-        let rs_next = norm_t sys (Subst.apply sub r.rhs) in
-        Some { rs_rule = r; rs_sub = sub; rs_cond; rs_next }))
+        if not (Probe.enabled ()) then begin
+          tick sys;
+          let rs_next = norm_t sys (Subst.apply sub r.rhs) in
+          Some { rs_rule = r; rs_sub = sub; rs_cond; rs_next }
+        end
+        else begin
+          let f = Probe.rule_enter () in
+          tick sys;
+          match norm_t sys (Subst.apply sub r.rhs) with
+          | rs_next ->
+            Probe.rule_exit f ~kind:Probe.Rewrite ~label:r.label;
+            Some { rs_rule = r; rs_sub = sub; rs_cond; rs_next }
+          | exception e ->
+            Probe.rule_exit f ~kind:Probe.Rewrite ~label:r.label;
+            raise e
+        end))
 
 let start_run sys =
   sys.budget <- sys.step_limit;
   if sys.deadline > 0. then sys.deadline_at <- Sys.time () +. sys.deadline
 
-let normalize_traced sys t =
+let normalize_traced_inner sys t =
   start_run sys;
   let d = norm_t sys t in
   memo_store sys.memo t d.d_out;
   (d.d_out, d)
+
+(* One span per top-level normalization ([cat = "red"]): nested [norm]
+   recursion stays span-free (rule applications are profiled separately),
+   so a trace shows each red as one block under its proof case. *)
+let normalize_traced sys t =
+  if not (Probe.enabled ()) then normalize_traced_inner sys t
+  else begin
+    let t0 = Probe.now_ns () in
+    match normalize_traced_inner sys t with
+    | v ->
+      Probe.span_since ~cat:"red" "red" t0;
+      v
+    | exception e ->
+      Probe.span_since ~cat:"red" "red" t0;
+      raise e
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Global tracer.                                                      *)
@@ -490,7 +576,7 @@ let record tr sys t d =
             { ob_info = sys.info; ob_input = t; ob_deriv = d } :: tr.tr_obs
         end)
 
-let normalize sys t =
+let normalize_inner sys t =
   match Atomic.get tracer_slot with
   | None ->
     start_run sys;
@@ -502,13 +588,39 @@ let normalize sys t =
     record tr sys t d;
     d.d_out
 
+let normalize sys t =
+  if not (Probe.enabled ()) then normalize_inner sys t
+  else begin
+    let t0 = Probe.now_ns () in
+    match normalize_inner sys t with
+    | nf ->
+      Probe.span_since ~cat:"red" "red" t0;
+      nf
+    | exception e ->
+      Probe.span_since ~cat:"red" "red" t0;
+      raise e
+  end
+
 (* The seed engine's path: identical strategy and step accounting, but
    against a private table that dies with the call — nothing read from or
    written to the shared memo.  The differential suite runs every spec
    through both entry points. *)
-let normalize_uncached sys t =
+let normalize_uncached_inner sys t =
   start_run sys;
   norm (local_ops ()) sys t
+
+let normalize_uncached sys t =
+  if not (Probe.enabled ()) then normalize_uncached_inner sys t
+  else begin
+    let t0 = Probe.now_ns () in
+    match normalize_uncached_inner sys t with
+    | nf ->
+      Probe.span_since ~cat:"red" "red" t0;
+      nf
+    | exception e ->
+      Probe.span_since ~cat:"red" "red" t0;
+      raise e
+  end
 
 let pp_rule ppf r =
   match r.cond with

@@ -14,7 +14,14 @@
     proof trace of every rule application, condition discharge and AC
     permutation — which the engine-independent [Certify] checker validates
     (de Bruijn criterion: the big engine emits certificates, a small
-    separate kernel checks them). *)
+    separate kernel checks them).
+
+    When the telemetry probe is on ([Telemetry.Probe.set_enabled true]),
+    every top-level normalization records a [cat = "red"] span and every
+    rule application / condition discharge is profiled per rule label
+    (hit count, self and inclusive time).  With the probe off the
+    instrumentation reduces to one flag read per guarded site; normal
+    forms and step counts are identical either way. *)
 
 type rule = private {
   label : string;
@@ -75,7 +82,9 @@ val set_step_limit : system -> int -> unit
 val set_deadline : system -> float -> unit
 
 (** [steps sys] is the cumulative number of rule applications performed by
-    this system since creation. *)
+    this system since creation.  The counter is atomic and shared with
+    every system derived by {!extend}, so totals are exact even when the
+    sched pool normalizes on several domains at once. *)
 val steps : system -> int
 
 (** [reset_steps sys] zeroes the counter. *)

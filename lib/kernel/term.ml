@@ -96,6 +96,15 @@ let intern_table_len () =
       acc + n)
     0 shards
 
+let intern_shard_stats () =
+  Array.map
+    (fun s ->
+      Mutex.lock s.lock;
+      let n = WTbl.count s.tbl in
+      Mutex.unlock s.lock;
+      n)
+    shards
+
 (* AC argument order: hash-major with a structural tie-break — never the
    id.  Ids are not stable over time (the intern table is weak: a term can
    die and be re-interned with a fresh id), so an id-dependent order would

@@ -142,6 +142,12 @@ val map_children : (t -> t) -> t -> t
     footprint of maximal sharing, exported for bench/stats reporting. *)
 val intern_table_len : unit -> int
 
+(** [intern_shard_stats ()] is the live-entry count of each of the intern
+    table's shards (index = shard number).  Occupancy skew across shards
+    indicates structural-hash imbalance; the telemetry layer reports the
+    min/mean/max at flush time. *)
+val intern_shard_stats : unit -> int array
+
 (** {1 Printing} *)
 
 (** Prefix pretty-printer: [f(a, b)], variables as [X:Sort]. *)

@@ -545,7 +545,12 @@ let prop3' style =
   let _, _, p = get style in
   p
 
-let run ?config ?pool env = function
+let run ?config ?pool env proof =
+  (* Top of the span hierarchy: invariant → case → red → rule. *)
+  Telemetry.Probe.with_span ~always:true ~cat:"invariant"
+    ("invariant:" ^ name_of proof)
+  @@ fun () ->
+  match proof with
   | Inductive (inv, hints) ->
     Induction.prove_invariant ?config ?pool env ~hints inv
   | Derived (inv, hyps) -> Induction.prove_derived ?config env ~hyps inv

@@ -1,5 +1,19 @@
 exception Deadlock
 
+module Probe = Telemetry.Probe
+
+(* Pool telemetry: submissions by entry path, successful steals, entries
+   executed and the time spent executing them (per-domain cells — the
+   busy-ns total divided by pool wall time is worker utilization), plus a
+   high-water mark for the owner deque depth.  All of it is behind the
+   probe's single-branch guard. *)
+let c_pushes_local = Probe.counter "sched.pushes_local"
+let c_injected = Probe.counter "sched.injected"
+let c_steals = Probe.counter "sched.steals"
+let c_tasks = Probe.counter "sched.tasks_run"
+let c_busy_ns = Probe.counter "sched.busy_ns"
+let c_queue_peak = Probe.counter ~mode:`Max "sched.queue_depth_peak"
+
 (* ------------------------------------------------------------------ *)
 (* Chase-Lev work-stealing deque (Chase & Lev, SPAA 2005), the dynamic
    circular array variant.  The owner pushes and pops at [bottom]; thieves
@@ -96,6 +110,7 @@ type t = {
   epoch : int Atomic.t;  (** bumped on every submission; guards sleep *)
   idle_mutex : Mutex.t;
   idle_wake : Condition.t;
+  born_ns : int;  (** creation time; utilization gauge at shutdown *)
 }
 
 let next_uid = Atomic.make 0
@@ -136,14 +151,25 @@ let find_work pool me =
         if me = Some j then try_steal (k + 1)
         else
           match Deque.steal pool.deques.(j) with
-          | Some _ as r -> r
+          | Some _ as r ->
+            Probe.incr c_steals;
+            r
           | None -> try_steal (k + 1)
     in
     (match try_steal 0 with
     | Some _ as r -> r
     | None -> Chan.try_recv pool.inject)
 
-let run_entry (e : entry) = e ()
+(* Entries trap their own exceptions into the task (see [submit]), so the
+   timed branch needs no handler. *)
+let run_entry (e : entry) =
+  if not (Probe.enabled ()) then e ()
+  else begin
+    Probe.incr c_tasks;
+    let t0 = Probe.now_ns () in
+    e ();
+    Probe.add c_busy_ns (Probe.now_ns () - t0)
+  end
 
 let worker_loop pool i () =
   Domain.DLS.get worker_id := Some (pool.uid, i);
@@ -192,6 +218,7 @@ let create ~jobs () =
       epoch = Atomic.make 0;
       idle_mutex = Mutex.create ();
       idle_wake = Condition.create ();
+      born_ns = Probe.now_ns ();
     }
   in
   pool.domains <-
@@ -210,8 +237,16 @@ let submit pool f =
     | exception e -> Task.fail task e (Printexc.get_raw_backtrace ())
   in
   (match my_index pool with
-  | Some i -> Deque.push pool.deques.(i) entry
-  | None -> Chan.send pool.inject entry);
+  | Some i ->
+    let q = pool.deques.(i) in
+    Deque.push q entry;
+    if Probe.enabled () then begin
+      Probe.incr c_pushes_local;
+      Probe.record_max c_queue_peak (Atomic.get q.Deque.bottom - Atomic.get q.Deque.top)
+    end
+  | None ->
+    Probe.incr c_injected;
+    Chan.send pool.inject entry);
   Atomic.incr pool.epoch;
   wake_all pool;
   task
@@ -278,7 +313,16 @@ let shutdown pool =
     Atomic.set pool.stopped true;
     wake_all pool;
     Array.iter Domain.join pool.domains;
-    pool.domains <- [||]
+    pool.domains <- [||];
+    if Probe.enabled () then begin
+      (* busy time over worker-seconds available; the caller domain also
+         helps in [await], so > 1.0 is possible on small pools *)
+      let elapsed = Probe.now_ns () - pool.born_ns in
+      let capacity = elapsed * max 1 (Array.length pool.deques) in
+      if capacity > 0 then
+        Probe.set_gauge "sched.utilization"
+          (float_of_int (Probe.value c_busy_ns) /. float_of_int capacity)
+    end
   end
 
 let with_pool ~jobs f =

@@ -1,0 +1,23 @@
+let active ~profile ~trace_out = profile || trace_out <> ""
+
+let setup ?(span_min_ns = 10_000) ~profile ~trace_out () =
+  if active ~profile ~trace_out then begin
+    Probe.set_span_min_ns span_min_ns;
+    Probe.set_enabled true
+  end
+
+let flush ?(process_name = Filename.basename Sys.executable_name) ?(top = 10)
+    ?(gauges = fun () -> []) ?(out = Format.std_formatter) ~profile ~trace_out
+    () =
+  if active ~profile ~trace_out then begin
+    List.iter (fun (name, v) -> Probe.set_gauge name v) (gauges ());
+    let snap = Probe.snapshot () in
+    if trace_out <> "" then begin
+      Perfetto.write_file ~process_name trace_out snap;
+      Format.fprintf out "telemetry: wrote %s (%d spans%s)@." trace_out
+        (List.length snap.Probe.sn_spans)
+        (if snap.Probe.sn_dropped = 0 then ""
+         else Printf.sprintf ", %d dropped" snap.Probe.sn_dropped)
+    end;
+    if profile then Format.fprintf out "%a" (Hotspot.pp ~top) snap
+  end

@@ -1,0 +1,38 @@
+(** Shared command-line wiring for [--profile] / [--trace-out FILE].
+
+    Every binary in the stack exposes the same two flags; this module is
+    the one place that interprets them so their behaviour cannot drift:
+
+    - {!setup} turns recording on when either flag is given (and applies a
+      minimum span duration so rule-level spans cannot blow up the trace);
+    - {!flush} samples late-bound gauges, takes the snapshot, writes the
+      Perfetto trace and prints the hotspot report.
+
+    The [gauges] thunk lets each binary contribute process-specific
+    gauges (intern-table occupancy, memo hit rate, pool utilization)
+    without this module depending on the kernel. *)
+
+(** [setup ~profile ~trace_out ()] enables recording iff [profile] or
+    [trace_out <> ""].  [span_min_ns] (default [10_000], i.e. 10 µs)
+    bounds rule/cond span volume; structural spans ([~always:true]) are
+    unaffected. *)
+val setup : ?span_min_ns:int -> profile:bool -> trace_out:string -> unit -> unit
+
+(** [active ~profile ~trace_out] mirrors {!setup}'s enabling condition. *)
+val active : profile:bool -> trace_out:string -> bool
+
+(** [flush ~profile ~trace_out ()] is a no-op unless {!active}.
+    Otherwise: runs [gauges] (default none) and records each returned
+    pair with {!Probe.set_gauge}, snapshots, writes [trace_out] (when
+    non-empty, announcing the file and span count on [out]) and — when
+    [profile] — prints the top-[top] hotspot report to [out] (default
+    {!Format.std_formatter}). *)
+val flush :
+  ?process_name:string ->
+  ?top:int ->
+  ?gauges:(unit -> (string * float) list) ->
+  ?out:Format.formatter ->
+  profile:bool ->
+  trace_out:string ->
+  unit ->
+  unit

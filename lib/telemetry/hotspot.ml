@@ -1,0 +1,75 @@
+let self_ns (r : Probe.rule_stat) =
+  r.Probe.rl_rw_self_ns + r.Probe.rl_cond_self_ns
+
+let hot_rules ?(top = 10) (snap : Probe.snapshot) =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare (self_ns b) (self_ns a) with
+        | 0 -> compare a.Probe.rl_label b.Probe.rl_label
+        | c -> c)
+      snap.Probe.sn_rules
+  in
+  List.filteri (fun i _ -> i < top) sorted
+
+let slowest_cases ?(top = 10) (snap : Probe.snapshot) =
+  let cases =
+    List.filter
+      (fun (sp : Probe.span) -> String.equal sp.Probe.sp_cat "case")
+      snap.Probe.sn_spans
+  in
+  let sorted =
+    List.sort
+      (fun (a : Probe.span) (b : Probe.span) ->
+        compare b.Probe.sp_dur a.Probe.sp_dur)
+      cases
+  in
+  List.filteri (fun i _ -> i < top) sorted
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp ?(top = 10) ppf (snap : Probe.snapshot) =
+  Format.fprintf ppf "telemetry: %d spans recorded (%d dropped), %d rules profiled@."
+    (List.length snap.Probe.sn_spans)
+    snap.Probe.sn_dropped
+    (List.length snap.Probe.sn_rules);
+  (match hot_rules ~top snap with
+  | [] -> ()
+  | rules ->
+    Format.fprintf ppf "top %d rules by self-time:@." (List.length rules);
+    Format.fprintf ppf "  %-28s %10s %10s %10s %10s %10s@." "rule" "fires"
+      "self-ms" "total-ms" "cond-evals" "cond-ms";
+    List.iter
+      (fun (r : Probe.rule_stat) ->
+        Format.fprintf ppf "  %-28s %10d %10.3f %10.3f %10d %10.3f@."
+          r.Probe.rl_label r.Probe.rl_fires
+          (ms (self_ns r))
+          (ms r.Probe.rl_rw_total_ns)
+          r.Probe.rl_cond_evals
+          (ms r.Probe.rl_cond_self_ns))
+      rules);
+  (match slowest_cases ~top snap with
+  | [] -> ()
+  | cases ->
+    Format.fprintf ppf "slowest proof cases:@.";
+    Format.fprintf ppf "  %-44s %8s %12s@." "case" "domain" "ms";
+    List.iter
+      (fun (sp : Probe.span) ->
+        Format.fprintf ppf "  %-44s %8d %12.3f@." sp.Probe.sp_name
+          sp.Probe.sp_dom
+          (ms sp.Probe.sp_dur))
+      cases);
+  (match snap.Probe.sn_counters with
+  | [] -> ()
+  | counters ->
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-36s %d@." name v)
+      counters);
+  match snap.Probe.sn_gauges with
+  | [] -> ()
+  | gauges ->
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-36s %.4g@." name v)
+      gauges

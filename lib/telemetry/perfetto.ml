@@ -1,0 +1,71 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+let to_string ?(process_name = "eqtls") (snap : Probe.snapshot) =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let event s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  event
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"%s\"}}"
+       (escape process_name));
+  let doms =
+    List.sort_uniq compare
+      (List.map (fun (sp : Probe.span) -> sp.Probe.sp_dom) snap.Probe.sn_spans)
+  in
+  List.iter
+    (fun d ->
+      event
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"domain %d\"}}"
+           d d))
+    doms;
+  List.iter
+    (fun (sp : Probe.span) ->
+      event
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+           (escape sp.Probe.sp_name) (escape sp.Probe.sp_cat)
+           (us_of_ns (sp.Probe.sp_t0 - snap.Probe.sn_t0))
+           (us_of_ns sp.Probe.sp_dur) sp.Probe.sp_dom))
+    snap.Probe.sn_spans;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  let first = ref true in
+  let field k v =
+    if !first then first := false else Buffer.add_string b ",";
+    Buffer.add_string b (Printf.sprintf "\"%s\":%s" (escape k) v)
+  in
+  List.iter
+    (fun (name, v) -> field name (string_of_int v))
+    snap.Probe.sn_counters;
+  List.iter
+    (fun (name, v) -> field name (Printf.sprintf "%.6g" v))
+    snap.Probe.sn_gauges;
+  field "spans_dropped" (string_of_int snap.Probe.sn_dropped);
+  Buffer.add_string b "}}\n";
+  Buffer.contents b
+
+let write_file ?process_name path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?process_name snap))

@@ -1,0 +1,143 @@
+(** Structured runtime telemetry: spans, counters and per-rule profiles.
+
+    The verification stack is instrumented at four altitudes — proof score,
+    proof case, [red] (one normalization), rule application — plus a set of
+    engine counters (AC-matcher backtracks, sched-pool steals, …).  All
+    recording funnels through this module:
+
+    - {b zero-cost when disabled}: every probe is guarded by one load of an
+      atomic flag; with the flag off the instrumented code paths are the
+      un-instrumented ones plus a single branch.  The differential suite
+      asserts byte-identical normal forms and step counts either way.
+    - {b domain-safe and contention-free}: each domain records into its own
+      buffer (spans, rule profiles) or its own counter cell, discovered
+      through [Domain.DLS]; nothing is shared on the hot path.  Buffers are
+      merged under a registry lock only at {!snapshot} time.
+    - {b monotonic}: all timestamps come from the OS monotonic clock
+      ([CLOCK_MONOTONIC], nanoseconds), never from wall-clock time.
+
+    {!snapshot} and {!reset} assume quiescence (no domain actively
+    recording): take them after pool work has settled, as the CLIs do. *)
+
+(** [set_enabled b] turns recording on or off, globally (all domains). *)
+val set_enabled : bool -> unit
+
+(** [enabled ()] is the single-branch guard every probe starts with. *)
+val enabled : unit -> bool
+
+(** [now_ns ()] is the monotonic clock, in nanoseconds (ns since an
+    arbitrary epoch; differences are meaningful, absolute values are not). *)
+val now_ns : unit -> int
+
+(** {1 Spans}
+
+    A span is a named, categorized interval attributed to the domain that
+    ran it.  Spans nest (per domain): depth is tracked so exporters and
+    tests can check proper nesting.  Short spans of the hot categories can
+    be dropped at record time ({!set_span_min_ns}) to bound trace size;
+    spans recorded with [~always:true] ignore the threshold. *)
+
+(** [with_span ~cat name f] runs [f ()] inside a span.  When recording is
+    disabled this is exactly [f ()].  The span is recorded even if [f]
+    raises.  [always] (default [false]) bypasses the minimum-duration
+    filter. *)
+val with_span : ?always:bool -> cat:string -> string -> (unit -> 'a) -> 'a
+
+(** [span_since ~cat name t0] records a span started at [t0] (a {!now_ns}
+    reading) and ending now — the allocation-free variant for hot paths
+    that cannot afford a closure.  Subject to the minimum-duration filter;
+    no-op when disabled.  Does not affect nesting depth. *)
+val span_since : cat:string -> string -> int -> unit
+
+(** [set_span_min_ns n] drops spans shorter than [n] ns at record time
+    (except [~always:true] ones).  Default [0]: keep everything. *)
+val set_span_min_ns : int -> unit
+
+(** {1 Counters}
+
+    A counter owns one cell per domain (created on first use through
+    [Domain.DLS]); increments are plain stores to the local cell, and
+    {!value} merges the cells — by sum ([`Sum], default) or maximum
+    ([`Max]).  All mutating operations are no-ops while disabled. *)
+
+type counter
+
+(** [counter ?mode name] registers a counter.  Call at module
+    initialization time, once per name. *)
+val counter : ?mode:[ `Sum | `Max ] -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+(** [record_max c v] raises a [`Max] counter's local cell to [v]. *)
+val record_max : counter -> int -> unit
+
+(** [value c] merges all domains' cells (sum or max, per the mode). *)
+val value : counter -> int
+
+(** {1 Gauges}
+
+    Point-in-time values sampled by the reporting layer (memo hit rates,
+    intern-table occupancy, pool utilization).  Unlike counters, gauges are
+    set unconditionally — they are written at flush time, not on hot
+    paths. *)
+
+val set_gauge : string -> float -> unit
+
+(** {1 Per-rule profiling}
+
+    The rewriter brackets every rule application (and every condition
+    discharge) with {!rule_enter}/{!rule_exit}.  Frames form a per-domain
+    stack so self-time is exact: a frame's children's total time is
+    subtracted from its own.  Callers must guard with {!enabled} — the
+    bracket assumes recording is on — and must pair enter/exit even on
+    exceptions.  An application whose total time reaches the span
+    threshold is additionally recorded as a span (cat ["rule"] or
+    ["cond"]), so slow instances show up on the trace timeline. *)
+
+type kind =
+  | Rewrite  (** normalizing the instantiated right-hand side *)
+  | Cond  (** discharging the instantiated condition *)
+
+type frame
+
+val rule_enter : unit -> frame
+val rule_exit : frame -> kind:kind -> label:string -> unit
+
+(** {1 Snapshot}
+
+    Merges every domain's buffers into one immutable view. *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_t0 : int;  (** start, ns (monotonic) *)
+  sp_dur : int;  (** duration, ns *)
+  sp_dom : int;  (** id of the domain that ran the span *)
+  sp_depth : int;  (** nesting depth within its domain at start time *)
+}
+
+type rule_stat = {
+  rl_label : string;
+  rl_fires : int;  (** rewrite applications of this rule *)
+  rl_rw_self_ns : int;  (** rewrite time minus nested rule applications *)
+  rl_rw_total_ns : int;  (** inclusive rewrite time *)
+  rl_cond_evals : int;  (** condition discharges attempted *)
+  rl_cond_self_ns : int;
+  rl_cond_total_ns : int;
+}
+
+type snapshot = {
+  sn_spans : span list;  (** all domains, sorted by start time *)
+  sn_rules : rule_stat list;  (** merged across domains, unsorted *)
+  sn_counters : (string * int) list;  (** sorted by name *)
+  sn_gauges : (string * float) list;  (** sorted by name *)
+  sn_dropped : int;  (** spans lost to the per-domain buffer cap *)
+  sn_t0 : int;  (** earliest span start (0 when no spans) *)
+}
+
+val snapshot : unit -> snapshot
+
+(** [reset ()] clears every buffer, counter cell and gauge (the enabled
+    flag and minimum-duration threshold are left as they are). *)
+val reset : unit -> unit

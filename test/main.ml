@@ -1,31 +1,36 @@
 (* Aggregated test runner: each [Test_*] module exports a [suite].
 
-   Every test case is wrapped to accumulate wall-clock time per suite; the
-   totals print after the Alcotest summary, so a slow suite is visible at a
-   glance instead of hiding inside the grand total. *)
+   Every test case is wrapped to accumulate time per suite — on the
+   monotonic clock, like every other timing in the stack, so an NTP step
+   mid-run cannot produce negative or wild totals.  The footer prints
+   after the Alcotest summary, slowest suite first, so the place to
+   optimize is always the first line. *)
 
-let timings : (string * float ref) list ref = ref []
+let timings : (string * int ref) list ref = ref []
 
 let timed (name, cases) =
-  let total = ref 0. in
+  let total = ref 0 in
   timings := !timings @ [ (name, total) ];
   let wrap (case_name, speed, fn) =
     ( case_name,
       speed,
       fun arg ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Telemetry.Probe.now_ns () in
         Fun.protect
-          ~finally:(fun () -> total := !total +. (Unix.gettimeofday () -. t0))
+          ~finally:(fun () -> total := !total + (Telemetry.Probe.now_ns () - t0))
           (fun () -> fn arg) )
   in
   (name, List.map wrap cases)
 
 let report () =
   prerr_newline ();
-  prerr_endline "Per-suite timing:";
+  prerr_endline "Per-suite timing (slowest first):";
   List.iter
-    (fun (name, total) -> Printf.eprintf "  %-20s %8.3fs\n%!" name !total)
-    !timings
+    (fun (name, total) ->
+      Printf.eprintf "  %-20s %8.3fs\n%!" name (float_of_int !total /. 1e9))
+    (List.stable_sort
+       (fun (_, a) (_, b) -> compare !b !a)
+       !timings)
 
 let () =
   at_exit report;
@@ -49,4 +54,5 @@ let () =
          Test_nspk_sym.suite;
          Test_sched.suite;
          Test_certify.suite;
+         Test_telemetry.suite;
        ])
