@@ -35,6 +35,9 @@ let red_memo_ms = ref 0.0
 let memo_hit_rate = ref 0.0
 let intern_table_len = ref 0
 let telemetry_overhead_pct = ref 0.0
+let server_cold_ms = ref 0.0
+let server_warm_ms = ref 0.0
+let server_dedup_hit_rate = ref 0.0
 
 (* per invariant, the top rules by self-time: (label, fires, self_ms) *)
 let hot_rules : (string * (string * int * float) list) list ref = ref []
@@ -64,9 +67,11 @@ let write_json file ~jobs =
      \"cert_bytes\": %d,\n  \"red_untraced_ms\": %.3f,\n  \"red_traced_ms\": \
      %.3f,\n  \"red_memo_ms\": %.3f,\n  \"memo_hit_rate\": %.4f,\n  \
      \"intern_table_len\": %d,\n  \"telemetry_overhead_pct\": %.2f,\n  \
-     \"experiments\": ["
+     \"server_cold_ms\": %.3f,\n  \"server_warm_ms\": %.3f,\n  \
+     \"server_dedup_hit_rate\": %.4f,\n  \"experiments\": ["
     jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms
-    !red_memo_ms !memo_hit_rate !intern_table_len !telemetry_overhead_pct;
+    !red_memo_ms !memo_hit_rate !intern_table_len !telemetry_overhead_pct
+    !server_cold_ms !server_warm_ms !server_dedup_hit_rate;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
@@ -459,7 +464,82 @@ let report ~pool () =
      List.iter
        (fun (label, fires, self_ms) ->
          Format.printf "      %-32s %5d fires %10.3f ms self@." label fires self_ms)
-       rules)
+       rules);
+
+  section "E17: resident verification server (verifyd)";
+  (let module P = Server.Protocol in
+   let socket =
+     Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "eqtls-bench-vd-%d.sock" (Unix.getpid ()))
+   in
+   (try Unix.unlink socket with Unix.Unix_error _ -> ());
+   let config =
+     {
+       (Server.Daemon.default_config ~socket) with
+       jobs = 2;
+       handle_signals = false;
+     }
+   in
+   let d = Domain.spawn (fun () -> Server.Daemon.run config) in
+   let rec wait_up n =
+     if n = 0 then failwith "bench: verifyd did not come up"
+     else
+       match Server.Client.connect ~socket with
+       | c -> Server.Client.close c
+       | exception Unix.Unix_error _ ->
+         Unix.sleepf 0.05;
+         wait_up (n - 1)
+   in
+   wait_up 400;
+   Fun.protect
+     ~finally:(fun () ->
+       (try
+          ignore
+            (Server.Client.with_client ~socket (fun c ->
+                 Server.Client.request c P.Shutdown ~on_response:(fun _ -> ())))
+        with _ -> ());
+       Domain.join d)
+   @@ fun () ->
+   let req =
+     P.Verify
+       { style = P.Original; only = [ "inv1" ]; negative = false; extensions = false }
+   in
+   let round_trip () =
+     let t0 = Unix.gettimeofday () in
+     let _, code =
+       Server.Client.with_client ~socket (fun c ->
+           Server.Client.request_collect c req)
+     in
+     if code <> 0 then failwith "bench: remote verify failed";
+     (Unix.gettimeofday () -. t0) *. 1000.
+   in
+   (* cold: the daemon's first campaign request proves from scratch;
+      warm: the identical repeat is served from the resident obligation
+      cache (dedup registry) over the same hot term universe *)
+   server_cold_ms := round_trip ();
+   server_warm_ms := round_trip ();
+   let counters = ref [] in
+   ignore
+     (Server.Client.with_client ~socket (fun c ->
+          Server.Client.request c P.Metrics ~on_response:(function
+            | P.Rmetrics { counters = cs; _ } -> counters := cs
+            | _ -> ())));
+   let counter name =
+     match List.assoc_opt name !counters with Some n -> n | None -> 0
+   in
+   let hits = counter "server.dedup.hits"
+   and misses = counter "server.dedup.misses" in
+   server_dedup_hit_rate :=
+     (if hits + misses = 0 then 0.
+      else float_of_int hits /. float_of_int (hits + misses));
+   record "server-warm-inv1" (!server_warm_ms /. 1000.);
+   Format.printf
+     "E17 verifyd: inv1 over the socket %.1f ms cold, %.2f ms warm (%.0fx); \
+      dedup hit rate %.2f (%d/%d)@."
+     !server_cold_ms !server_warm_ms
+     (!server_cold_ms /. Float.max !server_warm_ms 1e-9)
+     !server_dedup_hit_rate hits (hits + misses))
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing *)

@@ -13,10 +13,12 @@
    nowhere in the executable, so accepting a certificate depends on
    nothing the engine computed.
 
-   Exit status:
+   Exit status (Telemetry.Cli.Exit, shared by verify / lint / check):
      0  certificate accepted
      1  certificate rejected (diagnostics on stderr, or in the JSON report)
      2  usage error, unreadable file or malformed certificate *)
+
+module Exit = Telemetry.Cli.Exit
 
 let usage = "check FILE [--json] [--jobs N] [--profile] [--trace-out OUT]"
 
@@ -68,24 +70,24 @@ let () =
     usage;
   if !file = "" then begin
     prerr_endline ("check: no certificate file given\nusage: " ^ usage);
-    exit 2
+    exit Exit.usage
   end;
   if !jobs < 1 then begin
     prerr_endline "check: --jobs must be at least 1";
-    exit 2
+    exit Exit.usage
   end;
   let contents =
     try In_channel.with_open_bin !file In_channel.input_all
     with Sys_error msg ->
       Printf.eprintf "check: %s\n" msg;
-      exit 2
+      exit Exit.usage
   in
   let cert =
     match Certify.Cert.of_string contents with
     | Ok c -> c
     | Error msg ->
       Printf.eprintf "check: %s: %s\n" !file msg;
-      exit 2
+      exit Exit.usage
   in
   let t0 = Sys.time () in
   let njobs = !jobs * 4 in
@@ -155,4 +157,4 @@ let () =
     if errors = [] then print_endline "check: certificate ACCEPTED"
     else Printf.eprintf "check: certificate REJECTED (%d error(s))\n" (List.length errors)
   end;
-  if errors <> [] then exit 1
+  if errors <> [] then exit Exit.failure

@@ -17,10 +17,12 @@
      lint --profile                record telemetry, print a hotspot report
      lint --trace-out FILE         write a Chrome/Perfetto trace of the run
 
-   Exit status:
+   Exit status (Telemetry.Cli.Exit, shared by verify / lint / check):
      0  no error-severity diagnostics
      1  at least one error diagnostic
      2  usage error *)
+
+module Exit = Telemetry.Cli.Exit
 
 let () =
   let files = ref [] in
@@ -65,11 +67,11 @@ let () =
   in
   if sources = [] then begin
     prerr_endline "lint: nothing to lint (pass files, --tls or --tls-variant)";
-    exit 2
+    exit Exit.usage
   end;
   if !jobs < 1 then begin
     prerr_endline "lint: --jobs must be at least 1";
-    exit 2
+    exit Exit.usage
   end;
   let opts =
     {
@@ -89,7 +91,7 @@ let () =
       Analysis.Lint.run ~pool ~opts sources
     with Invalid_argument m ->
       prerr_endline ("lint: " ^ m);
-      exit 2
+      exit Exit.usage
   in
   Format.printf "%a" Analysis.Lint.pp_report report;
   if !json <> "" then begin
@@ -107,4 +109,4 @@ let () =
         "kernel.intern.max_shard", float_of_int (Array.fold_left max 0 shards);
       ])
     ~profile:!profile ~trace_out:!trace_out ();
-  exit (if report.Analysis.Lint.errors > 0 then 1 else 0)
+  exit (if report.Analysis.Lint.errors > 0 then Exit.failure else Exit.ok)

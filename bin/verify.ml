@@ -19,8 +19,11 @@
                                 (top rules by self-time, slowest proof cases)
      verify --trace-out FILE    write a Chrome/Perfetto trace of the campaign
                                 (implies recording; open at ui.perfetto.dev)
+     verify --remote SOCKET     don't prove locally: send the request to a
+                                resident verifyd serving SOCKET and stream
+                                its verdicts back (see bin/verifyd.ml)
 
-   Exit status:
+   Exit status (Telemetry.Cli.Exit, shared by verify / lint / check / verifyd):
      0  every requested proof succeeded (and, with --negative, the failing
         properties were refuted as the paper predicts)
      1  an invariant was left unproved or refuted, or a negative property
@@ -31,10 +34,14 @@
         no proof was attempted
      4  certificate rejected: the independent checker refused a recorded
         derivation, the LPO certificate or a join certificate
+     5  a reduction exhausted its step budget or deadline (remote runs:
+        the server answers a structured timeout verdict, the daemon and
+        the connection survive)
 
    Results are independent of --jobs: every case runs in its own branched
    spec environment, so statistics and outcomes are byte-identical to the
-   sequential run. *)
+   sequential run — and byte-identical to what a verifyd serving the same
+   style answers over the wire. *)
 
 open Core
 
@@ -56,6 +63,50 @@ let run_one ?pool env proof =
   Format.printf "%a@.@." Report.pp_result r;
   r
 
+module Exit = Telemetry.Cli.Exit
+
+(* --remote: ship the request to a resident verifyd and stream its
+   verdicts.  [v_text] is the server-side rendering of Report.pp_result,
+   so the per-proof output is byte-identical to a local run (modulo
+   wall-clock durations); negative verdicts stream after the positives,
+   before the campaign summary. *)
+let run_remote ~socket ~variant ~only ~negative ~extensions ~stats_only =
+  let module P = Server.Protocol in
+  let style = if variant then P.Variant else P.Original in
+  let req = P.Verify { style; only; negative; extensions } in
+  let negative_header = ref false in
+  let on_response = function
+    | P.Rverdict v ->
+      if v.P.v_negative && not !negative_header then begin
+        negative_header := true;
+        Format.printf "--- negative properties (Section 5.3) ---@."
+      end;
+      if not stats_only then Format.printf "%s@.@." v.P.v_text
+    | P.Rsummary { text; _ } -> Format.printf "%s@." text
+    | P.Rtimeout { limit; steps; name } ->
+      let limit_s =
+        match limit with
+        | `Steps n -> Printf.sprintf "%d-step budget" n
+        | `Deadline d -> Printf.sprintf "%.3fs deadline" d
+      in
+      Format.eprintf "verify: %s exhausted its %s after %d steps@." name
+        limit_s steps
+    | P.Rerror { code; msg } -> Format.eprintf "verify: %s: %s@." code msg
+    | _ -> ()
+  in
+  match
+    Server.Client.with_client ~socket (fun c ->
+        Server.Client.request c req ~on_response)
+  with
+  | code -> code
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "verify: cannot reach verifyd at %s: %s@." socket
+      (Unix.error_message e);
+    Exit.failure
+  | exception Failure msg ->
+    Format.eprintf "verify: %s@." msg;
+    Exit.failure
+
 let () =
   let variant = ref false in
   let only = ref [] in
@@ -68,6 +119,7 @@ let () =
   let profile = ref false in
   let trace_out = ref "" in
   let jobs = ref (Domain.recommended_domain_count ()) in
+  let remote = ref "" in
   let spec =
     [
       "--variant", Arg.Set variant, "verify the Cf2First variant protocol";
@@ -85,13 +137,27 @@ let () =
         Arg.Set_string trace_out,
         "FILE write a Chrome/Perfetto trace (implies recording)" );
       "--jobs", Arg.Set_int jobs, "N number of domains (default: cores)";
+      ( "--remote",
+        Arg.Set_string remote,
+        "SOCKET send the request to a verifyd serving SOCKET" );
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "verify [options]";
   if !certify_out <> "" then certify := true;
   if !jobs < 1 then begin
     prerr_endline "verify: --jobs must be at least 1";
-    exit 2
+    exit Exit.usage
+  end;
+  if !remote <> "" then begin
+    if !lint || !certify || !profile || !trace_out <> "" then begin
+      prerr_endline
+        "verify: --lint/--certify/--profile/--trace-out do not apply to \
+         --remote (the daemon owns its own pool and telemetry)";
+      exit Exit.usage
+    end;
+    exit
+      (run_remote ~socket:!remote ~variant:!variant ~only:(List.rev !only)
+         ~negative:!negative ~extensions:!extensions ~stats_only:!stats_only)
   end;
   Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
   let style = if !variant then Tls.Model.Cf2First else Tls.Model.Original in
@@ -107,7 +173,7 @@ let () =
           try Proofs.Tls_invariants.find style name
           with Not_found ->
             Printf.eprintf "verify: unknown proof %S (see lib/proofs)\n" name;
-            exit 2)
+            exit Exit.usage)
         (List.rev names)
   in
   let code =
@@ -134,7 +200,7 @@ let () =
         "verify: lint gate failed: %d error(s) — system not certified, \
          refusing to prove@."
         report.Analysis.Lint.errors;
-      exit 3
+      exit Exit.lint_gate
     end;
     Format.printf "lint gate: %s certified in %.2fs (%d warnings, %d infos)@.@."
       label dt report.Analysis.Lint.warnings report.Analysis.Lint.infos
@@ -221,9 +287,9 @@ let () =
     | errs ->
       List.iter (fun e -> Format.eprintf "certify: %a@." Certify.Check.pp_error e) errs;
       Format.eprintf "certify: certificate REJECTED (%d error(s))@." (List.length errs);
-      exit 4);
+      exit Exit.cert_rejected);
     let failures = Report.failures results in
-    if failures <> [] || !unexpected_proof then 1 else 0
+    if failures <> [] || !unexpected_proof then Exit.failure else Exit.ok
   in
   (* flush outside with_pool so the shutdown-time utilization gauge and
      every worker's buffers are included *)

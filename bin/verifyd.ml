@@ -1,0 +1,191 @@
+(* verifyd — serve verification from a resident process.
+
+   Usage:
+     verifyd --socket PATH [--jobs N] [--idle-timeout S]
+                                serve until SIGINT/SIGTERM or a shutdown
+                                request (specs load once; the intern table,
+                                NF memos and finished obligations stay hot)
+     verifyd ping     --socket PATH     liveness + uptime
+     verifyd status   --socket PATH     pool size, requests served, styles
+     verifyd metrics  --socket PATH     counters, gauges, latency histograms
+     verifyd shutdown --socket PATH     graceful drain
+     verifyd lint     --socket PATH [--variant]
+     verifyd eval     --socket PATH [--steps N] [--deadline S] FILE|-
+                                run mini-CafeOBJ phrases in the daemon's
+                                resident REPL; a red that exhausts --steps
+                                or --deadline answers a structured timeout
+                                verdict (exit 5) and the daemon survives
+
+   Campaigns are driven through the standalone binary:
+     verify --remote PATH [--variant] [--only NAME] [--negative] ...
+
+   Exit status: the server-assigned request code — the same
+   Telemetry.Cli.Exit codes verify/lint/check use (0 ok, 1 failure,
+   2 usage/protocol, 5 timeout); serve mode exits 0 after a clean drain. *)
+
+module P = Server.Protocol
+module Exit = Telemetry.Cli.Exit
+
+let die_usage msg =
+  prerr_endline ("verifyd: " ^ msg);
+  exit Exit.usage
+
+let connect socket f =
+  match Server.Client.with_client ~socket f with
+  | code -> code
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "verifyd: cannot reach %s: %s\n" socket
+      (Unix.error_message e);
+    Exit.failure
+  | exception Failure msg ->
+    Printf.eprintf "verifyd: %s\n" msg;
+    Exit.failure
+
+let print_response = function
+  | P.Pong { pid; uptime_s } ->
+    Printf.printf "verifyd: alive, pid %d, up %.1fs\n" pid uptime_s
+  | P.Rstatus { uptime_s; jobs; requests; in_flight; styles } ->
+    Printf.printf "uptime:      %.1fs\n" uptime_s;
+    Printf.printf "jobs:        %d\n" jobs;
+    Printf.printf "requests:    %d\n" requests;
+    Printf.printf "in flight:   %d\n" in_flight;
+    Printf.printf "styles:      %s\n"
+      (String.concat ", " (List.map P.style_name styles))
+  | P.Rmetrics { counters; gauges; histograms } ->
+    print_endline "--- counters ---";
+    List.iter (fun (k, v) -> Printf.printf "%-34s %d\n" k v) counters;
+    print_endline "--- gauges ---";
+    List.iter (fun (k, v) -> Printf.printf "%-34s %.3f\n" k v) gauges;
+    print_endline "--- histograms (ms) ---";
+    List.iter
+      (fun (k, a) ->
+        if Array.length a = 6 then
+          Printf.printf
+            "%-34s n=%d sum=%.2f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n" k
+            (int_of_float a.(0))
+            a.(1) a.(2) a.(3) a.(4) a.(5))
+      histograms
+  | P.Rlint { errors; warnings; infos; cached; text } ->
+    print_string text;
+    Printf.printf "lint: %d error(s), %d warning(s), %d info(s)%s\n" errors
+      warnings infos
+      (if cached then " [resident cache]" else "")
+  | P.Reval { text } -> print_endline text
+  | P.Rtimeout { limit; steps; name } ->
+    let limit_s =
+      match limit with
+      | `Steps n -> Printf.sprintf "%d-step budget" n
+      | `Deadline d -> Printf.sprintf "%.3fs deadline" d
+    in
+    Printf.eprintf "verifyd: %s exhausted its %s after %d steps\n" name
+      limit_s steps
+  | P.Rerror { code; msg } -> Printf.eprintf "verifyd: %s: %s\n" code msg
+  | _ -> ()
+
+let simple_request socket req =
+  connect socket @@ fun c -> Server.Client.request c req ~on_response:print_response
+
+let serve args =
+  let socket = ref "" in
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let idle = ref 300. in
+  let spec =
+    [
+      "--socket", Arg.Set_string socket, "PATH Unix-domain socket to bind";
+      "--jobs", Arg.Set_int jobs, "N sched-pool parallelism (default: cores)";
+      ( "--idle-timeout",
+        Arg.Set_float idle,
+        "S close idle connections after S seconds (0 = never; default 300)" );
+    ]
+  in
+  (try
+     Arg.parse_argv ~current:(ref 0)
+       (Array.of_list (Sys.executable_name :: args))
+       spec
+       (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+       "verifyd [options]"
+   with
+  | Arg.Bad msg -> die_usage msg
+  | Arg.Help msg ->
+    print_string msg;
+    exit Exit.ok);
+  if !socket = "" then die_usage "--socket PATH is required";
+  if !jobs < 1 then die_usage "--jobs must be at least 1";
+  let config =
+    { (Server.Daemon.default_config ~socket:!socket) with
+      jobs = !jobs;
+      idle_timeout_s = !idle;
+    }
+  in
+  Printf.printf "verifyd: serving %s with %d job(s)\n%!" !socket !jobs;
+  (match Server.Daemon.run config with
+  | () -> ()
+  | exception Failure msg ->
+    prerr_endline ("verifyd: " ^ msg);
+    exit Exit.failure);
+  print_endline "verifyd: drained, bye";
+  exit Exit.ok
+
+let client_command name args ~extra ~make_request =
+  let socket = ref "" in
+  let anon = ref [] in
+  let spec =
+    ("--socket", Arg.Set_string socket, "PATH socket of the daemon") :: extra
+  in
+  (try
+     Arg.parse_argv ~current:(ref 0)
+       (Array.of_list (Sys.executable_name :: args))
+       spec
+       (fun s -> anon := s :: !anon)
+       ("verifyd " ^ name ^ " --socket PATH")
+   with
+  | Arg.Bad msg -> die_usage msg
+  | Arg.Help msg ->
+    print_string msg;
+    exit Exit.ok);
+  if !socket = "" then die_usage "--socket PATH is required";
+  exit (simple_request !socket (make_request (List.rev !anon)))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "ping" :: rest ->
+    client_command "ping" rest ~extra:[] ~make_request:(fun _ -> P.Ping)
+  | _ :: "status" :: rest ->
+    client_command "status" rest ~extra:[] ~make_request:(fun _ -> P.Status)
+  | _ :: "metrics" :: rest ->
+    client_command "metrics" rest ~extra:[] ~make_request:(fun _ -> P.Metrics)
+  | _ :: "shutdown" :: rest ->
+    client_command "shutdown" rest ~extra:[] ~make_request:(fun _ ->
+        P.Shutdown)
+  | _ :: "lint" :: rest ->
+    let variant = ref false in
+    client_command "lint" rest
+      ~extra:[ "--variant", Arg.Set variant, "lint the Cf2First variant spec" ]
+      ~make_request:(fun _ ->
+        P.Lint { style = (if !variant then P.Variant else P.Original) })
+  | _ :: "eval" :: rest ->
+    let steps = ref 0 in
+    let deadline = ref 0. in
+    client_command "eval" rest
+      ~extra:
+        [
+          "--steps", Arg.Set_int steps, "N per-red rewrite-step budget";
+          "--deadline", Arg.Set_float deadline, "S per-red deadline (seconds)";
+        ]
+      ~make_request:(fun anon ->
+        let src =
+          match anon with
+          | [ "-" ] -> In_channel.input_all In_channel.stdin
+          | [ file ] -> (
+            try In_channel.with_open_bin file In_channel.input_all
+            with Sys_error msg -> die_usage msg)
+          | _ -> die_usage "eval takes exactly one FILE (or - for stdin)"
+        in
+        P.Eval
+          {
+            src;
+            step_limit = (if !steps > 0 then Some !steps else None);
+            deadline_s = (if !deadline > 0. then Some !deadline else None);
+          })
+  | _ :: rest -> serve rest
+  | [] -> serve []

@@ -55,6 +55,25 @@ let pp_campaign ppf results =
   List.iter (fun r -> Format.fprintf ppf "%a@.@." pp_result r) results;
   pp_summary ppf (summarize results)
 
+let outcome_tag = function
+  | Prover.Proved _ -> "proved"
+  | Prover.Refuted _ -> "refuted"
+  | Prover.Unknown _ -> "unknown"
+
+let result_fingerprint (r : Induction.result) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b r.Induction.res_invariant;
+  Buffer.add_string b (if r.Induction.proved then "=proved" else "=unproved");
+  List.iter
+    (fun (c : Induction.case_result) ->
+      let s = Prover.outcome_stats c.Induction.outcome in
+      Buffer.add_string b
+        (Printf.sprintf ";%s:%s:splits=%d:steps=%d" c.Induction.case_name
+           (outcome_tag c.Induction.outcome)
+           s.Prover.splits s.Prover.rewrite_steps))
+    r.Induction.cases;
+  Buffer.contents b
+
 let failures results =
   List.concat_map
     (fun (r : Induction.result) ->

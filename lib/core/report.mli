@@ -26,6 +26,14 @@ val pp_summary : Format.formatter -> summary -> unit
 (** [pp_campaign ppf results] prints every result then the summary. *)
 val pp_campaign : Format.formatter -> Induction.result list -> unit
 
+(** [result_fingerprint r] is a canonical one-line rendering of everything
+    deterministic in [r] — invariant name, proved flag, and per case the
+    name, verdict, split and step counts — with wall-clock durations left
+    out.  Two runs of the same proof are byte-identical here whatever the
+    machine, pool size or process they ran in; the remote-verification
+    tests compare server verdicts against local runs through this. *)
+val result_fingerprint : Induction.result -> string
+
 (** [failures results] lists [(invariant, case, outcome)] for every case
     that did not come back [Proved]. *)
 val failures :

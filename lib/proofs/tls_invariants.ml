@@ -560,10 +560,11 @@ let run ?config ?pool env proof =
    submission).  Every case runs in a branched environment whose results do
    not depend on scheduling, and [parallel_map] keys results by submission
    index — so the report is identical to the sequential run. *)
-let campaign ?config ?pool style =
-  let env = Tls.Model.env style in
-  let proofs = all style in
+let campaign_env ?config ?pool env proofs =
   match pool with
   | None -> List.map (run ?config env) proofs
   | Some p ->
     Sched.Pool.parallel_map p (fun proof -> run ?config ~pool:p env proof) proofs
+
+let campaign ?config ?pool style =
+  campaign_env ?config ?pool (Tls.Model.env style) (all style)

@@ -82,6 +82,21 @@ val campaign :
   Tls.Model.style ->
   Induction.result list
 
+(** [campaign_env ?config ?pool env proofs] — the re-entrant core of
+    {!campaign}: runs [proofs] against a caller-supplied (typically
+    long-lived) environment instead of building a fresh one, so a resident
+    process can serve campaign after campaign over the same interned term
+    universe and warm normal-form memos.  Each case still runs in its own
+    branched child of [env] (fresh-constant numbering and memo tables are
+    case-local), so repeated and concurrent calls sharing [env] are safe
+    and return byte-identical results. *)
+val campaign_env :
+  ?config:Prover.config ->
+  ?pool:Sched.Pool.t ->
+  Induction.env ->
+  proof list ->
+  Induction.result list
+
 (** {1 The failing properties (Section 5.3)}
 
     The servers' counterparts of inv2/inv3.  [run] on these returns a

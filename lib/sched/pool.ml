@@ -287,6 +287,13 @@ let await pool task =
 
 let run pool f = await pool (submit pool f)
 
+let try_help pool =
+  match find_work pool (my_index pool) with
+  | Some e ->
+    run_entry e;
+    true
+  | None -> false
+
 let parallel_map pool f xs =
   match xs with
   | [] -> []

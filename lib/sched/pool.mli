@@ -40,6 +40,13 @@ val await : t -> 'a Task.t -> 'a
 (** [run pool f] is [await pool (submit pool f)]. *)
 val run : t -> (unit -> 'a) -> 'a
 
+(** [try_help pool] runs at most one queued entry on the calling domain
+    and returns whether it ran one.  For event loops that own a pool but
+    must not block in {!await}: polling futures and calling [try_help]
+    while idle keeps a [jobs = 1] pool (zero workers) making progress
+    without ever parking the loop. *)
+val try_help : t -> bool
+
 (** [parallel_map pool f xs] maps [f] over [xs] in parallel; the result
     order follows [xs] regardless of completion order.  If any application
     raises, the exception of the least index is re-raised after all other

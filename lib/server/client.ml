@@ -1,0 +1,38 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr }
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_client ~socket f =
+  let t = connect ~socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let request t req ~on_response =
+  P.Frame.write t.fd (P.encode_request req);
+  let rec loop () =
+    match P.Frame.read t.fd with
+    | Error msg -> failwith ("verifyd protocol error: " ^ msg)
+    | Ok None -> failwith "verifyd closed the connection mid-response"
+    | Ok (Some payload) -> (
+      match P.decode_response payload with
+      | Error msg -> failwith ("verifyd protocol error: " ^ msg)
+      | Ok (P.Done { exit_code }) -> exit_code
+      | Ok resp ->
+        on_response resp;
+        loop ())
+  in
+  loop ()
+
+let request_collect t req =
+  let acc = ref [] in
+  let code = request t req ~on_response:(fun r -> acc := r :: !acc) in
+  List.rev !acc, code

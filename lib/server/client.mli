@@ -1,0 +1,27 @@
+(** A thin blocking client for {!Server}.
+
+    One {!t} is one connection; {!request} writes a request frame and
+    reads the response stream until the terminating [Done], handing every
+    intermediate response to [on_response] as it arrives (so campaign
+    verdicts can be printed while later obligations are still running).
+    The returned int is the server-assigned exit code for the request —
+    the same {!Telemetry.Cli.Exit} codes the standalone binaries use. *)
+
+type t
+
+(** [connect ~socket] connects to a listening verifyd.
+    @raise Unix.Unix_error if nothing is serving the socket. *)
+val connect : socket:string -> t
+
+val close : t -> unit
+
+(** [with_client ~socket f] — connect, run [f], always close. *)
+val with_client : socket:string -> (t -> 'a) -> 'a
+
+(** [request t req ~on_response] performs one request round-trip.
+    @raise Failure on protocol violations (bad frame, EOF before [Done]). *)
+val request :
+  t -> Protocol.request -> on_response:(Protocol.response -> unit) -> int
+
+(** [request_collect t req] — as {!request}, accumulating the responses. *)
+val request_collect : t -> Protocol.request -> Protocol.response list * int

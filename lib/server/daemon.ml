@@ -1,0 +1,706 @@
+module P = Protocol
+module Metrics = Telemetry.Metrics
+module Exit = Telemetry.Cli.Exit
+
+(* ------------------------------------------------------------------ *)
+(* Operational metrics (always on; served by the [metrics] request) *)
+
+let c_requests = Metrics.counter "server.requests"
+let c_connections = Metrics.counter "server.connections"
+let c_timeouts = Metrics.counter "server.timeouts"
+let c_protocol_errors = Metrics.counter "server.protocol_errors"
+let c_lint_cache_hits = Metrics.counter "server.lint.cache_hits"
+let h_latency = Metrics.histogram "server.request_latency"
+
+type config = {
+  socket : string;
+  jobs : int;
+  idle_timeout_s : float;
+  max_frame : int;
+  handle_signals : bool;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    jobs = Domain.recommended_domain_count ();
+    idle_timeout_s = 300.;
+    max_frame = P.Frame.default_max;
+    handle_signals = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Resident state: everything the daemon keeps hot across requests *)
+
+type resident = {
+  pool : Sched.Pool.t;
+  envs : (P.style * Core.Induction.env) list;
+  registry : Core.Induction.result Registry.t;
+  lint_cache : (P.style, Analysis.Lint.report) Hashtbl.t;
+  eval_env : Cafeobj.Eval.env;
+  started_ns : int;
+  mutable served : int;
+}
+
+let model_style = function
+  | P.Original -> Tls.Model.Original
+  | P.Variant -> Tls.Model.Cf2First
+
+let uptime_s resident =
+  float_of_int (Telemetry.Probe.now_ns () - resident.started_ns) /. 1e9
+
+let verdict_of_result ~negative (r : Core.Induction.result) =
+  let case (c : Core.Induction.case_result) =
+    let s = Core.Prover.outcome_stats c.Core.Induction.outcome in
+    {
+      P.c_name = c.Core.Induction.case_name;
+      c_status =
+        (match c.Core.Induction.outcome with
+        | Core.Prover.Proved _ -> "proved"
+        | Core.Prover.Refuted _ -> "refuted"
+        | Core.Prover.Unknown _ -> "unknown");
+      c_splits = s.Core.Prover.splits;
+      c_steps = s.Core.Prover.rewrite_steps;
+    }
+  in
+  {
+    P.v_name = r.Core.Induction.res_invariant;
+    v_proved = r.Core.Induction.proved;
+    v_negative = negative;
+    v_cases = List.map case r.Core.Induction.cases;
+    v_text = Format.asprintf "%a" Core.Report.pp_result r;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection state *)
+
+(* Requests on one connection are answered strictly in request order;
+   obligations are dispatched to the pool the moment the request frame
+   arrives, so later requests compute while earlier ones stream. *)
+type active =
+  | Aimmediate of P.request
+  | Aerror of { responses : P.response list; exit_code : int }
+  | Averify of {
+      mutable todo : (bool * Core.Induction.result Sched.Task.t) list;
+      mutable results : Core.Induction.result list;  (* positives, reversed *)
+      mutable timed_out : bool;
+      mutable unexpected : bool;
+      mutable errored : bool;
+    }
+  | Alint of {
+      style : P.style;
+      task : Analysis.Lint.report Sched.Task.t;
+      cached : bool;
+    }
+  | Acheck of { task : Analysis.Certgen.check_result Sched.Task.t }
+
+type job = { active : active; kind : string; t0_ns : int }
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : P.Frame.decoder;
+  out : Buffer.t;
+  mutable out_off : int;
+  jobs_q : job Queue.t;
+  mutable last_active : float;
+  mutable closing : bool;  (* stop reading; close once drained *)
+  mutable dead : bool;  (* close now *)
+}
+
+let send conn resp = P.Frame.encode conn.out (P.encode_response resp)
+let has_output conn = Buffer.length conn.out > conn.out_off
+
+let finish_job resident conn job ~exit_code =
+  send conn (P.Done { exit_code });
+  ignore (Queue.pop conn.jobs_q);
+  resident.served <- resident.served + 1;
+  Metrics.incr c_requests;
+  Metrics.incr (Metrics.counter ("server.requests." ^ job.kind));
+  Metrics.observe_ns h_latency (Telemetry.Probe.now_ns () - job.t0_ns);
+  Telemetry.Probe.span_since ~cat:"server" ("req:" ^ job.kind) job.t0_ns;
+  conn.last_active <- Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Immediate requests *)
+
+let metrics_response resident =
+  List.iter
+    (fun (wire, env) ->
+      let sys = Core.Induction.system env in
+      let ms = Kernel.Rewrite.memo_stats sys in
+      let looked = ms.Kernel.Rewrite.hits + ms.Kernel.Rewrite.misses in
+      let prefix = "server.memo." ^ P.style_name wire in
+      Metrics.set_gauge (prefix ^ ".hit_rate")
+        (if looked = 0 then 0.
+         else float_of_int ms.Kernel.Rewrite.hits /. float_of_int looked);
+      Metrics.set_gauge (prefix ^ ".entries")
+        (float_of_int ms.Kernel.Rewrite.entries))
+    resident.envs;
+  Metrics.set_gauge "server.intern.live_terms"
+    (float_of_int (Kernel.Term.intern_table_len ()));
+  Metrics.set_gauge "server.registry.entries"
+    (float_of_int (Registry.size resident.registry));
+  Metrics.set_gauge "server.uptime_s" (uptime_s resident);
+  let snap = Metrics.snapshot () in
+  P.Rmetrics
+    {
+      counters = snap.Metrics.m_counters;
+      gauges = snap.Metrics.m_gauges;
+      histograms =
+        List.map
+          (fun (h : Metrics.histogram_view) ->
+            ( h.Metrics.h_name,
+              [|
+                float_of_int h.Metrics.h_count;
+                h.Metrics.h_sum_ms;
+                h.Metrics.h_p50_ms;
+                h.Metrics.h_p90_ms;
+                h.Metrics.h_p99_ms;
+                h.Metrics.h_max_ms;
+              |] ))
+          snap.Metrics.m_histograms;
+    }
+
+let handle_eval resident ~step_limit ~deadline_s src emit =
+  (* [red] runs synchronously on the event loop: evals are bounded by the
+     per-request step limit / deadline, which is also what makes this the
+     direct wire exercise of Limit_exceeded. *)
+  let apply_limits name =
+    match Cafeobj.Eval.find_module resident.eval_env name with
+    | Some spec ->
+      let sys = Cafeobj.Spec.system spec in
+      Option.iter (Kernel.Rewrite.set_step_limit sys) step_limit;
+      Option.iter (Kernel.Rewrite.set_deadline sys) deadline_s
+    | None -> ()
+  in
+  match Cafeobj.Parser.parse_string src with
+  | exception Cafeobj.Parser.Error m ->
+    emit (P.Rerror { code = "eval"; msg = m });
+    Exit.failure
+  | exception Cafeobj.Lexer.Error { line; col; message } ->
+    emit
+      (P.Rerror
+         {
+           code = "eval";
+           msg = Printf.sprintf "line %d, col %d: %s" line col message;
+         });
+    Exit.failure
+  | program -> (
+    try
+      List.iter
+        (fun (phrase, _pos) ->
+          let out = Cafeobj.Eval.eval resident.eval_env phrase in
+          (match out with
+          | Cafeobj.Eval.Defined m -> apply_limits m
+          | _ -> ());
+          emit (P.Reval { text = Format.asprintf "%a" Cafeobj.Eval.pp_output out }))
+        program;
+      Exit.ok
+    with
+    | Kernel.Rewrite.Limit_exceeded { limit; steps } ->
+      Metrics.incr c_timeouts;
+      let limit =
+        match limit with
+        | Kernel.Rewrite.Steps n -> `Steps n
+        | Kernel.Rewrite.Deadline d -> `Deadline d
+      in
+      emit (P.Rtimeout { limit; steps; name = "eval" });
+      Exit.timeout
+    | Cafeobj.Eval.Error m ->
+      emit (P.Rerror { code = "eval"; msg = m });
+      Exit.failure)
+
+(* ------------------------------------------------------------------ *)
+(* Request intake: build the job (dispatching pool work now), enqueue *)
+
+let start_request resident conn req =
+  let t0_ns = Telemetry.Probe.now_ns () in
+  let enqueue kind active = Queue.push { active; kind; t0_ns } conn.jobs_q in
+  match req with
+  | P.Ping -> enqueue "ping" (Aimmediate req)
+  | P.Status -> enqueue "status" (Aimmediate req)
+  | P.Metrics -> enqueue "metrics" (Aimmediate req)
+  | P.Shutdown -> enqueue "shutdown" (Aimmediate req)
+  | P.Eval _ -> enqueue "eval" (Aimmediate req)
+  | P.Lint { style } ->
+    let cached = Hashtbl.find_opt resident.lint_cache style in
+    let task =
+      match cached with
+      | Some report ->
+        Metrics.incr c_lint_cache_hits;
+        Sched.Task.of_result report
+      | None ->
+        Sched.Pool.submit resident.pool (fun () ->
+            Analysis.Lint.run ~pool:resident.pool
+              [
+                Analysis.Lint.Generated
+                  {
+                    label = "generated:tls-" ^ P.style_name style;
+                    spec = Tls.Model.spec (model_style style);
+                  };
+              ])
+    in
+    enqueue "lint" (Alint { style; task; cached = cached <> None })
+  | P.Check { cert } -> (
+    match Certify.Cert.of_string cert with
+    | Error msg ->
+      enqueue "check"
+        (Aerror
+           {
+             responses =
+               [
+                 P.Rerror
+                   { code = "bad-request"; msg = "malformed certificate: " ^ msg };
+               ];
+             exit_code = Exit.usage;
+           })
+    | Ok cert ->
+      let task =
+        Sched.Pool.submit resident.pool (fun () ->
+            Analysis.Certgen.check ~pool:resident.pool cert)
+      in
+      enqueue "check" (Acheck { task }))
+  | P.Verify { style; only; negative; extensions } -> (
+    let mstyle = model_style style in
+    let resolve () =
+      match only with
+      | [] ->
+        Ok
+          (Proofs.Tls_invariants.all mstyle
+          @
+          if extensions then Proofs.Tls_invariants.extensions mstyle else [])
+      | names ->
+        List.fold_right
+          (fun name acc ->
+            match acc with
+            | Error _ as e -> e
+            | Ok ps -> (
+              match Proofs.Tls_invariants.find mstyle name with
+              | p -> Ok (p :: ps)
+              | exception Not_found -> Error name))
+          names (Ok [])
+    in
+    match resolve () with
+    | Error name ->
+      enqueue "verify"
+        (Aerror
+           {
+             responses =
+               [
+                 P.Rerror
+                   {
+                     code = "bad-request";
+                     msg = Printf.sprintf "unknown proof %S" name;
+                   };
+               ];
+             exit_code = Exit.usage;
+           })
+    | Ok proofs ->
+      let env = List.assoc style resident.envs in
+      let obligations =
+        List.map (fun p -> false, p) proofs
+        @
+        if negative then
+          [
+            true, Proofs.Tls_invariants.prop2' mstyle;
+            true, Proofs.Tls_invariants.prop3' mstyle;
+          ]
+        else []
+      in
+      let todo =
+        List.map
+          (fun (neg, proof) ->
+            let name = Proofs.Tls_invariants.name_of proof in
+            let key =
+              Printf.sprintf "verify:%s:%s" (P.style_name style) name
+            in
+            let task, _how =
+              Registry.find_or_submit resident.registry ~key (fun () ->
+                  Sched.Pool.submit resident.pool (fun () ->
+                      Telemetry.Probe.with_span ~always:true ~cat:"server"
+                        ("obligation:" ^ name)
+                      @@ fun () ->
+                      Proofs.Tls_invariants.run ~pool:resident.pool env proof))
+            in
+            neg, task)
+          obligations
+      in
+      enqueue "verify"
+        (Averify
+           {
+             todo;
+             results = [];
+             timed_out = false;
+             unexpected = false;
+             errored = false;
+           }))
+
+(* ------------------------------------------------------------------ *)
+(* Job progress: pump the head job of a connection as far as it goes *)
+
+let progress resident conn ~request_shutdown =
+  let rec pump () =
+    match Queue.peek_opt conn.jobs_q with
+    | None -> ()
+    | Some job -> (
+      match job.active with
+      | Aimmediate req ->
+        let exit_code =
+          match req with
+          | P.Ping ->
+            send conn
+              (P.Pong { pid = Unix.getpid (); uptime_s = uptime_s resident });
+            Exit.ok
+          | P.Status ->
+            send conn
+              (P.Rstatus
+                 {
+                   uptime_s = uptime_s resident;
+                   jobs = Sched.Pool.jobs resident.pool;
+                   requests = resident.served;
+                   in_flight = Registry.in_flight_count resident.registry;
+                   styles = List.map fst resident.envs;
+                 });
+            Exit.ok
+          | P.Metrics ->
+            send conn (metrics_response resident);
+            Exit.ok
+          | P.Shutdown ->
+            request_shutdown ();
+            Exit.ok
+          | P.Eval { src; step_limit; deadline_s } ->
+            handle_eval resident ~step_limit ~deadline_s src (send conn)
+          | _ -> Exit.ok
+        in
+        finish_job resident conn job ~exit_code;
+        pump ()
+      | Aerror { responses; exit_code } ->
+        List.iter (send conn) responses;
+        finish_job resident conn job ~exit_code;
+        pump ()
+      | Alint a -> (
+        match Sched.Task.poll a.task with
+        | None -> ()
+        | Some report ->
+          if not (Hashtbl.mem resident.lint_cache a.style) then
+            Hashtbl.replace resident.lint_cache a.style report;
+          send conn
+            (P.Rlint
+               {
+                 errors = report.Analysis.Lint.errors;
+                 warnings = report.Analysis.Lint.warnings;
+                 infos = report.Analysis.Lint.infos;
+                 cached = a.cached;
+                 text = Format.asprintf "%a" Analysis.Lint.pp_report report;
+               });
+          finish_job resident conn job
+            ~exit_code:
+              (if report.Analysis.Lint.errors > 0 then Exit.failure else Exit.ok);
+          pump ()
+        | exception e ->
+          send conn (P.Rerror { code = "server"; msg = Printexc.to_string e });
+          finish_job resident conn job ~exit_code:Exit.failure;
+          pump ())
+      | Acheck a -> (
+        match Sched.Task.poll a.task with
+        | None -> ()
+        | Some res ->
+          send conn
+            (P.Rcheck
+               {
+                 ok = res.Analysis.Certgen.errors = [];
+                 obligations = res.Analysis.Certgen.obligations;
+                 steps = res.Analysis.Certgen.steps_replayed;
+                 errors =
+                   List.map
+                     (fun (e : Certify.Check.error) ->
+                       e.Certify.Check.e_path, e.Certify.Check.e_msg)
+                     res.Analysis.Certgen.errors;
+               });
+          finish_job resident conn job
+            ~exit_code:
+              (if res.Analysis.Certgen.errors = [] then Exit.ok else Exit.failure);
+          pump ()
+        | exception e ->
+          send conn (P.Rerror { code = "server"; msg = Printexc.to_string e });
+          finish_job resident conn job ~exit_code:Exit.failure;
+          pump ())
+      | Averify a -> (
+        match a.todo with
+        | [] ->
+          let results = List.rev a.results in
+          let summary = Core.Report.summarize results in
+          send conn
+            (P.Rsummary
+               {
+                 invariants =
+                   ( summary.Core.Report.invariants_proved,
+                     summary.Core.Report.invariants_total );
+                 cases =
+                   ( summary.Core.Report.cases_proved,
+                     summary.Core.Report.cases_total );
+                 splits = summary.Core.Report.total_splits;
+                 steps = summary.Core.Report.total_rewrite_steps;
+                 text = Format.asprintf "%a" Core.Report.pp_summary summary;
+               });
+          let exit_code =
+            if a.timed_out then Exit.timeout
+            else if
+              a.errored || a.unexpected
+              || Core.Report.failures results <> []
+            then Exit.failure
+            else Exit.ok
+          in
+          finish_job resident conn job ~exit_code;
+          pump ()
+        | (neg, task) :: rest -> (
+          match Sched.Task.poll task with
+          | None -> ()
+          | Some r ->
+            send conn (P.Rverdict (verdict_of_result ~negative:neg r));
+            if neg then begin
+              if r.Core.Induction.proved then a.unexpected <- true
+            end
+            else a.results <- r :: a.results;
+            a.todo <- rest;
+            pump ()
+          | exception Kernel.Rewrite.Limit_exceeded { limit; steps } ->
+            Metrics.incr c_timeouts;
+            let limit =
+              match limit with
+              | Kernel.Rewrite.Steps n -> `Steps n
+              | Kernel.Rewrite.Deadline d -> `Deadline d
+            in
+            send conn (P.Rtimeout { limit; steps; name = "obligation" });
+            a.timed_out <- true;
+            a.todo <- rest;
+            pump ()
+          | exception e ->
+            send conn
+              (P.Rerror { code = "server"; msg = Printexc.to_string e });
+            a.errored <- true;
+            a.todo <- rest;
+            pump ())))
+  in
+  pump ()
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing *)
+
+let flush_conn conn =
+  if has_output conn then begin
+    let bytes = Buffer.to_bytes conn.out in
+    let len = Bytes.length bytes - conn.out_off in
+    match Unix.write conn.fd bytes conn.out_off len with
+    | n ->
+      conn.out_off <- conn.out_off + n;
+      if conn.out_off >= Buffer.length conn.out then begin
+        Buffer.clear conn.out;
+        conn.out_off <- 0
+      end;
+      conn.last_active <- Unix.gettimeofday ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+      conn.dead <- true
+  end
+
+let read_conn resident conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> conn.dead <- true
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error (ECONNRESET, _, _) -> conn.dead <- true
+  | n ->
+    conn.last_active <- Unix.gettimeofday ();
+    P.Frame.feed conn.dec chunk 0 n;
+    let rec drain_frames () =
+      match P.Frame.next conn.dec with
+      | Ok None -> ()
+      | Ok (Some payload) ->
+        (match P.decode_request payload with
+        | Ok req -> start_request resident conn req
+        | Error msg ->
+          Metrics.incr c_protocol_errors;
+          send conn (P.Rerror { code = "protocol"; msg });
+          send conn (P.Done { exit_code = Exit.usage }));
+        drain_frames ()
+      | Error msg ->
+        (* framing is unrecoverable: answer, then close once flushed *)
+        Metrics.incr c_protocol_errors;
+        send conn (P.Rerror { code = "protocol"; msg });
+        send conn (P.Done { exit_code = Exit.usage });
+        conn.closing <- true
+    in
+    drain_frames ()
+
+(* ------------------------------------------------------------------ *)
+(* The server proper *)
+
+let stop_flag = Atomic.make false
+
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect probe (ADDR_UNIX path) with
+    | () ->
+      Unix.close probe;
+      failwith (path ^ ": a verifyd is already serving this socket")
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
+      Unix.close probe;
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception e ->
+      Unix.close probe;
+      raise e
+  end
+
+let run config =
+  if config.jobs < 1 then invalid_arg "Daemon.run: jobs must be at least 1";
+  Atomic.set stop_flag false;
+  claim_socket config.socket;
+  let lfd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind lfd (ADDR_UNIX config.socket);
+  Unix.listen lfd 64;
+  Unix.set_nonblock lfd;
+  let previous_signals = ref [] in
+  if config.handle_signals then begin
+    let install signum =
+      let old =
+        Sys.signal signum
+          (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true))
+      in
+      previous_signals := (signum, old) :: !previous_signals
+    in
+    install Sys.sigint;
+    install Sys.sigterm
+  end;
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let pool = Sched.Pool.create ~jobs:config.jobs () in
+  (* Load the specs once: both proof environments are built before the
+     first request, so every request — including the first — runs against
+     the resident term universe. *)
+  let resident =
+    {
+      pool;
+      envs =
+        [
+          P.Original, Tls.Model.env Tls.Model.Original;
+          P.Variant, Tls.Model.env Tls.Model.Cf2First;
+        ];
+      registry = Registry.create ();
+      lint_cache = Hashtbl.create 4;
+      eval_env = Cafeobj.Eval.create ();
+      started_ns = Telemetry.Probe.now_ns ();
+      served = 0;
+    }
+  in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let draining = ref false in
+  let listening = ref true in
+  let request_shutdown () = Atomic.set stop_flag true in
+  let cleanup () =
+    Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+    Hashtbl.reset conns;
+    if !listening then (try Unix.close lfd with Unix.Unix_error _ -> ());
+    (try Unix.unlink config.socket with Unix.Unix_error _ -> ());
+    Sched.Pool.shutdown pool;
+    List.iter (fun (signum, old) -> Sys.set_signal signum old) !previous_signals;
+    Sys.set_signal Sys.sigpipe old_pipe
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let accept_all () =
+    let rec go () =
+      match Unix.accept ~cloexec:true lfd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        Metrics.incr c_connections;
+        Hashtbl.replace conns fd
+          {
+            fd;
+            dec = P.Frame.decoder ~max_frame:config.max_frame ();
+            out = Buffer.create 1024;
+            out_off = 0;
+            jobs_q = Queue.create ();
+            last_active = Unix.gettimeofday ();
+            closing = false;
+            dead = false;
+          };
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    in
+    go ()
+  in
+  let pending_jobs () =
+    Hashtbl.fold (fun _ c n -> n + Queue.length c.jobs_q) conns 0
+  in
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get stop_flag then draining := true;
+    if !draining && !listening then begin
+      listening := false;
+      (try Unix.close lfd with Unix.Unix_error _ -> ())
+    end;
+    (* pump every connection's head job, then flush what it produced *)
+    Hashtbl.iter
+      (fun _ c ->
+        if not c.dead then begin
+          progress resident c ~request_shutdown;
+          flush_conn c
+        end)
+      conns;
+    (* a 1-job pool has no workers: the loop lends its own domain *)
+    if Sched.Pool.jobs pool = 1 && pending_jobs () > 0 then
+      ignore (Sched.Pool.try_help pool : bool);
+    let rfds =
+      (if !listening then [ lfd ] else [])
+      @ Hashtbl.fold
+          (fun fd c acc -> if c.closing || c.dead then acc else fd :: acc)
+          conns []
+    in
+    let wfds =
+      Hashtbl.fold
+        (fun fd c acc -> if (not c.dead) && has_output c then fd :: acc else acc)
+        conns []
+    in
+    let timeout = if pending_jobs () > 0 then 0.005 else 0.25 in
+    let readable, writable =
+      match Unix.select rfds wfds [] timeout with
+      | r, w, _ -> r, w
+      | exception Unix.Unix_error (EINTR, _, _) -> [], []
+    in
+    List.iter
+      (fun fd ->
+        if fd = lfd then accept_all ()
+        else
+          match Hashtbl.find_opt conns fd with
+          | Some c when not c.dead -> read_conn resident c
+          | _ -> ())
+      readable;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt conns fd with
+        | Some c when not c.dead -> flush_conn c
+        | _ -> ())
+      writable;
+    (* close idle, drained and broken connections *)
+    let now = Unix.gettimeofday () in
+    let doomed =
+      Hashtbl.fold
+        (fun fd c acc ->
+          let drained = Queue.is_empty c.jobs_q && not (has_output c) in
+          if
+            c.dead
+            || (c.closing && drained)
+            || (!draining && drained)
+            || (config.idle_timeout_s > 0. && drained
+               && now -. c.last_active > config.idle_timeout_s)
+          then fd :: acc
+          else acc)
+        conns []
+    in
+    List.iter
+      (fun fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove conns fd)
+      doomed;
+    if !draining && Hashtbl.length conns = 0 then finished := true
+  done

@@ -1,0 +1,49 @@
+(** verifyd — the resident verification server.
+
+    A long-lived Unix-domain-socket daemon that loads the TLS protocol
+    specs {e once} at startup and keeps the whole term universe hot across
+    requests: the weak intern table, the generation-stamped normal-form
+    memos of the resident proof environments, the lint reports and the
+    completed-obligation result cache all survive from one request to the
+    next — so the second identical campaign subset costs a registry lookup
+    where a cold CLI run pays spec elaboration and every red from zero.
+
+    Architecture: one single-threaded [select] event loop owns all socket
+    I/O (accept, incremental frame decoding, response write-back) and
+    dispatches proof obligations onto a {!Sched.Pool} of worker domains,
+    polling their futures between I/O ticks — verdicts stream back in
+    campaign order while later obligations are still running.  Identical
+    in-flight obligations from concurrent clients are deduplicated against
+    a single shared future ({!Registry}).  Each request runs under a
+    [cat = "server"] telemetry span, and always-on {!Telemetry.Metrics}
+    (request counters, dedup hit rate, latency histograms, memo/intern
+    occupancy gauges) are served by the [metrics] request.
+
+    Graceful shutdown: a [shutdown] request, SIGINT or SIGTERM stops
+    accepting, lets in-flight requests finish, flushes every connection,
+    removes the socket file and returns.  A reduction that exhausts its
+    step budget or deadline ({!Kernel.Rewrite.Limit_exceeded}) is answered
+    with a structured [timeout] verdict on that request's stream — the
+    connection survives. *)
+
+type config = {
+  socket : string;  (** path of the Unix-domain socket to bind *)
+  jobs : int;  (** sched-pool parallelism (≥ 1) *)
+  idle_timeout_s : float;  (** close connections idle this long; 0 = never *)
+  max_frame : int;  (** per-frame byte cap (see {!Protocol.Frame}) *)
+  handle_signals : bool;  (** install SIGINT/SIGTERM drain handlers *)
+}
+
+val default_config : socket:string -> config
+
+(** [run config] binds, serves until drained, cleans up, returns.
+    @raise Failure if the socket cannot be bound (e.g. another live
+    daemon owns it — a stale socket file left by a crash is reclaimed). *)
+val run : config -> unit
+
+(** [verdict_of_result ~negative r] is the wire verdict for one proof
+    result, [v_text] rendered exactly as the standalone [verify] binary
+    prints it.  Exposed so tests and the bench can fingerprint local runs
+    with the very function the server uses. *)
+val verdict_of_result :
+  negative:bool -> Core.Induction.result -> Protocol.verdict

@@ -1,0 +1,155 @@
+(** The verifyd wire protocol: length-prefixed s-expression frames.
+
+    A connection carries a sequence of {e frames} in each direction.  A
+    frame is a 4-byte big-endian payload length followed by that many
+    bytes of payload; each payload is exactly one s-expression
+    ({!Certify.Sexp}, the certificate syntax).  The client sends one
+    {!request} per frame; the server answers every request with a stream
+    of {!response} frames terminated by [Done] — so responses are
+    self-delimiting and verdicts stream back as they are proved, before
+    the campaign finishes.
+
+    Malformed input — an oversized or negative length, a payload that is
+    not a well-formed s-expression, an s-expression that is not a known
+    request — is reported as an [Error _] result (and answered over the
+    wire with an [Rerror] frame), never as an exception escape: a hostile
+    or confused client cannot take the server down.
+
+    The module is deliberately self-contained (no kernel, no prover): the
+    fuzz tests exercise the codec without loading any spec. *)
+
+(** {1 Framing} *)
+
+module Frame : sig
+  (** Frames longer than this are rejected at decode time (default
+      64 MiB — whole-campaign certificates fit comfortably). *)
+  val default_max : int
+
+  (** [encode buf payload] appends the length prefix and payload. *)
+  val encode : Buffer.t -> string -> unit
+
+  (** [to_string payload] is a single encoded frame. *)
+  val to_string : string -> string
+
+  (** An incremental decoder: feed it raw bytes as they arrive, pull
+      complete frames out.  A decoder that has returned [Error _] is
+      poisoned and returns the same error forever. *)
+  type decoder
+
+  val decoder : ?max_frame:int -> unit -> decoder
+
+  (** [feed dec bytes off len] appends received bytes. *)
+  val feed : decoder -> bytes -> int -> int -> unit
+
+  (** [next dec] is [Ok (Some payload)] when a complete frame is
+      available, [Ok None] when more bytes are needed, [Error msg] on a
+      violated framing invariant (oversized length; the error sticks). *)
+  val next : decoder -> (string option, string) result
+
+  (** [buffered dec] — bytes fed but not yet returned as frames. *)
+  val buffered : decoder -> int
+
+  (** Blocking helpers for simple clients (the server uses the
+      incremental decoder). [read fd] is [Ok None] on clean EOF. *)
+  val read : ?max_frame:int -> Unix.file_descr -> (string option, string) result
+
+  val write : Unix.file_descr -> string -> unit
+end
+
+(** {1 Requests} *)
+
+(** Protocol style over the wire; {!Server} maps it onto
+    [Tls.Model.style]. *)
+type style = Original | Variant
+
+(** [style_name s] is the wire spelling: ["original"] / ["variant"]. *)
+val style_name : style -> string
+
+type request =
+  | Ping
+  | Status
+  | Metrics
+  | Shutdown  (** stop accepting, drain in-flight work, exit *)
+  | Lint of { style : style }
+  | Verify of {
+      style : style;
+      only : string list;  (** empty: the whole campaign *)
+      negative : bool;  (** also attempt properties 2'/3' *)
+      extensions : bool;
+    }
+  | Check of { cert : string }  (** a serialized proof certificate *)
+  | Eval of {
+      src : string;  (** mini-CafeOBJ phrases, as for [caferepl] *)
+      step_limit : int option;  (** cap on each red of a defined module *)
+      deadline_s : float option;
+    }
+
+(** {1 Responses} *)
+
+type case = {
+  c_name : string;
+  c_status : string;  (** ["proved"] | ["refuted"] | ["unknown"] *)
+  c_splits : int;
+  c_steps : int;
+}
+
+type verdict = {
+  v_name : string;
+  v_proved : bool;
+  v_negative : bool;  (** a Section-5.3 negative property: refutation expected *)
+  v_cases : case list;
+  v_text : string;  (** the standalone binary's rendering, durations included *)
+}
+
+type response =
+  | Pong of { pid : int; uptime_s : float }
+  | Rstatus of {
+      uptime_s : float;
+      jobs : int;
+      requests : int;
+      in_flight : int;
+      styles : style list;
+    }
+  | Rmetrics of {
+      counters : (string * int) list;
+      gauges : (string * float) list;
+      histograms : (string * float array) list;
+          (** per histogram: [count; sum_ms; p50; p90; p99; max_ms] *)
+    }
+  | Rverdict of verdict
+  | Rsummary of {
+      invariants : int * int;  (** proved, total *)
+      cases : int * int;
+      splits : int;
+      steps : int;
+      text : string;
+    }
+  | Rlint of { errors : int; warnings : int; infos : int; cached : bool; text : string }
+  | Rcheck of {
+      ok : bool;
+      obligations : int;
+      steps : int;
+      errors : (string * string) list;  (** (breadcrumb path, message) *)
+    }
+  | Reval of { text : string }
+  | Rtimeout of {
+      limit : [ `Steps of int | `Deadline of float ];
+      steps : int;
+      name : string;  (** which obligation / phrase hit the limit *)
+    }
+  | Rerror of { code : string; msg : string }
+      (** codes: ["protocol"], ["bad-request"], ["eval"], ["server"] *)
+  | Done of { exit_code : int }
+
+(** {1 Codec} *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** [verdict_fingerprint v] — the deterministic subset of a verdict (name,
+    proved flag, cases with splits/steps; no [v_text], no durations), in
+    the same format as [Core.Report.result_fingerprint].  Server and
+    standalone runs of the same obligation agree byte-for-byte here. *)
+val verdict_fingerprint : verdict -> string

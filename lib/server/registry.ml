@@ -1,0 +1,70 @@
+(* The server's event loop is single-threaded, but the registry is also
+   exercised directly by tests from several domains, so every operation
+   holds the (uncontended) lock. *)
+
+let c_hits = Telemetry.Metrics.counter "server.dedup.hits"
+let c_misses = Telemetry.Metrics.counter "server.dedup.misses"
+
+type 'a entry = { task : 'a Sched.Task.t; mutable seq : int }
+
+type 'a t = {
+  lock : Mutex.t;
+  entries : (string, 'a entry) Hashtbl.t;
+  capacity : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    lock = Mutex.create ();
+    entries = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    next_seq = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Evict the oldest *resolved* entries until we are back under capacity;
+   in-flight futures must survive (dropping one would fork duplicate
+   work and break the shared-future invariant). *)
+let evict t =
+  if Hashtbl.length t.entries > t.capacity then begin
+    let resolved =
+      Hashtbl.fold
+        (fun k e acc ->
+          if Sched.Task.is_resolved e.task then (e.seq, k) :: acc else acc)
+        t.entries []
+      |> List.sort compare
+    in
+    let excess = Hashtbl.length t.entries - t.capacity in
+    List.iteri
+      (fun i (_, k) -> if i < excess then Hashtbl.remove t.entries k)
+      resolved
+  end
+
+let find_or_submit t ~key spawn =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+    Telemetry.Metrics.incr c_hits;
+    (* refresh recency so hot obligations outlive cold ones *)
+    e.seq <- t.next_seq;
+    t.next_seq <- t.next_seq + 1;
+    e.task, if Sched.Task.is_resolved e.task then `Cached else `Inflight
+  | None ->
+    Telemetry.Metrics.incr c_misses;
+    let task = spawn () in
+    Hashtbl.replace t.entries key { task; seq = t.next_seq };
+    t.next_seq <- t.next_seq + 1;
+    evict t;
+    task, `Fresh
+
+let in_flight_count t =
+  with_lock t @@ fun () ->
+  Hashtbl.fold
+    (fun _ e n -> if Sched.Task.is_resolved e.task then n else n + 1)
+    t.entries 0
+
+let size t = with_lock t @@ fun () -> Hashtbl.length t.entries

@@ -1,0 +1,34 @@
+(** Obligation deduplication for the resident server.
+
+    Every proof obligation the server dispatches is keyed by a canonical
+    string (e.g. ["verify:original:inv1"]).  The registry maps keys to the
+    {!Sched.Task.t} computing them: a second request for a key whose task
+    is still running shares the in-flight future, and a request for a key
+    whose task has already resolved gets the resolved future back — the
+    resident result cache that makes a warm repeat of a campaign subset
+    near-instant.  Resolved entries are evicted oldest-first beyond
+    [capacity]; in-flight entries are never evicted.
+
+    Counters [server.dedup.hits] / [server.dedup.misses]
+    ({!Telemetry.Metrics}) record the hit rate. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+(** [find_or_submit t ~key spawn] returns the shared future for [key],
+    calling [spawn] (which must submit the work and return its future)
+    only when no live entry exists.  The flag distinguishes a fresh
+    submission ([`Fresh]) from a dedup hit against a running ([`Inflight])
+    or completed ([`Cached]) obligation. *)
+val find_or_submit :
+  'a t ->
+  key:string ->
+  (unit -> 'a Sched.Task.t) ->
+  'a Sched.Task.t * [ `Fresh | `Inflight | `Cached ]
+
+(** [in_flight_count t] counts entries whose task has not resolved yet. *)
+val in_flight_count : 'a t -> int
+
+(** [size t] is the number of live entries (cached + in flight). *)
+val size : 'a t -> int

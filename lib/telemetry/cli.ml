@@ -1,3 +1,12 @@
+module Exit = struct
+  let ok = 0
+  let failure = 1
+  let usage = 2
+  let lint_gate = 3
+  let cert_rejected = 4
+  let timeout = 5
+end
+
 let active ~profile ~trace_out = profile || trace_out <> ""
 
 let setup ?(span_min_ns = 10_000) ~profile ~trace_out () =

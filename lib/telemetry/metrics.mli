@@ -1,0 +1,66 @@
+(** Always-on operational metrics for long-lived processes.
+
+    {!Probe} is profiling instrumentation: zero-cost when disabled and
+    meant to be switched on for one run at a time.  A resident server
+    instead needs a handful of {e operational} metrics — requests served,
+    cache hits, latency distributions — that are cheap enough to leave on
+    forever (an atomic increment per event) and can be snapshotted at any
+    moment while requests are in flight.
+
+    All registration functions return the existing instrument when the
+    name is already taken, so modules can register at initialization time
+    without coordinating.  Everything is domain- and thread-safe. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges}
+
+    Point-in-time values, overwritten on every set. *)
+
+val set_gauge : string -> float -> unit
+
+(** {1 Histograms}
+
+    Log-bucketed latency histograms: bucket [i] counts observations of at
+    most [10 µs × 2^i] (25 buckets, so the top bucket covers ~167 s;
+    larger observations land in an overflow bucket).  Quantiles in the
+    snapshot are upper-bound approximations (the bucket boundary), which
+    is the standard trade for lock-free recording. *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe_ns : histogram -> int -> unit
+
+(** [observe_s h dt] records a duration in seconds. *)
+val observe_s : histogram -> float -> unit
+
+(** {1 Snapshot} *)
+
+type histogram_view = {
+  h_name : string;
+  h_count : int;
+  h_sum_ms : float;
+  h_p50_ms : float;
+  h_p90_ms : float;
+  h_p99_ms : float;
+  h_max_ms : float;
+}
+
+type snapshot = {
+  m_counters : (string * int) list;  (** sorted by name *)
+  m_gauges : (string * float) list;  (** sorted by name *)
+  m_histograms : histogram_view list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+(** [reset ()] zeroes every registered instrument (tests only). *)
+val reset : unit -> unit
