@@ -37,6 +37,9 @@ let intern_table_len = ref 0
 let telemetry_overhead_pct = ref 0.0
 let server_cold_ms = ref 0.0
 let server_warm_ms = ref 0.0
+let secrecy_ms = ref 0.0
+let horn_clauses = ref 0
+let saturation_rounds = ref 0
 let server_dedup_hit_rate = ref 0.0
 
 (* per invariant, the top rules by self-time: (label, fires, self_ms) *)
@@ -68,10 +71,13 @@ let write_json file ~jobs =
      %.3f,\n  \"red_memo_ms\": %.3f,\n  \"memo_hit_rate\": %.4f,\n  \
      \"intern_table_len\": %d,\n  \"telemetry_overhead_pct\": %.2f,\n  \
      \"server_cold_ms\": %.3f,\n  \"server_warm_ms\": %.3f,\n  \
-     \"server_dedup_hit_rate\": %.4f,\n  \"experiments\": ["
+     \"server_dedup_hit_rate\": %.4f,\n  \"secrecy_ms\": %.3f,\n  \
+     \"horn_clauses\": %d,\n  \"saturation_rounds\": %d,\n  \
+     \"experiments\": ["
     jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms
     !red_memo_ms !memo_hit_rate !intern_table_len !telemetry_overhead_pct
-    !server_cold_ms !server_warm_ms !server_dedup_hit_rate;
+    !server_cold_ms !server_warm_ms !server_dedup_hit_rate !secrecy_ms
+    !horn_clauses !saturation_rounds;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
@@ -503,7 +509,7 @@ let report ~pool () =
    @@ fun () ->
    let req =
      P.Verify
-       { style = P.Original; only = [ "inv1" ]; negative = false; extensions = false }
+       { style = P.Original; only = [ "inv1" ]; negative = false; extensions = false; certify = false }
    in
    let round_trip () =
      let t0 = Unix.gettimeofday () in
@@ -539,7 +545,22 @@ let report ~pool () =
       dedup hit rate %.2f (%d/%d)@."
      !server_cold_ms !server_warm_ms
      (!server_cold_ms /. Float.max !server_warm_ms 1e-9)
-     !server_dedup_hit_rate hits (hits + misses))
+     !server_dedup_hit_rate hits (hits + misses));
+
+  section "E18: static secrecy analysis (Horn-clause saturation)";
+  (let t0 = Unix.gettimeofday () in
+   let r = Analysis.Secrecy.analyze (Tls.Model.spec Tls.Model.Original) in
+   let dt = Unix.gettimeofday () -. t0 in
+   secrecy_ms := dt *. 1000.;
+   horn_clauses := r.Analysis.Secrecy.r_clauses;
+   saturation_rounds := r.Analysis.Secrecy.r_rounds;
+   record "secrecy-generated-tls" dt;
+   Format.printf
+     "E18 secrecy: generated TLS spec %s in %.3fs (%d clauses, %d facts, %d \
+      rounds, %d resolutions)@."
+     (Analysis.Secrecy.verdict_name r)
+     dt r.Analysis.Secrecy.r_clauses r.Analysis.Secrecy.r_facts
+     r.Analysis.Secrecy.r_rounds r.Analysis.Secrecy.r_resolutions)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing *)

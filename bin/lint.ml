@@ -8,7 +8,11 @@
      lint --only CHECKER           run one checker (repeatable);
      lint --skip CHECKER           or skip one (repeatable); checkers:
                                    termination confluence completeness
-                                   hygiene coverage
+                                   hygiene coverage secrecy flow
+     lint --allow SPEC:CODE        demote a known finding to info
+                                   (repeatable), e.g. LEAKY:secret-leaks
+     lint --sarif FILE             write a SARIF 2.1.0 report for CI
+                                   code-scanning / PR annotation
      lint --prec f,g,h             seed the termination precedence
                                    (later = greater)
      lint --budget N               rewrite steps per critical-pair join
@@ -29,8 +33,10 @@ let () =
   let tls = ref false in
   let tls_variant = ref false in
   let json = ref "" in
+  let sarif = ref "" in
   let only = ref [] in
   let skip = ref [] in
+  let allow = ref [] in
   let prec = ref "" in
   let budget = ref Analysis.Lint.default_options.Analysis.Lint.budget in
   let fuel = ref Analysis.Lint.default_options.Analysis.Lint.fuel in
@@ -42,8 +48,10 @@ let () =
       "--tls", Arg.Set tls, "lint the generated TLS handshake spec";
       "--tls-variant", Arg.Set tls_variant, "lint the generated Cf2First variant";
       "--json", Arg.Set_string json, "FILE write the JSON report to FILE";
+      "--sarif", Arg.Set_string sarif, "FILE write a SARIF 2.1.0 report to FILE";
       "--only", Arg.String (fun s -> only := s :: !only), "CHECKER run only this checker (repeatable)";
       "--skip", Arg.String (fun s -> skip := s :: !skip), "CHECKER skip this checker (repeatable)";
+      "--allow", Arg.String (fun s -> allow := s :: !allow), "SPEC:CODE demote a known finding to info (repeatable)";
       "--prec", Arg.Set_string prec, "OPS comma-separated precedence seed, later = greater";
       "--budget", Arg.Set_int budget, "N rewrite steps per critical-pair join (default 20000)";
       "--fuel", Arg.Set_int fuel, "N case splits per critical-pair join (default 8)";
@@ -82,6 +90,7 @@ let () =
          else String.split_on_char ',' !prec |> List.map String.trim);
       budget = !budget;
       fuel = !fuel;
+      allow = List.rev !allow;
     }
   in
   Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
@@ -99,6 +108,10 @@ let () =
     output_string oc (Analysis.Lint.report_to_json report);
     close_out oc;
     Format.printf "wrote %s@." !json
+  end;
+  if !sarif <> "" then begin
+    Analysis.Sarif.write !sarif report;
+    Format.printf "wrote %s@." !sarif
   end;
   Telemetry.Cli.flush ~process_name:"lint"
     ~gauges:(fun () ->

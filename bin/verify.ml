@@ -21,7 +21,11 @@
                                 (implies recording; open at ui.perfetto.dev)
      verify --remote SOCKET     don't prove locally: send the request to a
                                 resident verifyd serving SOCKET and stream
-                                its verdicts back (see bin/verifyd.ml)
+                                its verdicts back (see bin/verifyd.ml);
+                                with --certify the daemon traces the
+                                campaign and streams the certificate over
+                                the wire (write it with --certify-out,
+                                re-check it with a check request)
 
    Exit status (Telemetry.Cli.Exit, shared by verify / lint / check / verifyd):
      0  every requested proof succeeded (and, with --negative, the failing
@@ -70,12 +74,25 @@ module Exit = Telemetry.Cli.Exit
    so the per-proof output is byte-identical to a local run (modulo
    wall-clock durations); negative verdicts stream after the positives,
    before the campaign summary. *)
-let run_remote ~socket ~variant ~only ~negative ~extensions ~stats_only =
+let run_remote ~socket ~variant ~only ~negative ~extensions ~stats_only
+    ~certify ~certify_out =
   let module P = Server.Protocol in
   let style = if variant then P.Variant else P.Original in
-  let req = P.Verify { style; only; negative; extensions } in
+  let req = P.Verify { style; only; negative; extensions; certify } in
   let negative_header = ref false in
   let on_response = function
+    | P.Rcert { cert } ->
+      if certify_out = "" then
+        Format.printf "certify: received a %d-byte certificate@."
+          (String.length cert)
+      else begin
+        let oc = open_out certify_out in
+        output_string oc cert;
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "certify: wrote %s (%d bytes)@." certify_out
+          (String.length cert)
+      end
     | P.Rverdict v ->
       if v.P.v_negative && not !negative_header then begin
         negative_header := true;
@@ -149,15 +166,16 @@ let () =
     exit Exit.usage
   end;
   if !remote <> "" then begin
-    if !lint || !certify || !profile || !trace_out <> "" then begin
+    if !lint || !profile || !trace_out <> "" then begin
       prerr_endline
-        "verify: --lint/--certify/--profile/--trace-out do not apply to \
-         --remote (the daemon owns its own pool and telemetry)";
+        "verify: --lint/--profile/--trace-out do not apply to --remote \
+         (the daemon owns its own pool and telemetry)";
       exit Exit.usage
     end;
     exit
       (run_remote ~socket:!remote ~variant:!variant ~only:(List.rev !only)
-         ~negative:!negative ~extensions:!extensions ~stats_only:!stats_only)
+         ~negative:!negative ~extensions:!extensions ~stats_only:!stats_only
+         ~certify:!certify ~certify_out:!certify_out)
   end;
   Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
   let style = if !variant then Tls.Model.Cf2First else Tls.Model.Original in

@@ -10,6 +10,10 @@
      verifyd metrics  --socket PATH     counters, gauges, latency histograms
      verifyd shutdown --socket PATH     graceful drain
      verifyd lint     --socket PATH [--variant]
+     verifyd secrecy  --socket PATH [--variant]
+                                static Dolev-Yao secrecy analysis of the
+                                resident spec; the saturated Horn state is
+                                cached per style, so re-queries are warm
      verifyd eval     --socket PATH [--steps N] [--deadline S] FILE|-
                                 run mini-CafeOBJ phrases in the daemon's
                                 resident REPL; a red that exhausts --steps
@@ -70,6 +74,13 @@ let print_response = function
     Printf.printf "lint: %d error(s), %d warning(s), %d info(s)%s\n" errors
       warnings infos
       (if cached then " [resident cache]" else "")
+  | P.Rsecrecy { verdict; clauses; facts; rounds; resolutions; cached } ->
+    Printf.printf
+      "secrecy: %s (%d clauses, %d facts, %d rounds, %d resolutions)%s\n"
+      verdict clauses facts rounds resolutions
+      (if cached then " [resident cache]" else "")
+  | P.Rcert { cert } ->
+    Printf.printf "certificate: %d bytes\n" (String.length cert)
   | P.Reval { text } -> print_endline text
   | P.Rtimeout { limit; steps; name } ->
     let limit_s =
@@ -163,6 +174,13 @@ let () =
       ~extra:[ "--variant", Arg.Set variant, "lint the Cf2First variant spec" ]
       ~make_request:(fun _ ->
         P.Lint { style = (if !variant then P.Variant else P.Original) })
+  | _ :: "secrecy" :: rest ->
+    let variant = ref false in
+    client_command "secrecy" rest
+      ~extra:
+        [ "--variant", Arg.Set variant, "analyze the Cf2First variant spec" ]
+      ~make_request:(fun _ ->
+        P.Secrecy { style = (if !variant then P.Variant else P.Original) })
   | _ :: "eval" :: rest ->
     let steps = ref 0 in
     let deadline = ref 0. in

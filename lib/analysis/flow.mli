@@ -1,0 +1,43 @@
+(** Rule-level flow analysis over OTS-style specs.
+
+    Transition rules of an observational transition system have the
+    shape [obs(action(S, xs), ys) = rhs]: the equation describes how one
+    observer reads the post-state of one action.  This checker recovers
+    that structure from the elaborated rewrite rules, computes per-action
+    read/write footprints over the observers, derives the action
+    dependency graph (an edge [a -> b] when [a] writes an observer [b]
+    reads), and reports:
+
+    - ["dead-transition"]: an action none of whose equations changes any
+      observer — it can never affect the state (warning);
+    - ["dead-guard"]: an observer equation whose guard normalizes to
+      [false], so its effect branch is unreachable (warning);
+    - ["duplicate-transition"]: two actions whose equations are
+      alpha-identical modulo the action name (info);
+    - ["unreachable-rule"]: any rule (OTS or not) whose left-hand side
+      contains a proper subpattern reducible by an unconditional rule of
+      the same system — under the innermost strategy the arguments are
+      already normalized when the root is tried, so the rule can never
+      fire (warning).
+
+    Specs with no transition rules get footprint-free results and only
+    the [unreachable-rule] scan. *)
+
+type transition = {
+  t_name : string;  (** action operator *)
+  t_reads : string list;  (** observers read by guards/effects *)
+  t_writes : string list;  (** observers whose value can change *)
+  t_dead : bool;
+}
+
+type result = {
+  transitions : transition list;
+  edges : (string * string) list;
+      (** dependency edges: writer action, reader action *)
+  diagnostics : Diagnostic.t list;
+}
+
+val check : Cafeobj.Spec.t -> result
+
+(** Graphviz rendering of the action dependency graph. *)
+val dot : result -> string

@@ -1,0 +1,351 @@
+open Kernel
+
+type clause = {
+  c_label : string;
+  c_head : string * Term.t;
+  c_premises : (string * Term.t) list;
+  c_constraints : (Term.t * Term.t) list;
+  c_carrier : Term.t option;
+}
+
+type fact = {
+  f_pred : string;
+  f_arg : Term.t;
+  f_clause : clause;
+  f_parents : (fact * Term.t) list;
+  f_carrier : Term.t option;
+  f_cut : bool;
+  f_id : int;
+  mutable f_alive : bool;
+}
+
+type stats = {
+  rounds : int;
+  resolutions : int;
+  subsumed : int;
+  facts_total : int;
+}
+
+type outcome = { saturated : bool; facts : fact list; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Term helpers *)
+
+let map_vars f t =
+  let rec go t =
+    match Term.view t with
+    | Term.Var v -> f v
+    | Term.App (o, args) -> Term.app_unchecked o (List.map go args)
+  in
+  go t
+
+let canonicalize ts =
+  let tbl = Hashtbl.create 16 in
+  let n = ref 0 in
+  let f (v : Term.var) =
+    let key = (v.Term.v_name, v.Term.v_sort.Sort.name) in
+    match Hashtbl.find_opt tbl key with
+    | Some t -> t
+    | None ->
+      incr n;
+      let t = Term.var (Printf.sprintf "%%%d" !n) v.Term.v_sort in
+      Hashtbl.add tbl key t;
+      t
+  in
+  List.map (map_vars f) ts
+
+let compose s1 s2 =
+  let b1 =
+    List.map (fun (v, t) -> (v, Subst.apply s2 t)) (Subst.bindings s1)
+  in
+  let b2 =
+    List.filter (fun (v, _) -> not (List.mem_assoc v b1)) (Subst.bindings s2)
+  in
+  Subst.of_list (b1 @ b2)
+
+let rec ctor_rigid t =
+  match Term.view t with
+  | Term.Var _ -> true
+  | Term.App (o, args) ->
+    (Signature.is_ctor o
+    || Signature.op_equal o Signature.Builtin.tt
+    || Signature.op_equal o Signature.Builtin.ff)
+    && List.for_all ctor_rigid args
+
+let subsumes ~pred general ~pred2 specific =
+  String.equal pred pred2 && Matching.match_ general specific <> None
+
+(* ------------------------------------------------------------------ *)
+(* Saturation *)
+
+type state = {
+  cfg_depth : int;
+  cfg_max_facts : int;
+  cfg_expansion : int;
+  normalize : Term.t -> Term.t;
+  constructors : Sort.t -> Signature.op list;
+  (* fact database: per-predicate, insertion-ordered *)
+  index : (string, fact list ref) Hashtbl.t;
+  (* clauses indexed by premise predicate: (clause, premise position) *)
+  by_premise : (string, (clause * int) list) Hashtbl.t;
+  queue : fact Queue.t;
+  mutable fresh : int;
+  mutable next_id : int;
+  mutable n_rounds : int;
+  mutable n_resolutions : int;
+  mutable n_subsumed : int;
+  mutable n_alive : int;
+  mutable exhausted : bool;
+}
+
+let fresh_var st prefix sort =
+  st.fresh <- st.fresh + 1;
+  Term.var (Printf.sprintf "%%%s%d" prefix st.fresh) sort
+
+(* A variable sitting directly under a non-constructor operator blocks
+   normalization; instantiating it by each constructor of its sort can
+   unstick the projection.  Innermost blocked variable first. *)
+let rec blocking_var t =
+  match Term.view t with
+  | Term.Var _ -> None
+  | Term.App (o, args) -> (
+    match List.find_map blocking_var args with
+    | Some _ as r -> r
+    | None ->
+      if Signature.is_ctor o || Signature.Builtin.is_builtin o then None
+      else
+        List.find_map
+          (fun a -> match Term.view a with Term.Var v -> Some v | _ -> None)
+          args)
+
+(* Discharge one equality under [theta]: normalize both sides, unify;
+   on failure expand a blocking variable by constructors (bounded by
+   [fuel]) and retry.  Returns every solved branch; an undecidable
+   constraint yields [theta] unchanged (dropped, over-approximating),
+   a rigid-vs-rigid clash yields no branch (definitive). *)
+let rec solve_eq st fuel theta (a, b) =
+  let na = st.normalize (Subst.apply theta a) in
+  let nb = st.normalize (Subst.apply theta b) in
+  if Term.equal na nb then [ theta ]
+  else
+    match Matching.unify na nb with
+    | Some s -> [ compose theta s ]
+    | None ->
+      if ctor_rigid na && ctor_rigid nb then []
+      else if fuel <= 0 then [ theta ]
+      else (
+        match
+          (match blocking_var na with None -> blocking_var nb | r -> r)
+        with
+        | None -> [ theta ]
+        | Some v -> (
+          match st.constructors v.Term.v_sort with
+          | [] -> [ theta ]
+          | ctors ->
+            List.concat_map
+              (fun (c : Signature.op) ->
+                let args =
+                  List.map (fresh_var st "e") c.Signature.arity
+                in
+                match
+                  Subst.of_list [ (v, Term.app_unchecked c args) ]
+                with
+                | s -> solve_eq st (fuel - 1) (compose theta s) (a, b)
+                | exception Invalid_argument _ -> [])
+              ctors))
+
+let solve_constraints st theta cs =
+  List.fold_left
+    (fun thetas c ->
+      List.concat_map (fun th -> solve_eq st st.cfg_expansion th c) thetas)
+    [ theta ] cs
+
+(* Depth-k generalization: replace every subterm that would sit deeper
+   than [cfg_depth] by a fresh variable of its sort. *)
+let cut st t =
+  let did = ref false in
+  let rec go k t =
+    if Term.depth t <= k then t
+    else if k <= 1 then begin
+      did := true;
+      fresh_var st "c" (Term.sort t)
+    end
+    else Term.map_children (go (k - 1)) t
+  in
+  let t' = go st.cfg_depth t in
+  (t', !did)
+
+let facts_ref st pred =
+  match Hashtbl.find_opt st.index pred with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add st.index pred r;
+    r
+
+let rename_apart st t =
+  st.fresh <- st.fresh + 1;
+  let suffix = Printf.sprintf "~%d" st.fresh in
+  map_vars
+    (fun v -> Term.var (v.Term.v_name ^ suffix) v.Term.v_sort)
+    t
+
+let add_fact st clause theta parents carrier =
+  let pred, head_pat = clause.c_head in
+  let head = st.normalize (Subst.apply theta head_pat) in
+  let head, was_cut = cut st head in
+  let parent_insts =
+    List.map (fun (g, pat) -> (g, Subst.apply theta pat)) parents
+  in
+  let carrier_inst = Option.map (Subst.apply theta) carrier in
+  (* canonical renaming across the whole tuple keeps head and premise
+     instances sharing variables, and makes alpha-equal facts equal *)
+  let tuple =
+    (head :: List.map snd parent_insts)
+    @ match carrier_inst with Some c -> [ c ] | None -> []
+  in
+  let tuple = canonicalize tuple in
+  let head = List.hd tuple in
+  let rest = List.tl tuple in
+  let carrier_inst, parent_pats =
+    match carrier_inst with
+    | Some _ ->
+      let rec split = function
+        | [ c ] -> ([], Some c)
+        | x :: tl ->
+          let ps, c = split tl in
+          (x :: ps, c)
+        | [] -> ([], None)
+      in
+      let ps, c = split rest in
+      (c, ps)
+    | None -> (None, rest)
+  in
+  let parents =
+    List.map2 (fun (g, _) pat -> (g, pat)) parent_insts parent_pats
+  in
+  let db = facts_ref st pred in
+  if
+    List.exists
+      (fun g -> g.f_alive && Matching.match_ g.f_arg head <> None)
+      !db
+  then st.n_subsumed <- st.n_subsumed + 1
+  else begin
+    (* back-subsumption: strictly less general facts die *)
+    List.iter
+      (fun g ->
+        if g.f_alive && Matching.match_ head g.f_arg <> None then begin
+          g.f_alive <- false;
+          st.n_alive <- st.n_alive - 1
+        end)
+      !db;
+    st.next_id <- st.next_id + 1;
+    let f =
+      {
+        f_pred = pred;
+        f_arg = head;
+        f_clause = clause;
+        f_parents = parents;
+        f_carrier = carrier_inst;
+        f_cut = was_cut || List.exists (fun (g, _) -> g.f_cut) parents;
+        f_id = st.next_id;
+        f_alive = true;
+      }
+    in
+    db := !db @ [ f ];
+    st.n_alive <- st.n_alive + 1;
+    if st.n_alive > st.cfg_max_facts then st.exhausted <- true;
+    Queue.add f st.queue
+  end
+
+(* Fire [clause] with premise [pin] bound to [f] (when given); remaining
+   premises join against the whole database. *)
+let fire st clause pin f =
+  let rec go theta parents i = function
+    | [] ->
+      List.iter
+        (fun th ->
+          st.n_resolutions <- st.n_resolutions + 1;
+          add_fact st clause th (List.rev parents) clause.c_carrier)
+        (solve_constraints st theta clause.c_constraints)
+    | (pred, pat) :: rest ->
+      let candidates =
+        match f with
+        | Some f when i = pin -> [ f ]
+        | _ -> List.filter (fun g -> g.f_alive) !(facts_ref st pred)
+      in
+      List.iter
+        (fun g ->
+          if not st.exhausted then begin
+            let garg = rename_apart st g.f_arg in
+            match Matching.unify (Subst.apply theta pat) garg with
+            | None -> ()
+            | Some s -> go (compose theta s) ((g, pat) :: parents) (i + 1) rest
+          end)
+        candidates
+  in
+  go Subst.empty [] 0 clause.c_premises
+
+let saturate ?(depth = 16) ?(max_facts = 20_000) ?(expansion = 4) ~normalize
+    ~constructors clauses =
+  let st =
+    {
+      cfg_depth = depth;
+      cfg_max_facts = max_facts;
+      cfg_expansion = expansion;
+      normalize;
+      constructors;
+      index = Hashtbl.create 16;
+      by_premise = Hashtbl.create 16;
+      queue = Queue.create ();
+      fresh = 0;
+      next_id = 0;
+      n_rounds = 0;
+      n_resolutions = 0;
+      n_subsumed = 0;
+      n_alive = 0;
+      exhausted = false;
+    }
+  in
+  List.iter
+    (fun c ->
+      List.iteri
+        (fun i (pred, _) ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt st.by_premise pred)
+          in
+          Hashtbl.replace st.by_premise pred (prev @ [ (c, i) ]))
+        c.c_premises)
+    clauses;
+  (* seed: premise-less clauses fire once *)
+  List.iter
+    (fun c ->
+      if c.c_premises = [] && not st.exhausted then fire st c (-1) None)
+    clauses;
+  while (not (Queue.is_empty st.queue)) && not st.exhausted do
+    let f = Queue.pop st.queue in
+    st.n_rounds <- st.n_rounds + 1;
+    if f.f_alive then
+      List.iter
+        (fun (c, i) -> if not st.exhausted then fire st c i (Some f))
+        (Option.value ~default:[] (Hashtbl.find_opt st.by_premise f.f_pred))
+  done;
+  let facts =
+    Hashtbl.fold (fun _ r acc -> List.filter (fun f -> f.f_alive) !r @ acc)
+      st.index []
+    |> List.sort (fun a b -> Int.compare a.f_id b.f_id)
+  in
+  {
+    saturated = not st.exhausted;
+    facts;
+    stats =
+      {
+        rounds = st.n_rounds;
+        resolutions = st.n_resolutions;
+        subsumed = st.n_subsumed;
+        facts_total = st.n_alive;
+      };
+  }
+
+let facts_of outcome pred =
+  List.filter (fun f -> String.equal f.f_pred pred) outcome.facts

@@ -1,0 +1,103 @@
+(** Horn-clause saturation over term patterns — the engine behind the
+    static secrecy analysis ({!Secrecy}).
+
+    A {e fact} is a predicate applied to one term pattern; its variables
+    are implicitly universally quantified, so one fact covers every
+    instance (ProVerif-style).  A {e clause} derives a head fact from
+    premise facts under equality constraints.  {!saturate} runs unit
+    resolution to a fixpoint: premises unify with known facts (renamed
+    apart), constraints are discharged by normalization + unification
+    with bounded constructor expansion of blocked variables, and derived
+    heads are generalized by a depth-k cut so the abstract fact space is
+    finite.
+
+    Soundness direction: an undischargeable constraint is {e dropped}
+    (the clause fires anyway) and a too-deep subterm is {e generalized}
+    to a fresh variable — both over-approximate, so a saturation that
+    never derives the secret is a proof.  Constraint failure prunes a
+    branch only when both sides are constructor-rigid, where disequality
+    is definitive.  Derivations are recorded on every fact, so a derived
+    secret unwinds into a witness tree. *)
+
+open Kernel
+
+type clause = {
+  c_label : string;  (** usually the originating rule label *)
+  c_head : string * Term.t;
+  c_premises : (string * Term.t) list;
+  c_constraints : (Term.t * Term.t) list;
+      (** equalities solved at resolution time (normalize, then unify) *)
+  c_carrier : Term.t option;
+      (** the concrete-spec term this clause abstracts (e.g. the full
+          observer-equation lhs), instantiated along with the head —
+          replay reconstructs the concrete rewrite from it *)
+}
+
+type fact = {
+  f_pred : string;
+  f_arg : Term.t;  (** canonically renamed pattern *)
+  f_clause : clause;
+  f_parents : (fact * Term.t) list;
+      (** premise facts and the instance patterns they were used at,
+          sharing variables with [f_arg] *)
+  f_carrier : Term.t option;
+  f_cut : bool;  (** this fact (or an ancestor) lost structure to the
+                     depth cut — its derivation may not replay *)
+  f_id : int;
+  mutable f_alive : bool;  (** false once back-subsumed *)
+}
+
+type stats = {
+  rounds : int;  (** worklist items processed *)
+  resolutions : int;  (** successful clause firings *)
+  subsumed : int;  (** derived facts dropped as instances of known ones *)
+  facts_total : int;  (** alive facts at the end *)
+}
+
+type outcome = {
+  saturated : bool;  (** false: the fact budget ran out (inconclusive) *)
+  facts : fact list;  (** alive facts, in derivation order *)
+  stats : stats;
+}
+
+(** [saturate ~normalize ~constructors clauses] runs the worklist to
+    fixpoint (or until [max_facts] alive facts exist).  [normalize]
+    should be a total simplifier — typically the spec's [reduce] with
+    [Limit_exceeded] caught; [constructors] drives bounded expansion of
+    variables blocking a constraint (sort with no constructors: the
+    constraint is dropped instead).  [depth] is the generalization cut
+    on derived heads; [expansion] the per-constraint expansion fuel.
+    Deterministic: clause order and fact insertion order fix the
+    result. *)
+val saturate :
+  ?depth:int ->
+  ?max_facts:int ->
+  ?expansion:int ->
+  normalize:(Term.t -> Term.t) ->
+  constructors:(Sort.t -> Signature.op list) ->
+  clause list ->
+  outcome
+
+(** [facts_of outcome pred] — alive facts of one predicate. *)
+val facts_of : outcome -> string -> fact list
+
+(** [subsumes general specific] — every instance of [specific] is an
+    instance of [general] (same predicate, one-way match). *)
+val subsumes : pred:string -> Term.t -> pred2:string -> Term.t -> bool
+
+(** [map_vars f t] rebuilds [t] replacing each variable [v] by [f v]. *)
+val map_vars : (Term.var -> Term.t) -> Term.t -> Term.t
+
+(** [canonicalize ts] renames the variables of the tuple [ts]
+    consistently to [%1], [%2], … in left-to-right order of first
+    occurrence — alpha-equal tuples become structurally equal. *)
+val canonicalize : Term.t list -> Term.t list
+
+(** [compose s1 s2] — apply [s2] after [s1] ([apply (compose s1 s2) t =
+    apply s2 (apply s1 t)] for [t] over [s1]'s domain). *)
+val compose : Subst.t -> Subst.t -> Subst.t
+
+(** [ctor_rigid t] — [t] is built only from constructors, [true]/[false]
+    and variables, so unification failure against another rigid term is
+    a definitive disequality. *)
+val ctor_rigid : Term.t -> bool

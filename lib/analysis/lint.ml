@@ -1,7 +1,16 @@
 module P = Cafeobj.Parser
 module Lexer = Cafeobj.Lexer
 
-let checkers = [ "termination"; "confluence"; "completeness"; "hygiene"; "coverage" ]
+let checkers =
+  [
+    "termination";
+    "confluence";
+    "completeness";
+    "hygiene";
+    "coverage";
+    "secrecy";
+    "flow";
+  ]
 
 type source =
   | File of string
@@ -15,6 +24,8 @@ type module_summary = {
   m_pairs : int option;
   m_joinable : bool option;
   m_semantic_joins : int option;
+  m_secrecy : string option;  (** verdict name; [None]: checker skipped *)
+  m_transitions : int option;  (** flow: recognized transitions *)
 }
 
 type report = {
@@ -31,9 +42,11 @@ type options = {
   hint : string list;  (** operator names, later = greater in the precedence *)
   budget : int;
   fuel : int;
+  allow : string list;  (** ["SPEC:code"] findings demoted to info *)
 }
 
-let default_options = { only = []; skip = []; hint = []; budget = 20_000; fuel = 8 }
+let default_options =
+  { only = []; skip = []; hint = []; budget = 20_000; fuel = 8; allow = [] }
 
 let validate_options opts =
   List.iter
@@ -82,10 +95,21 @@ let check_spec ?pool ~opts ~source spec =
       (span "hygiene" (fun () -> Hygiene.check spec)).Hygiene.diagnostics
     else []
   in
+  let secrecy_result =
+    if enabled opts "secrecy" then
+      Some (span "secrecy" (fun () -> Secrecy.check spec))
+    else None
+  in
+  let flow_result =
+    if enabled opts "flow" then Some (span "flow" (fun () -> Flow.check spec))
+    else None
+  in
   let diagnostics =
     (match term_result with Some r -> r.Termination.diagnostics | None -> [])
     @ (match conf_result with Some r -> r.Confluence.diagnostics | None -> [])
     @ comp_diags @ hyg_diags
+    @ (match secrecy_result with Some c -> c.Secrecy.diagnostics | None -> [])
+    @ (match flow_result with Some r -> r.Flow.diagnostics | None -> [])
   in
   let summary =
     {
@@ -96,6 +120,14 @@ let check_spec ?pool ~opts ~source spec =
       m_pairs = Option.map (fun r -> r.Confluence.total) conf_result;
       m_joinable = Option.map (fun r -> r.Confluence.certified) conf_result;
       m_semantic_joins = Option.map (fun r -> r.Confluence.semantic) conf_result;
+      m_secrecy =
+        Option.map
+          (fun c -> Secrecy.verdict_name c.Secrecy.result)
+          secrecy_result;
+      m_transitions =
+        Option.map
+          (fun r -> List.length r.Flow.transitions)
+          flow_result;
     }
   in
   summary, diagnostics
@@ -191,8 +223,19 @@ let run ?pool ?(opts = default_options) sources =
       loadeds
   in
   let modules = List.concat_map fst results in
+  (* [--allow SPEC:code] findings stay visible but no longer gate *)
+  let allow (d : Diagnostic.t) =
+    if
+      d.Diagnostic.severity <> Diagnostic.Info
+      && List.mem (d.Diagnostic.spec ^ ":" ^ d.Diagnostic.code) opts.allow
+    then
+      { d with Diagnostic.severity = Diagnostic.Info;
+        message = d.Diagnostic.message ^ " [allowed]" }
+    else d
+  in
   let diagnostics =
-    List.stable_sort Diagnostic.compare (List.concat_map snd results)
+    List.stable_sort Diagnostic.compare
+      (List.map allow (List.concat_map snd results))
   in
   {
     diagnostics;
@@ -214,7 +257,7 @@ let pp_report ppf r =
         | Some false -> "NOT " ^ label
         | None -> label ^ " unchecked"
       in
-      Format.fprintf ppf "%s (%s): %d rules, %s, %s%s@." m.m_name m.m_source
+      Format.fprintf ppf "%s (%s): %d rules, %s, %s%s%s@." m.m_name m.m_source
         m.m_rules
         (flag "terminating" m.m_terminating)
         (match m.m_pairs with
@@ -224,7 +267,10 @@ let pp_report ppf r =
         ^
         match m.m_semantic_joins with
         | Some n when n > 0 -> Printf.sprintf " (%d semantic)" n
-        | _ -> ""))
+        | _ -> "")
+        (match m.m_secrecy with
+        | Some v -> Printf.sprintf ", secrecy %s" v
+        | None -> ""))
     r.modules;
   Format.fprintf ppf "%d errors, %d warnings, %d infos@." r.errors r.warnings
     r.infos
@@ -249,13 +295,17 @@ let report_to_json r =
         (Printf.sprintf
            "    {\"name\": \"%s\", \"source\": \"%s\", \"rules\": %d, \
             \"terminating\": %s, \"critical_pairs\": %s, \"joinable\": %s, \
-            \"semantic_joins\": %s}%s\n"
+            \"semantic_joins\": %s, \"secrecy\": %s, \"transitions\": %s}%s\n"
            (Diagnostic.json_escape m.m_name)
            (Diagnostic.json_escape m.m_source)
            m.m_rules
            (opt_bool m.m_terminating)
            (opt_int m.m_pairs) (opt_bool m.m_joinable)
            (opt_int m.m_semantic_joins)
+           (match m.m_secrecy with
+           | Some v -> Printf.sprintf "\"%s\"" (Diagnostic.json_escape v)
+           | None -> "null")
+           (opt_int m.m_transitions)
            (if i = List.length r.modules - 1 then "" else ",")))
     r.modules;
   Buffer.add_string buf "  ],\n";

@@ -3,8 +3,10 @@
     diagnostics into a report, renderable as text or JSON.
 
     Checkers: ["termination"], ["confluence"], ["completeness"],
-    ["hygiene"] (per elaborated module), and ["coverage"] (per source
-    file's proof passages).  Loading failures — unreadable file, lex,
+    ["hygiene"], ["secrecy"] (static Dolev-Yao secrecy, {!Secrecy}) and
+    ["flow"] (rule-level read/write footprints, {!Flow}) per elaborated
+    module, and ["coverage"] (per source file's proof passages).
+    Loading failures — unreadable file, lex,
     parse and elaboration errors, with line/col where available — are
     themselves error diagnostics from the pseudo-checker ["load"], so a
     file that does not even build fails the lint gate. *)
@@ -24,6 +26,9 @@ type module_summary = {
   m_pairs : int option;
   m_joinable : bool option;
   m_semantic_joins : int option;
+  m_secrecy : string option;
+      (** secrecy verdict ({!Secrecy.verdict_name}); [None]: skipped *)
+  m_transitions : int option;  (** flow: recognized transitions *)
 }
 
 type report = {
@@ -40,6 +45,10 @@ type options = {
   hint : string list;  (** [--prec] operator names, later = greater *)
   budget : int;  (** rewrite steps per critical-pair normalization *)
   fuel : int;  (** Shannon splits per critical pair *)
+  allow : string list;
+      (** ["SPEC:code"] entries: matching error/warning findings are
+          demoted to info (annotated ["[allowed]"]) so known, accepted
+          findings — e.g. the deliberately leaky fixture — don't gate *)
 }
 
 val default_options : options

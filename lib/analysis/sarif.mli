@@ -1,0 +1,14 @@
+(** SARIF 2.1.0 export of a lint report, for CI code-scanning upload and
+    PR annotation.
+
+    One run per report: the tool driver is [ots-lint], each distinct
+    [checker/code] pair becomes a reporting rule, and each diagnostic a
+    result.  Severities map [Error]→[error], [Warning]→[warning],
+    [Info]→[note].  Source positions (when the diagnostic carries one)
+    become [physicalLocation] regions against the module's source file;
+    diagnostics about generated specs fall back to the source label. *)
+
+val of_report : Lint.report -> string
+
+(** [write path report] writes {!of_report} to [path]. *)
+val write : string -> Lint.report -> unit

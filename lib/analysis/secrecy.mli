@@ -1,0 +1,108 @@
+(** Static secrecy analysis: a Horn-clause abstraction of the Dolev-Yao
+    intruder, saturated to a fixpoint ({!Horn}).
+
+    The analyzer recovers the OTS structure of a spec from its rewrite
+    rules — observers, transitions, the network observer (default
+    ["nw"]), membership predicates and the intruder's gleaning
+    predicates ([in-cpms], [in-csig], …) — and translates it into Horn
+    clauses over three predicate families:
+
+    - [net(m)]: a message matching pattern [m] can appear on the network;
+    - [glean:<p>(x)]: the intruder can glean [x] via collector [p];
+    - [stored:<o>(v)]: observer [o] can store value [v] (session stores).
+
+    Transition guards compile to premises (message/gleaning membership),
+    unifications (equality and shape tests) and residual constraints;
+    freshness and other negative guards are dropped, so the abstraction
+    over-approximates the reachable knowledge: saturation without
+    deriving the secret is an {e unbounded} proof of secrecy, while a
+    derivation is a leak {e candidate} whose witness can be replayed
+    against the concrete rewrite system ({!replay}) and certified by the
+    independent {!Certify} kernel. *)
+
+open Kernel
+
+type query = {
+  q_name : string;
+  q_pred : string;  (** e.g. ["glean:in-cpms"] *)
+  q_pattern : Term.t;
+  q_honest : Term.var list;
+      (** variables of [q_pattern] that must be bindable to a
+          non-intruder principal for a derived fact to count as a leak *)
+}
+
+type options = {
+  network : string;  (** network observer name (default ["nw"]) *)
+  depth : int;  (** abstraction cut on derived facts *)
+  max_facts : int;  (** saturation budget; exceeding it is inconclusive *)
+  expansion : int;  (** constructor-expansion fuel per constraint *)
+  queries : query list;  (** empty: derive defaults from the signature *)
+}
+
+val default_options : options
+
+type leak = {
+  l_query : query;
+  l_fact : Horn.fact;  (** the derived fact covering the secret *)
+  l_secret : Term.t;  (** the query pattern under the leak unifier *)
+}
+
+type verdict =
+  | Secure  (** saturated without deriving any queried secret *)
+  | Leak of leak
+  | Inconclusive  (** fact budget exhausted before the fixpoint *)
+  | Not_applicable of string  (** not an OTS/protocol spec: reason *)
+
+type result = {
+  r_verdict : verdict;
+  r_clauses : int;
+  r_facts : int;
+  r_rounds : int;
+  r_resolutions : int;
+  r_queries : query list;
+}
+
+(** [analyze ?opts spec] translates and saturates.  Deterministic. *)
+val analyze : ?opts:options -> Cafeobj.Spec.t -> result
+
+(** [verdict_name r] — ["secure"], ["leaks"], ["inconclusive"] or
+    ["n/a"], the spelling used by reports and golden CI verdicts. *)
+val verdict_name : result -> string
+
+(** [clauses ?network spec] is the Horn translation alone, without
+    saturation ([Error reason] when the spec is not an OTS).  The clause
+    list feeds {!Horn.saturate} directly — exposed so tests can exercise
+    saturation under clause-order permutations. *)
+val clauses :
+  ?network:string -> Cafeobj.Spec.t -> (Horn.clause list, string) Stdlib.result
+
+(** {1 Lint checker} *)
+
+type check = { result : result; diagnostics : Diagnostic.t list }
+
+(** [check spec] is {!analyze} rendered as lint diagnostics: a leak is an
+    error ([secret-leaks]), an exhausted budget a warning
+    ([saturation-budget]); non-protocol specs yield no diagnostics. *)
+val check : Cafeobj.Spec.t -> check
+
+(** {1 Witnesses} *)
+
+(** The derivation tree of a leak as a replayable s-expression:
+    [(secrecy-witness (spec ..) (query ..) (secret ..) (step ...))]. *)
+val witness_sexp : spec:string -> leak -> Certify.Sexp.t
+
+type replay = {
+  rp_ok : bool;  (** every step replayed in the concrete rewriter *)
+  rp_checks : int;  (** concrete reductions performed *)
+  rp_cert_ok : bool;  (** the certify kernel accepted the trace *)
+  rp_obligations : int;
+  rp_error : string option;
+}
+
+(** [replay spec leak] grounds the witness (fresh constants stand in for
+    unconstrained variables and honest principals) and re-runs every
+    derivation step as a concrete reduction: gleanings reduce to [true]
+    over the materialized network, transition emissions re-fire via
+    [reduce_in] under assumptions pinning the pre-state's observers.
+    All reductions are traced and checked by the {!Certify} kernel. *)
+val replay : Cafeobj.Spec.t -> leak -> replay

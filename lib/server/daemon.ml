@@ -10,6 +10,7 @@ let c_connections = Metrics.counter "server.connections"
 let c_timeouts = Metrics.counter "server.timeouts"
 let c_protocol_errors = Metrics.counter "server.protocol_errors"
 let c_lint_cache_hits = Metrics.counter "server.lint.cache_hits"
+let c_secrecy_cache_hits = Metrics.counter "server.secrecy.cache_hits"
 let h_latency = Metrics.histogram "server.request_latency"
 
 type config = {
@@ -37,6 +38,14 @@ type resident = {
   envs : (P.style * Core.Induction.env) list;
   registry : Core.Induction.result Registry.t;
   lint_cache : (P.style, Analysis.Lint.report) Hashtbl.t;
+  secrecy_cache : (P.style, Analysis.Secrecy.result) Hashtbl.t;
+  (* the expensive, campaign-independent certificate parts (LPO
+     precedence, critical-pair joins) computed once per style *)
+  static_certs :
+    ( P.style,
+      Kernel.Signature.op list option
+      * (Kernel.Completion.overlap * Analysis.Confluence.jcert) list )
+    Hashtbl.t;
   eval_env : Cafeobj.Eval.env;
   started_ns : int;
   mutable served : int;
@@ -91,6 +100,15 @@ type active =
       style : P.style;
       task : Analysis.Lint.report Sched.Task.t;
       cached : bool;
+    }
+  | Asecrecy of {
+      style : P.style;
+      task : Analysis.Secrecy.result Sched.Task.t;
+      cached : bool;
+    }
+  | Acert of {
+      task : ((bool * Core.Induction.result) list * string) Sched.Task.t;
+          (** certifying campaign: (negative?, result) list + certificate *)
     }
   | Acheck of { task : Analysis.Certgen.check_result Sched.Task.t }
 
@@ -241,6 +259,18 @@ let start_request resident conn req =
               ])
     in
     enqueue "lint" (Alint { style; task; cached = cached <> None })
+  | P.Secrecy { style } ->
+    let cached = Hashtbl.find_opt resident.secrecy_cache style in
+    let task =
+      match cached with
+      | Some result ->
+        Metrics.incr c_secrecy_cache_hits;
+        Sched.Task.of_result result
+      | None ->
+        Sched.Pool.submit resident.pool (fun () ->
+            Analysis.Secrecy.analyze (Tls.Model.spec (model_style style)))
+    in
+    enqueue "secrecy" (Asecrecy { style; task; cached = cached <> None })
   | P.Check { cert } -> (
     match Certify.Cert.of_string cert with
     | Error msg ->
@@ -260,7 +290,7 @@ let start_request resident conn req =
             Analysis.Certgen.check ~pool:resident.pool cert)
       in
       enqueue "check" (Acheck { task }))
-  | P.Verify { style; only; negative; extensions } -> (
+  | P.Verify { style; only; negative; extensions; certify } -> (
     let mstyle = model_style style in
     let resolve () =
       match only with
@@ -307,6 +337,63 @@ let start_request resident conn req =
           ]
         else []
       in
+      if certify then begin
+        (* A certifying campaign bypasses the registry (cached results
+           carry no trace) and runs as one pool task: every red is traced,
+           then the trace plus the per-style static evidence (LPO, joins —
+           computed once and kept resident) becomes the certificate. *)
+        let task =
+          Sched.Pool.submit resident.pool (fun () ->
+              Telemetry.Probe.with_span ~always:true ~cat:"server"
+                "verify-certify"
+              @@ fun () ->
+              let tr = Kernel.Rewrite.tracer () in
+              Kernel.Rewrite.set_tracer (Some tr);
+              let results =
+                Fun.protect
+                  ~finally:(fun () -> Kernel.Rewrite.set_tracer None)
+                  (fun () ->
+                    List.map
+                      (fun (neg, proof) ->
+                        neg, Proofs.Tls_invariants.run ~pool:resident.pool env proof)
+                      obligations)
+              in
+              let spec = Tls.Model.spec mstyle in
+              let precedence, joins =
+                match Hashtbl.find_opt resident.static_certs style with
+                | Some sc -> sc
+                | None ->
+                  let term = Analysis.Termination.check spec in
+                  let prec =
+                    if term.Analysis.Termination.certified then
+                      Some
+                        term.Analysis.Termination.search
+                          .Kernel.Order.precedence
+                    else None
+                  in
+                  let conf =
+                    Analysis.Confluence.check ~pool:resident.pool
+                      ~certify:true spec
+                  in
+                  let sc = prec, conf.Analysis.Confluence.certs in
+                  Hashtbl.replace resident.static_certs style sc;
+                  sc
+              in
+              let b = Analysis.Certgen.create () in
+              Analysis.Certgen.add_obligations b (Kernel.Rewrite.obligations tr);
+              (match precedence with
+              | Some p ->
+                Analysis.Certgen.add_lpo b ~precedence:p
+                  (Cafeobj.Spec.all_rules spec)
+              | None -> ());
+              Analysis.Certgen.add_joins b
+                ~rules:(Cafeobj.Spec.all_rules spec)
+                joins;
+              results, Certify.Cert.to_string (Analysis.Certgen.cert b))
+        in
+        enqueue "verify" (Acert { task })
+      end
+      else
       let todo =
         List.map
           (fun (neg, proof) ->
@@ -398,6 +485,85 @@ let progress resident conn ~request_shutdown =
               (if report.Analysis.Lint.errors > 0 then Exit.failure else Exit.ok);
           pump ()
         | exception e ->
+          send conn (P.Rerror { code = "server"; msg = Printexc.to_string e });
+          finish_job resident conn job ~exit_code:Exit.failure;
+          pump ())
+      | Asecrecy a -> (
+        match Sched.Task.poll a.task with
+        | None -> ()
+        | Some result ->
+          if not (Hashtbl.mem resident.secrecy_cache a.style) then
+            Hashtbl.replace resident.secrecy_cache a.style result;
+          let verdict = Analysis.Secrecy.verdict_name result in
+          send conn
+            (P.Rsecrecy
+               {
+                 verdict;
+                 clauses = result.Analysis.Secrecy.r_clauses;
+                 facts = result.Analysis.Secrecy.r_facts;
+                 rounds = result.Analysis.Secrecy.r_rounds;
+                 resolutions = result.Analysis.Secrecy.r_resolutions;
+                 cached = a.cached;
+               });
+          finish_job resident conn job
+            ~exit_code:
+              (match result.Analysis.Secrecy.r_verdict with
+              | Analysis.Secrecy.Secure | Analysis.Secrecy.Not_applicable _ ->
+                Exit.ok
+              | Analysis.Secrecy.Leak _ | Analysis.Secrecy.Inconclusive ->
+                Exit.failure);
+          pump ()
+        | exception e ->
+          send conn (P.Rerror { code = "server"; msg = Printexc.to_string e });
+          finish_job resident conn job ~exit_code:Exit.failure;
+          pump ())
+      | Acert a -> (
+        match Sched.Task.poll a.task with
+        | None -> ()
+        | Some (results, cert) ->
+          let unexpected = ref false in
+          List.iter
+            (fun (neg, r) ->
+              send conn (P.Rverdict (verdict_of_result ~negative:neg r));
+              if neg && r.Core.Induction.proved then unexpected := true)
+            results;
+          let positives =
+            List.filter_map (fun (neg, r) -> if neg then None else Some r) results
+          in
+          let summary = Core.Report.summarize positives in
+          send conn
+            (P.Rsummary
+               {
+                 invariants =
+                   ( summary.Core.Report.invariants_proved,
+                     summary.Core.Report.invariants_total );
+                 cases =
+                   ( summary.Core.Report.cases_proved,
+                     summary.Core.Report.cases_total );
+                 splits = summary.Core.Report.total_splits;
+                 steps = summary.Core.Report.total_rewrite_steps;
+                 text = Format.asprintf "%a" Core.Report.pp_summary summary;
+               });
+          send conn (P.Rcert { cert });
+          finish_job resident conn job
+            ~exit_code:
+              (if !unexpected || Core.Report.failures positives <> [] then
+                 Exit.failure
+               else Exit.ok);
+          pump ()
+        | exception Kernel.Rewrite.Limit_exceeded { limit; steps } ->
+          Metrics.incr c_timeouts;
+          Kernel.Rewrite.set_tracer None;
+          let limit =
+            match limit with
+            | Kernel.Rewrite.Steps n -> `Steps n
+            | Kernel.Rewrite.Deadline d -> `Deadline d
+          in
+          send conn (P.Rtimeout { limit; steps; name = "obligation" });
+          finish_job resident conn job ~exit_code:Exit.timeout;
+          pump ()
+        | exception e ->
+          Kernel.Rewrite.set_tracer None;
           send conn (P.Rerror { code = "server"; msg = Printexc.to_string e });
           finish_job resident conn job ~exit_code:Exit.failure;
           pump ())
@@ -588,6 +754,8 @@ let run config =
         ];
       registry = Registry.create ();
       lint_cache = Hashtbl.create 4;
+      secrecy_cache = Hashtbl.create 4;
+      static_certs = Hashtbl.create 4;
       eval_env = Cafeobj.Eval.create ();
       started_ns = Telemetry.Probe.now_ns ();
       served = 0;

@@ -127,7 +127,9 @@ type request =
       only : string list;
       negative : bool;
       extensions : bool;
+      certify : bool;
     }
+  | Secrecy of { style : style }
   | Check of { cert : string }
   | Eval of { src : string; step_limit : int option; deadline_s : float option }
 
@@ -164,6 +166,15 @@ type response =
       text : string;
     }
   | Rlint of { errors : int; warnings : int; infos : int; cached : bool; text : string }
+  | Rsecrecy of {
+      verdict : string;
+      clauses : int;
+      facts : int;
+      rounds : int;
+      resolutions : int;
+      cached : bool;
+    }
+  | Rcert of { cert : string }
   | Rcheck of {
       ok : bool;
       obligations : int;
@@ -286,7 +297,7 @@ let encode_request req =
     | Shutdown -> slist [ atom "shutdown" ]
     | Lint { style } ->
       slist [ atom "lint"; field "style" [ atom (style_name style) ] ]
-    | Verify { style; only; negative; extensions } ->
+    | Verify { style; only; negative; extensions; certify } ->
       slist
         [
           atom "verify";
@@ -294,7 +305,10 @@ let encode_request req =
           field "only" (List.map atom only);
           field "negative" [ sbool negative ];
           field "extensions" [ sbool extensions ];
+          field "certify" [ sbool certify ];
         ]
+    | Secrecy { style } ->
+      slist [ atom "secrecy"; field "style" [ atom (style_name style) ] ]
     | Check { cert } -> slist [ atom "check"; field "cert" [ atom cert ] ]
     | Eval { src; step_limit; deadline_s } ->
       slist
@@ -337,7 +351,15 @@ let decode_request s =
       | None -> Ok false
       | Some v -> as_bool "extensions" v
     in
-    Ok (Verify { style; only; negative; extensions })
+    let* certify =
+      match assoc "certify" flds with
+      | None -> Ok false
+      | Some v -> as_bool "certify" v
+    in
+    Ok (Verify { style; only; negative; extensions; certify })
+  | "secrecy" ->
+    let* style = get_style flds in
+    Ok (Secrecy { style })
   | "check" ->
     let* v = get "cert" flds in
     let* cert = as_atom "cert" v in
@@ -424,6 +446,19 @@ let encode_response resp =
           field "cached" [ sbool cached ];
           field "text" [ atom text ];
         ]
+    | Rsecrecy { verdict; clauses; facts; rounds; resolutions; cached } ->
+      slist
+        [
+          atom "secrecy-report";
+          field "verdict" [ atom verdict ];
+          field "clauses" [ sint clauses ];
+          field "facts" [ sint facts ];
+          field "rounds" [ sint rounds ];
+          field "resolutions" [ sint resolutions ];
+          field "cached" [ sbool cached ];
+        ]
+    | Rcert { cert } ->
+      slist [ atom "certificate"; field "cert" [ atom cert ] ]
     | Rcheck { ok; obligations; steps; errors } ->
       slist
         [
@@ -580,6 +615,24 @@ let decode_response s =
     let* v = get "text" flds in
     let* text = as_atom "text" v in
     Ok (Rlint { errors; warnings; infos; cached; text })
+  | "secrecy-report" ->
+    let* v = get "verdict" flds in
+    let* verdict = as_atom "verdict" v in
+    let* v = get "clauses" flds in
+    let* clauses = as_int "clauses" v in
+    let* v = get "facts" flds in
+    let* facts = as_int "facts" v in
+    let* v = get "rounds" flds in
+    let* rounds = as_int "rounds" v in
+    let* v = get "resolutions" flds in
+    let* resolutions = as_int "resolutions" v in
+    let* v = get "cached" flds in
+    let* cached = as_bool "cached" v in
+    Ok (Rsecrecy { verdict; clauses; facts; rounds; resolutions; cached })
+  | "certificate" ->
+    let* v = get "cert" flds in
+    let* cert = as_atom "cert" v in
+    Ok (Rcert { cert })
   | "check-report" ->
     let* v = get "ok" flds in
     let* ok = as_bool "ok" v in

@@ -76,7 +76,13 @@ type request =
       only : string list;  (** empty: the whole campaign *)
       negative : bool;  (** also attempt properties 2'/3' *)
       extensions : bool;
+      certify : bool;
+          (** trace the campaign's reductions, build a proof certificate
+              and stream it back as an [Rcert] frame before the summary *)
     }
+  | Secrecy of { style : style }
+      (** static Dolev-Yao secrecy analysis of the resident spec; the
+          saturation result is cached per style, so re-queries are warm *)
   | Check of { cert : string }  (** a serialized proof certificate *)
   | Eval of {
       src : string;  (** mini-CafeOBJ phrases, as for [caferepl] *)
@@ -125,6 +131,19 @@ type response =
       text : string;
     }
   | Rlint of { errors : int; warnings : int; infos : int; cached : bool; text : string }
+  | Rsecrecy of {
+      verdict : string;
+          (** {!Analysis.Secrecy.verdict_name}: ["secure"], ["leaks"],
+              ["inconclusive"] or ["n/a"] *)
+      clauses : int;
+      facts : int;
+      rounds : int;
+      resolutions : int;
+      cached : bool;
+    }
+  | Rcert of { cert : string }
+      (** the serialized certificate of a [Verify { certify = true }]
+          campaign, replayable locally or via a [Check] request *)
   | Rcheck of {
       ok : bool;
       obligations : int;

@@ -53,6 +53,7 @@ let () =
          Test_mc.suite;
          Test_nspk_sym.suite;
          Test_sched.suite;
+         Test_secrecy.suite;
          Test_server.suite;
          Test_certify.suite;
          Test_telemetry.suite;

@@ -305,7 +305,7 @@ let test_lint_only_skip () =
   Alcotest.check_raises "unknown checker rejected"
     (Invalid_argument
        "unknown checker nope (expected one of termination, confluence, \
-        completeness, hygiene, coverage)")
+        completeness, hygiene, coverage, secrecy, flow)")
     (fun () ->
       ignore
         (Analysis.Lint.run

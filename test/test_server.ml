@@ -34,11 +34,12 @@ let gen_request =
       [
         oneofl [ P.Ping; P.Status; P.Metrics; P.Shutdown ];
         map (fun style -> P.Lint { style }) gen_style;
+        map (fun style -> P.Secrecy { style }) gen_style;
         map4
-          (fun style only negative extensions ->
-            P.Verify { style; only; negative; extensions })
+          (fun style (only, certify) negative extensions ->
+            P.Verify { style; only; negative; extensions; certify })
           gen_style
-          (list_size (int_bound 4) gen_name)
+          (pair (list_size (int_bound 4) gen_name) bool)
           bool bool;
         map (fun cert -> P.Check { cert }) gen_byte_string;
         map3
@@ -98,6 +99,13 @@ let gen_response =
             P.Rlint { errors; warnings; infos; cached; text })
           (pair small_nat small_nat)
           (pair small_nat bool) gen_byte_string;
+        map3
+          (fun verdict (clauses, facts) (rounds, (resolutions, cached)) ->
+            P.Rsecrecy { verdict; clauses; facts; rounds; resolutions; cached })
+          (oneofl [ "secure"; "leaks"; "inconclusive"; "n/a" ])
+          (pair small_nat small_nat)
+          (pair small_nat (pair small_nat bool));
+        map (fun cert -> P.Rcert { cert }) gen_byte_string;
         map3
           (fun (ok, obligations) steps errors ->
             P.Rcheck { ok; obligations; steps; errors })
@@ -338,7 +346,15 @@ let with_daemon ?(jobs = 2) f =
       Domain.join d)
     (fun () -> f socket)
 
-let verify_inv1 = P.Verify { style = P.Original; only = [ "inv1" ]; negative = false; extensions = false }
+let verify_inv1 =
+  P.Verify
+    {
+      style = P.Original;
+      only = [ "inv1" ];
+      negative = false;
+      extensions = false;
+      certify = false;
+    }
 
 let fingerprints_of responses =
   List.filter_map
@@ -438,6 +454,83 @@ let test_live_protocol_error () =
   Alcotest.(check bool) "pong" true
     (List.exists (function P.Pong _ -> true | _ -> false) resps2)
 
+let test_live_secrecy_cached () =
+  with_daemon ~jobs:1 @@ fun socket ->
+  Server.Client.with_client ~socket @@ fun c ->
+  let run () =
+    Server.Client.request_collect c (P.Secrecy { style = P.Original })
+  in
+  let pick resps =
+    List.find_map
+      (function
+        | P.Rsecrecy { verdict; clauses; facts; rounds; resolutions; cached }
+          ->
+          Some (verdict, clauses, facts, rounds, resolutions, cached)
+        | _ -> None)
+      resps
+  in
+  let r1, code1 = run () in
+  let r2, code2 = run () in
+  match (pick r1, pick r2) with
+  | Some (v1, c1, f1, ro1, re1, cached1), Some (v2, c2, f2, ro2, re2, cached2)
+    ->
+    Alcotest.(check int) "first exit ok" Exit.ok code1;
+    Alcotest.(check int) "second exit ok" Exit.ok code2;
+    Alcotest.(check string) "secure verdict" "secure" v1;
+    Alcotest.(check bool) "cold first query" false cached1;
+    Alcotest.(check bool) "warm second query" true cached2;
+    Alcotest.(check (list int)) "identical saturation stats"
+      [ c1; f1; ro1; re1 ] [ c2; f2; ro2; re2 ];
+    Alcotest.(check string) "identical verdict" v1 v2
+  | _ -> Alcotest.fail "missing secrecy-report response"
+
+let test_live_certify_roundtrip () =
+  with_daemon ~jobs:1 @@ fun socket ->
+  Server.Client.with_client ~socket @@ fun c ->
+  let resps, code =
+    Server.Client.request_collect c
+      (P.Verify
+         {
+           style = P.Original;
+           only = [ "inv1" ];
+           negative = false;
+           extensions = false;
+           certify = true;
+         })
+  in
+  Alcotest.(check int) "verify exit ok" Exit.ok code;
+  let cert =
+    match
+      List.find_map (function P.Rcert { cert } -> Some cert | _ -> None) resps
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no certificate response"
+  in
+  Alcotest.(check bool) "certificate non-empty" true (String.length cert > 0);
+  (* the certificate the daemon emits is accepted by its own checker *)
+  let resps2, code2 = Server.Client.request_collect c (P.Check { cert }) in
+  Alcotest.(check int) "check exit ok" Exit.ok code2;
+  (match
+     List.find_map
+       (function
+         | P.Rcheck { ok; obligations; steps; errors } ->
+           Some (ok, obligations, steps, errors)
+         | _ -> None)
+       resps2
+   with
+  | Some (ok, obligations, steps, errors) ->
+    List.iter
+      (fun (path, msg) -> Printf.eprintf "cert error %s: %s\n%!" path msg)
+      errors;
+    Alcotest.(check bool) "certificate checks" true ok;
+    Alcotest.(check bool) "has obligations" true (obligations > 0);
+    Alcotest.(check bool) "replayed steps" true (steps > 0)
+  | None -> Alcotest.fail "no check-report response");
+  (* and it parses as a certificate locally *)
+  match Certify.Cert.of_string cert with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "certificate does not parse: %s" e
+
 let test_live_shutdown_removes_socket () =
   with_daemon ~jobs:1 @@ fun socket ->
   let _, code =
@@ -485,6 +578,10 @@ let tests =
         test_live_timeout_keeps_connection;
       Alcotest.test_case "live: protocol errors answered, daemon survives"
         `Slow test_live_protocol_error;
+      Alcotest.test_case "live: secrecy served and cached" `Slow
+        test_live_secrecy_cached;
+      Alcotest.test_case "live: certificate round-trips through check" `Slow
+        test_live_certify_roundtrip;
       Alcotest.test_case "live: drained daemon removes its socket" `Slow
         test_live_shutdown_removes_socket;
     ]
