@@ -13,6 +13,9 @@
                                    (repeatable), e.g. LEAKY:secret-leaks
      lint --sarif FILE             write a SARIF 2.1.0 report for CI
                                    code-scanning / PR annotation
+     lint --dot FILE               write the action dependency graph(s)
+                                   with proved independence edges as
+                                   Graphviz (needs flow + independence)
      lint --prec f,g,h             seed the termination precedence
                                    (later = greater)
      lint --budget N               rewrite steps per critical-pair join
@@ -34,6 +37,7 @@ let () =
   let tls_variant = ref false in
   let json = ref "" in
   let sarif = ref "" in
+  let dot = ref "" in
   let only = ref [] in
   let skip = ref [] in
   let allow = ref [] in
@@ -49,6 +53,7 @@ let () =
       "--tls-variant", Arg.Set tls_variant, "lint the generated Cf2First variant";
       "--json", Arg.Set_string json, "FILE write the JSON report to FILE";
       "--sarif", Arg.Set_string sarif, "FILE write a SARIF 2.1.0 report to FILE";
+      "--dot", Arg.Set_string dot, "FILE write the action dependency graph(s) as Graphviz";
       "--only", Arg.String (fun s -> only := s :: !only), "CHECKER run only this checker (repeatable)";
       "--skip", Arg.String (fun s -> skip := s :: !skip), "CHECKER skip this checker (repeatable)";
       "--allow", Arg.String (fun s -> allow := s :: !allow), "SPEC:CODE demote a known finding to info (repeatable)";
@@ -112,6 +117,20 @@ let () =
   if !sarif <> "" then begin
     Analysis.Sarif.write !sarif report;
     Format.printf "wrote %s@." !sarif
+  end;
+  if !dot <> "" then begin
+    match report.Analysis.Lint.graphs with
+    | [] ->
+      prerr_endline
+        "lint: --dot needs the flow and independence checkers enabled on a \
+         module with transitions";
+      exit Exit.usage
+    | graphs ->
+      let oc = open_out !dot in
+      List.iter (fun (_, g) -> output_string oc g) graphs;
+      close_out oc;
+      Format.printf "wrote %s (%d graph%s)@." !dot (List.length graphs)
+        (if List.length graphs = 1 then "" else "s")
   end;
   Telemetry.Cli.flush ~process_name:"lint"
     ~gauges:(fun () ->

@@ -1,8 +1,17 @@
 (* simulate — execute the Figure-2 handshake scenarios symbolically and
    print every message, observer values, and the intruder's gleanings.
 
+   With --mc the symbolic replay is followed by a bounded explicit-state
+   check of the corresponding property over the concrete scenario
+   (Tls.Concrete), under the statically certified reduction by default
+   (ample-set POR + nonce-symmetry canonization); --no-por / --no-symmetry
+   fall back to the full state space.
+
    Usage:
-     simulate [--scenario full|resumption|attack2|attack3] [--variant] *)
+     simulate [--scenario full|resumption|duplication|attack2|attack3]
+              [--variant]
+              [--mc] [--max-states N] [--max-depth N]
+              [--por|--no-por] [--symmetry|--no-symmetry] *)
 
 open Kernel
 module S = Tls.Scenario
@@ -29,14 +38,54 @@ let print_run run =
   Format.printf "  bob's cert sig: %a@." Term.pp
     (S.eval run (D.in_csig (D.sig_of ~signer:D.ca ~subject:c.S.bob (D.pk_ c.S.bob)) nw))
 
+(* The bounded explicit-state counterpart of the chosen scenario: the
+   attack replays become violation searches for the matching property,
+   the honest replays a bound-check of the positive properties. *)
+let model_check ~scenario ~style ~max_states ~max_depth ~por ~symmetry =
+  let scen = { (Tls.Concrete.default_scenario ()) with style } in
+  let props =
+    match scenario with
+    | "attack2" -> [ "cf-authentic", Tls.Concrete.prop_cf_authentic ]
+    | "attack3" -> [ "cf2-authentic", Tls.Concrete.prop_cf2_authentic ]
+    | _ ->
+      [
+        "pms-secrecy", Tls.Concrete.prop_pms_secrecy scen;
+        "sf-authentic", Tls.Concrete.prop_sf_authentic;
+        "sf2-authentic", Tls.Concrete.prop_sf2_authentic;
+      ]
+  in
+  let reduction =
+    if por || symmetry then Some (Tls.Concrete.reduction ~por ~symmetry scen)
+    else None
+  in
+  Format.printf "@.== bounded model check (%s, por=%b symmetry=%b) ==@."
+    (String.concat ", " (List.map fst props))
+    por symmetry;
+  let outcome =
+    Mc.bfs ~max_states ~max_depth ?reduction (Tls.Concrete.system scen) ~props
+  in
+  Format.printf "%a@." (Mc.pp_outcome Tls.Concrete.pp_label) outcome
+
 let () =
   let scenario = ref "full" in
   let variant = ref false in
+  let mc = ref false in
+  let max_states = ref 20_000 in
+  let max_depth = ref 6 in
+  let por = ref true in
+  let symmetry = ref true in
   let spec =
     [
       "--scenario", Arg.Set_string scenario,
       "full|resumption|duplication|attack2|attack3";
       "--variant", Arg.Set variant, "use the ClientFinished2-first variant";
+      "--mc", Arg.Set mc, "also model-check the matching property (bounded)";
+      "--max-states", Arg.Set_int max_states, "N state budget for --mc (default 20000)";
+      "--max-depth", Arg.Set_int max_depth, "N depth bound for --mc (default 6)";
+      "--por", Arg.Set por, "enable partial-order reduction for --mc (default)";
+      "--no-por", Arg.Clear por, "disable partial-order reduction for --mc";
+      "--symmetry", Arg.Set symmetry, "enable symmetry canonization for --mc (default)";
+      "--no-symmetry", Arg.Clear symmetry, "disable symmetry canonization for --mc";
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "simulate [options]";
@@ -50,4 +99,7 @@ let () =
     | "attack3" -> S.attack_3prime ()
     | other -> raise (Arg.Bad ("unknown scenario " ^ other))
   in
-  print_run run
+  print_run run;
+  if !mc then
+    model_check ~scenario:!scenario ~style ~max_states:!max_states
+      ~max_depth:!max_depth ~por:!por ~symmetry:!symmetry

@@ -102,6 +102,8 @@ and combine a b =
   | Undecided, _ | _, Undecided -> Undecided
   | (Syntactic | Semantic), (Syntactic | Semantic) -> Semantic
 
+let join_terms = join
+
 (* [join], but additionally building the replayable certificate.  Kept as a
    separate function so the common (untraced) linter path pays no
    derivation-recording cost. *)

@@ -45,6 +45,18 @@ type result = {
   diagnostics : Diagnostic.t list;
 }
 
+(** [join_terms sys fuel l r] decides one divergence: normalize both sides
+    in [sys], then reconcile syntactically, by boolean-ring reasoning, or by
+    a Shannon case split on an [if] condition (up to [fuel] splits).  This
+    is the joinability core of {!check}, exported for reuse by the
+    independence analyzer ({!Indep}). *)
+val join_terms : Rewrite.system -> int -> Term.t -> Term.t -> join_status
+
+(** [split_candidate t] is the condition of some [if] application inside
+    [t] — the preferred Shannon-split pivot (application conditions before
+    variable ones), or [None] when [t] contains no conditional. *)
+val split_candidate : Term.t -> Term.t option
+
 (** [check ?pool ?budget ?fuel ?certify spec] — [budget] caps rewrite steps
     per normalization (default 20k), [fuel] caps Shannon splits per pair
     (default 8).  With [pool], pair chunks are joined in parallel; each

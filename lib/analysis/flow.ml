@@ -146,9 +146,12 @@ let check spec =
       actions
   in
   (* --- duplicate transitions ------------------------------------- *)
+  let eqs_of (act : Signature.op) =
+    List.filter (fun oe -> Signature.op_equal oe.oe_action act) obs_eqs
+  in
   let action_shape (act : Signature.op) =
     let eqs =
-      List.filter (fun oe -> Signature.op_equal oe.oe_action act) obs_eqs
+      eqs_of act
       |> List.sort (fun a b ->
              String.compare a.oe_obs.Signature.name b.oe_obs.Signature.name)
     in
@@ -176,10 +179,12 @@ let check spec =
             List.length (action_shape a) > 0
             && (try List.for_all2 Term.equal (action_shape a) (action_shape b)
                 with Invalid_argument _ -> false)
-          then
-            diag Diagnostic.Info "duplicate-transition"
+          then begin
+            let pos = List.find_map (fun oe -> pos_of oe.oe_rule) (eqs_of a) in
+            diag ?pos Diagnostic.Info "duplicate-transition"
               (Printf.sprintf "transitions %s and %s have identical behaviour"
-                 a.Signature.name b.Signature.name))
+                 a.Signature.name b.Signature.name)
+          end)
         rest;
       dup_scan rest
   in
@@ -231,6 +236,13 @@ let check spec =
           transitions)
       transitions
   in
+  (* Deterministic output: transitions by action name, edges sorted and
+     deduplicated, so reports, dot renderings and downstream analyses do
+     not depend on declaration order. *)
+  let transitions =
+    List.sort (fun a b -> String.compare a.t_name b.t_name) transitions
+  in
+  let edges = List.sort_uniq compare edges in
   { transitions; edges; diagnostics = List.rev !diags }
 
 let dot r =

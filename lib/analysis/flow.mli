@@ -31,11 +31,31 @@ type transition = {
 }
 
 type result = {
-  transitions : transition list;
+  transitions : transition list;  (** sorted by action name *)
   edges : (string * string) list;
-      (** dependency edges: writer action, reader action *)
+      (** dependency edges: writer action, reader action — sorted, deduped *)
   diagnostics : Diagnostic.t list;
 }
+
+(** One observer equation [obs(action(S, xs), ys) = rhs], as recovered from
+    an elaborated rewrite rule.  Exported for the independence analyzer
+    ({!Indep}), which recombines the equations into commutation
+    obligations. *)
+type obs_eq = {
+  oe_rule : Kernel.Rewrite.rule;
+  oe_obs : Kernel.Signature.op;
+  oe_action : Kernel.Signature.op;
+  oe_state : Kernel.Term.var;
+  oe_params : Kernel.Term.t list;  (** the observer's own parameters [ys] *)
+}
+
+(** [recognize_rule r] recovers the OTS structure of one rewrite rule, or
+    [None] when [r] is not an observer-of-successor-state equation. *)
+val recognize_rule : Kernel.Rewrite.rule -> obs_eq option
+
+(** The frame of an observer equation: the observer re-applied to the
+    pre-state with the same parameters. *)
+val frame : obs_eq -> Kernel.Term.t
 
 val check : Cafeobj.Spec.t -> result
 

@@ -1,0 +1,104 @@
+(** Static independence analysis over OTS-style specs.
+
+    Two transitions [a] and [b] of an observational transition system are
+    {e independent} when, from any state where both are enabled, firing
+    them in either order reaches behaviourally equal states and neither
+    order disables the other — the classical commutation condition behind
+    ample-set partial-order reduction.  In the equational setting this is
+    a {e static} property of the transition rules, provable without
+    touching the state graph:
+
+    - every critical-pair overlap between the two actions' rewrite rules
+      joins to the same normal form ({!Kernel.Completion} overlaps joined
+      by the {!Confluence} machinery);
+    - for every observer one of them writes, the composed post-states
+      [o(b(a(S)), zs)] and [o(a(b(S)), zs)] join under the co-enabledness
+      hypotheses — directly, or through {e every} boolean view of the
+      observer's result sort (hidden-algebra behavioural equivalence:
+      collection-valued observers are compared through their membership
+      predicates, exactly how the executable checker's states store them);
+    - each action's enabling guard still holds after the other fires
+      (no-disable, checked in the boolean ring).
+
+    The analysis emits a machine-checkable certificate ({!certificate})
+    replayed by {!check} in the [Certify] style: every claimed commutation
+    is re-derived from the spec and re-executed as two concrete rewrite
+    sequences that must land on identical (or boolean-ring identical)
+    normal forms.  Forged or tampered claims are rejected with a
+    breadcrumb path into the certificate. *)
+
+open Kernel
+
+type target =
+  | Obs of string  (** commutation of one observer over the two orders *)
+  | Enabled of string  (** the named action stays enabled after the other *)
+
+type claim = {
+  cl_target : target;
+  cl_via : string option;  (** collector predicate used as the view, if any *)
+  cl_left : Term.t;
+  cl_right : Term.t;
+  cl_status : Confluence.join_status;
+}
+
+type verdict = Independent | Dependent of string
+
+type pair = {
+  p_a : string;
+  p_b : string;
+  p_overlaps : int;  (** critical-pair overlaps between the two rule sets *)
+  p_hyps : Term.t list;  (** co-enabledness hypotheses *)
+  p_claims : claim list;
+  p_verdict : verdict;
+}
+
+type result = {
+  r_spec : string;
+  r_actions : string list;  (** sorted *)
+  r_pairs : pair list;
+  r_independent : int;
+  r_total : int;
+  r_diagnostics : Diagnostic.t list;
+}
+
+(** [analyze ?pool ?fuel ?budget ?focus spec] examines every unordered
+    action pair (including self-pairs, needed to chain an action with
+    itself), or — with [focus] — only pairs touching a focused action.
+    [None] when the spec has no recognizable transition rules.  [fuel]
+    caps Shannon splits per join, [budget] caps rewrite steps per
+    normalization; with [pool] the pairs are analyzed in parallel. *)
+val analyze :
+  ?pool:Sched.Pool.t ->
+  ?fuel:int ->
+  ?budget:int ->
+  ?focus:string list ->
+  Cafeobj.Spec.t ->
+  result option
+
+(** The proved-independent pairs, as (action, action) names. *)
+val independent_pairs : result -> (string * string) list
+
+(** [is_independent r a b] — symmetric lookup. *)
+val is_independent : result -> string -> string -> bool
+
+(** [certified_ample r candidates]: the candidates proved independent of
+    {e every} action of the spec (themselves included) — the admission
+    condition for using them as an ample/flooding set in the model
+    checker. *)
+val certified_ample : result -> string list -> string list
+
+(** S-expression certificate over the independent pairs: hypotheses and
+    the left/right term of every commutation and stability claim. *)
+val certificate : result -> Certify.Sexp.t
+
+(** [check spec cert] replays the certificate against the spec.
+    [Ok (pairs, claims)] counts what was re-verified; [Error breadcrumb]
+    pinpoints the first rejected entry, e.g.
+    [pairs/pair[start-l,respond-l]/claim[obs:nnw-l/via:nmsg-in]/term-mismatch]. *)
+val check :
+  ?fuel:int -> ?budget:int -> Cafeobj.Spec.t -> Certify.Sexp.t ->
+  (int * int, string) Stdlib.result
+
+(** The {!Flow} dependency graph with the proved independencies overlaid
+    as undirected dashed edges — [lint --dot]. *)
+val dot : Flow.result -> result -> string

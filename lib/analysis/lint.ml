@@ -10,6 +10,7 @@ let checkers =
     "coverage";
     "secrecy";
     "flow";
+    "independence";
   ]
 
 type source =
@@ -26,11 +27,16 @@ type module_summary = {
   m_semantic_joins : int option;
   m_secrecy : string option;  (** verdict name; [None]: checker skipped *)
   m_transitions : int option;  (** flow: recognized transitions *)
+  m_independent : (int * int) option;
+      (** independence: (proved-independent, total) action pairs *)
 }
 
 type report = {
   diagnostics : Diagnostic.t list;
   modules : module_summary list;
+  graphs : (string * string) list;
+      (** per module: the flow dependency graph with independence edges
+          overlaid, as Graphviz dot (needs both checkers enabled) *)
   errors : int;
   warnings : int;
   infos : int;
@@ -104,12 +110,27 @@ let check_spec ?pool ~opts ~source spec =
     if enabled opts "flow" then Some (span "flow" (fun () -> Flow.check spec))
     else None
   in
+  let indep_result =
+    (* [analyze] itself returns [None] on specs without transition rules
+       (plain data modules), which also reads as "nothing to report". *)
+    if enabled opts "independence" then
+      span "independence" (fun () ->
+          Indep.analyze ?pool ~fuel:opts.fuel ~budget:opts.budget spec)
+    else None
+  in
+  let graph =
+    match flow_result, indep_result with
+    | Some f, Some i when f.Flow.transitions <> [] ->
+      Some (name, Indep.dot f i)
+    | _ -> None
+  in
   let diagnostics =
     (match term_result with Some r -> r.Termination.diagnostics | None -> [])
     @ (match conf_result with Some r -> r.Confluence.diagnostics | None -> [])
     @ comp_diags @ hyg_diags
     @ (match secrecy_result with Some c -> c.Secrecy.diagnostics | None -> [])
     @ (match flow_result with Some r -> r.Flow.diagnostics | None -> [])
+    @ (match indep_result with Some r -> r.Indep.r_diagnostics | None -> [])
   in
   let summary =
     {
@@ -128,9 +149,13 @@ let check_spec ?pool ~opts ~source spec =
         Option.map
           (fun r -> List.length r.Flow.transitions)
           flow_result;
+      m_independent =
+        Option.map
+          (fun r -> r.Indep.r_independent, r.Indep.r_total)
+          indep_result;
     }
   in
-  summary, diagnostics
+  summary, diagnostics, graph
 
 (* ------------------------------------------------------------------ *)
 (* Loading sources *)
@@ -208,9 +233,7 @@ let run ?pool ?(opts = default_options) sources =
       (fun l ->
         let per_spec =
           List.map
-            (fun spec ->
-              let summary, diags = check_spec ?pool ~opts ~source:l.l_source spec in
-              summary, diags)
+            (fun spec -> check_spec ?pool ~opts ~source:l.l_source spec)
             l.l_specs
         in
         let coverage =
@@ -219,10 +242,17 @@ let run ?pool ?(opts = default_options) sources =
             (Coverage.check program).Coverage.diagnostics
           | _ -> []
         in
-        [ List.map fst per_spec, l.l_diags @ List.concat_map snd per_spec @ coverage ])
+        [
+          ( List.map (fun (s, _, _) -> s) per_spec,
+            l.l_diags
+            @ List.concat_map (fun (_, d, _) -> d) per_spec
+            @ coverage,
+            List.filter_map (fun (_, _, g) -> g) per_spec );
+        ])
       loadeds
   in
-  let modules = List.concat_map fst results in
+  let modules = List.concat_map (fun (s, _, _) -> s) results in
+  let graphs = List.concat_map (fun (_, _, g) -> g) results in
   (* [--allow SPEC:code] findings stay visible but no longer gate *)
   let allow (d : Diagnostic.t) =
     if
@@ -235,11 +265,12 @@ let run ?pool ?(opts = default_options) sources =
   in
   let diagnostics =
     List.stable_sort Diagnostic.compare
-      (List.map allow (List.concat_map snd results))
+      (List.map allow (List.concat_map (fun (_, d, _) -> d) results))
   in
   {
     diagnostics;
     modules;
+    graphs;
     errors = Diagnostic.count Diagnostic.Error diagnostics;
     warnings = Diagnostic.count Diagnostic.Warning diagnostics;
     infos = Diagnostic.count Diagnostic.Info diagnostics;
@@ -257,7 +288,7 @@ let pp_report ppf r =
         | Some false -> "NOT " ^ label
         | None -> label ^ " unchecked"
       in
-      Format.fprintf ppf "%s (%s): %d rules, %s, %s%s%s@." m.m_name m.m_source
+      Format.fprintf ppf "%s (%s): %d rules, %s, %s%s%s%s@." m.m_name m.m_source
         m.m_rules
         (flag "terminating" m.m_terminating)
         (match m.m_pairs with
@@ -270,6 +301,10 @@ let pp_report ppf r =
         | _ -> "")
         (match m.m_secrecy with
         | Some v -> Printf.sprintf ", secrecy %s" v
+        | None -> "")
+        (match m.m_independent with
+        | Some (ind, total) ->
+          Printf.sprintf ", %d/%d independent action pairs" ind total
         | None -> ""))
     r.modules;
   Format.fprintf ppf "%d errors, %d warnings, %d infos@." r.errors r.warnings
@@ -295,7 +330,8 @@ let report_to_json r =
         (Printf.sprintf
            "    {\"name\": \"%s\", \"source\": \"%s\", \"rules\": %d, \
             \"terminating\": %s, \"critical_pairs\": %s, \"joinable\": %s, \
-            \"semantic_joins\": %s, \"secrecy\": %s, \"transitions\": %s}%s\n"
+            \"semantic_joins\": %s, \"secrecy\": %s, \"transitions\": %s, \
+            \"independent_pairs\": %s, \"action_pairs\": %s}%s\n"
            (Diagnostic.json_escape m.m_name)
            (Diagnostic.json_escape m.m_source)
            m.m_rules
@@ -306,6 +342,8 @@ let report_to_json r =
            | Some v -> Printf.sprintf "\"%s\"" (Diagnostic.json_escape v)
            | None -> "null")
            (opt_int m.m_transitions)
+           (opt_int (Option.map fst m.m_independent))
+           (opt_int (Option.map snd m.m_independent))
            (if i = List.length r.modules - 1 then "" else ",")))
     r.modules;
   Buffer.add_string buf "  ],\n";

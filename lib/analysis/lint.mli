@@ -3,9 +3,13 @@
     diagnostics into a report, renderable as text or JSON.
 
     Checkers: ["termination"], ["confluence"], ["completeness"],
-    ["hygiene"], ["secrecy"] (static Dolev-Yao secrecy, {!Secrecy}) and
-    ["flow"] (rule-level read/write footprints, {!Flow}) per elaborated
-    module, and ["coverage"] (per source file's proof passages).
+    ["hygiene"], ["secrecy"] (static Dolev-Yao secrecy, {!Secrecy}),
+    ["flow"] (rule-level read/write footprints, {!Flow}) and
+    ["independence"] (action-pair commutation, {!Indep} — the analysis
+    behind the model checker's partial-order reduction; on specs with
+    many actions this is the most expensive checker by far) per
+    elaborated module, and ["coverage"] (per source file's proof
+    passages).
     Loading failures — unreadable file, lex,
     parse and elaboration errors, with line/col where available — are
     themselves error diagnostics from the pseudo-checker ["load"], so a
@@ -29,11 +33,19 @@ type module_summary = {
   m_secrecy : string option;
       (** secrecy verdict ({!Secrecy.verdict_name}); [None]: skipped *)
   m_transitions : int option;  (** flow: recognized transitions *)
+  m_independent : (int * int) option;
+      (** independence: (proved-independent, total) action pairs;
+          [None]: checker skipped or no transitions *)
 }
 
 type report = {
   diagnostics : Diagnostic.t list;  (** sorted, errors first *)
   modules : module_summary list;
+  graphs : (string * string) list;
+      (** [(module, dot)]: the {!Flow} action dependency graph with the
+          proved independencies overlaid ({!Indep.dot}), one per module
+          with transitions — [lint --dot]; needs both the ["flow"] and
+          ["independence"] checkers enabled *)
   errors : int;
   warnings : int;
   infos : int;

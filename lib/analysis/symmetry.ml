@@ -1,0 +1,298 @@
+open Kernel
+module Sexp = Certify.Sexp
+
+type cls = {
+  c_sort : Sort.t;
+  c_elems : Signature.op list;  (** interchangeable constants, sorted by name *)
+}
+
+type result = {
+  y_spec : string;
+  y_classes : cls list;
+  y_pinned : (Signature.op * string) list;
+      (** constants that break some rule's invariance, with the label of
+          the first breaking rule *)
+}
+
+(* Map constants through a transposition, rebuilding the term. *)
+let swap_consts c d t =
+  let rec go t =
+    match Term.view t with
+    | Term.Var _ -> t
+    | Term.App (o, []) ->
+      if Signature.op_equal o c then Term.const d
+      else if Signature.op_equal o d then Term.const c
+      else t
+    | Term.App (o, args) -> Term.app_unchecked o (List.map go args)
+  in
+  go t
+
+(* The rule set as a hash set of (lhs, rhs, cond) identity triples — terms
+   are hash-consed, so membership of a mapped rule is O(1). *)
+let rule_set rules =
+  let tbl = Hashtbl.create (2 * List.length rules) in
+  List.iter
+    (fun (r : Rewrite.rule) ->
+      let key =
+        ( Term.id r.Rewrite.lhs,
+          Term.id r.Rewrite.rhs,
+          Option.map Term.id r.Rewrite.cond )
+      in
+      Hashtbl.replace tbl key ())
+    rules;
+  tbl
+
+(* [invariant rules set c d] — every rule, with [c] and [d] swapped, is
+   again a rule (labels ignored: [distinct_constants] emits the symmetric
+   axioms under per-pair labels).  Returns the first breaking rule. *)
+let breaks rules set c d =
+  List.find_opt
+    (fun (r : Rewrite.rule) ->
+      let lhs = swap_consts c d r.Rewrite.lhs in
+      let rhs = swap_consts c d r.Rewrite.rhs in
+      let cond = Option.map (swap_consts c d) r.Rewrite.cond in
+      not (Hashtbl.mem set (Term.id lhs, Term.id rhs, Option.map Term.id cond)))
+    rules
+
+let constants_by_sort spec =
+  List.filter
+    (fun (o : Signature.op) ->
+      o.Signature.arity = []
+      && (not o.Signature.sort.Sort.hidden)
+      && (not (Sort.equal o.Signature.sort Sort.bool))
+      && not (Signature.Builtin.is_builtin o))
+    (Cafeobj.Spec.all_ops spec)
+  |> List.fold_left
+       (fun acc (o : Signature.op) ->
+         let key = o.Signature.sort.Sort.name in
+         match List.assoc_opt key acc with
+         | Some os -> (key, o :: os) :: List.remove_assoc key acc
+         | None -> (key, [ o ]) :: acc)
+       []
+  |> List.map (fun (s, os) ->
+         (s, List.sort (fun (a : Signature.op) b ->
+                  String.compare a.Signature.name b.Signature.name)
+               os))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let analyze spec =
+  let rules = Cafeobj.Spec.all_rules spec in
+  let set = rule_set rules in
+  let classes = ref [] and pinned = ref [] in
+  List.iter
+    (fun (_sort_name, consts) ->
+      match consts with
+      | [] | [ _ ] -> ()
+      | (c0 : Signature.op) :: _ ->
+        (* union-find over the constants of one sort: c ~ d when every
+           rule is invariant under the transposition (c d).  Invariance
+           under transpositions generates the full symmetric group on
+           each resulting class. *)
+        let n = List.length consts in
+        let arr = Array.of_list consts in
+        let parent = Array.init n (fun i -> i) in
+        let rec find i = if parent.(i) = i then i else find parent.(i) in
+        let union i j =
+          let ri = find i and rj = find j in
+          if ri <> rj then parent.(max ri rj) <- min ri rj
+        in
+        let first_break = Array.make n None in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            match breaks rules set arr.(i) arr.(j) with
+            | None -> union i j
+            | Some r ->
+              let note k =
+                if first_break.(k) = None then
+                  first_break.(k) <- Some r.Rewrite.label
+              in
+              note i; note j
+          done
+        done;
+        let groups = Hashtbl.create 8 in
+        Array.iteri
+          (fun i c ->
+            let r = find i in
+            Hashtbl.replace groups r
+              (c :: (try Hashtbl.find groups r with Not_found -> [])))
+          arr;
+        let this_sort = c0.Signature.sort in
+        Hashtbl.iter
+          (fun root members ->
+            match members with
+            | [ (lone : Signature.op) ] ->
+              let why =
+                match first_break.(root) with Some l -> l | None -> "singleton"
+              in
+              pinned := (lone, why) :: !pinned
+            | _ ->
+              classes :=
+                {
+                  c_sort = this_sort;
+                  c_elems =
+                    List.sort
+                      (fun (a : Signature.op) b ->
+                        String.compare a.Signature.name b.Signature.name)
+                      members;
+                }
+                :: !classes)
+          groups)
+    (constants_by_sort spec);
+  {
+    y_spec = Cafeobj.Spec.name spec;
+    y_classes =
+      List.sort
+        (fun a b ->
+          compare
+            (a.c_sort.Sort.name, List.map (fun (o : Signature.op) -> o.Signature.name) a.c_elems)
+            (b.c_sort.Sort.name, List.map (fun (o : Signature.op) -> o.Signature.name) b.c_elems))
+        !classes;
+    y_pinned =
+      List.sort
+        (fun ((a : Signature.op), _) (b, _) ->
+          String.compare a.Signature.name b.Signature.name)
+        !pinned;
+  }
+
+(* [orbit_elems r ~candidates]: the subset of candidate constant terms
+   that lie together in a single symmetry class — the safe canonization
+   pool for a scenario drawing interchangeable values from [candidates]. *)
+let orbit_elems r ~candidates =
+  let name_of t =
+    match Term.view t with Term.App (o, []) -> Some o.Signature.name | _ -> None
+  in
+  let best =
+    List.map
+      (fun c ->
+        let names = List.map (fun (o : Signature.op) -> o.Signature.name) c.c_elems in
+        List.filter
+          (fun t -> match name_of t with Some n -> List.mem n names | None -> false)
+          candidates)
+      r.y_classes
+  in
+  match List.sort (fun a b -> compare (List.length b) (List.length a)) best with
+  | pool :: _ when List.length pool >= 2 -> pool
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Certificate                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let certificate r =
+  Sexp.List
+    (Sexp.Atom "symmetry-cert"
+     :: Sexp.List [ Sexp.Atom "spec"; Sexp.Atom r.y_spec ]
+     :: List.map
+          (fun c ->
+            Sexp.List
+              [
+                Sexp.Atom "class";
+                Sexp.List [ Sexp.Atom "sort"; Sexp.Atom c.c_sort.Sort.name ];
+                Sexp.List
+                  (Sexp.Atom "elems"
+                   :: List.map
+                        (fun (o : Signature.op) -> Sexp.Atom o.Signature.name)
+                        c.c_elems);
+              ])
+          r.y_classes)
+
+exception Reject of string
+
+(* Replay: re-verify, for every claimed class, that each transposition of
+   its elements leaves the rule set invariant.  (Transpositions of
+   adjacent representatives suffice to generate the class's symmetric
+   group, but all pairs are cheap and stricter.) *)
+let check spec sexp =
+  let rules = Cafeobj.Spec.all_rules spec in
+  let set = rule_set rules in
+  let consts =
+    List.filter
+      (fun (o : Signature.op) -> o.Signature.arity = [])
+      (Cafeobj.Spec.all_ops spec)
+  in
+  let classes_seen = ref 0 in
+  let check_class crumb parts =
+    let fail why = raise (Reject (crumb ^ "/" ^ why)) in
+    let sort_name =
+      match
+        List.find_map
+          (function
+            | Sexp.List [ Sexp.Atom "sort"; Sexp.Atom s ] -> Some s
+            | _ -> None)
+          parts
+      with
+      | Some s -> s | None -> fail "missing-sort"
+    in
+    let crumb = Printf.sprintf "%s[%s]" crumb sort_name in
+    let fail why = raise (Reject (crumb ^ "/" ^ why)) in
+    let elems =
+      match
+        List.find_map
+          (function
+            | Sexp.List (Sexp.Atom "elems" :: es) ->
+              Some
+                (List.map
+                   (function Sexp.Atom n -> n | _ -> fail "malformed-elem")
+                   es)
+            | _ -> None)
+          parts
+      with
+      | Some es -> es | None -> fail "missing-elems"
+    in
+    let resolve n =
+      match
+        List.find_opt
+          (fun (o : Signature.op) ->
+            String.equal o.Signature.name n
+            && String.equal o.Signature.sort.Sort.name sort_name)
+          consts
+      with
+      | Some o -> o
+      | None -> fail ("unknown-constant[" ^ n ^ "]")
+    in
+    let ops = List.map resolve elems in
+    let rec all_pairs = function
+      | [] -> ()
+      | c :: rest ->
+        List.iter
+          (fun d ->
+            match breaks rules set c d with
+            | None -> ()
+            | Some r ->
+              fail
+                (Printf.sprintf "swap[%s,%s]/rule[%s]" c.Signature.name
+                   d.Signature.name r.Rewrite.label))
+          rest;
+        all_pairs rest
+    in
+    all_pairs ops;
+    incr classes_seen
+  in
+  try
+    match sexp with
+    | Sexp.List (Sexp.Atom "symmetry-cert" :: rest) ->
+      let spec_name =
+        match
+          List.find_map
+            (function
+              | Sexp.List [ Sexp.Atom "spec"; Sexp.Atom n ] -> Some n
+              | _ -> None)
+            rest
+        with
+        | Some n -> n
+        | None -> raise (Reject "missing-spec")
+      in
+      if not (String.equal spec_name (Cafeobj.Spec.name spec)) then
+        raise
+          (Reject
+             (Printf.sprintf "spec-mismatch[%s<>%s]" spec_name
+                (Cafeobj.Spec.name spec)));
+      List.iter
+        (function
+          | Sexp.List (Sexp.Atom "class" :: parts) -> check_class "classes/class" parts
+          | Sexp.List (Sexp.Atom "spec" :: _) -> ()
+          | _ -> raise (Reject "malformed-entry"))
+        rest;
+      Ok !classes_seen
+    | _ -> Error "not-a-symmetry-cert"
+  with Reject why -> Error why

@@ -1,0 +1,45 @@
+(** Static symmetry detection from the signature.
+
+    A sort whose constants occur only {e symmetrically} in the rule set —
+    every rule stays a rule under any transposition of two of them — is a
+    scalarset in the Murφ sense: permuting those constants is an
+    automorphism of the induced transition system, so the model checker
+    may canonize states up to the permutation group.  The analysis finds
+    the maximal interchangeable classes per sort (union-find over
+    transposition invariance, which generates the full symmetric group on
+    each class); constants that appear asymmetrically in some rule (an
+    intruder's name, a certificate authority) are pinned, with the
+    breaking rule recorded.
+
+    Like {!Indep}, the result is certified: the certificate lists the
+    classes and {!check} replays every transposition against the spec's
+    own rules, rejecting forged classes with a breadcrumb path. *)
+
+open Kernel
+
+type cls = {
+  c_sort : Sort.t;
+  c_elems : Signature.op list;  (** interchangeable constants, sorted by name *)
+}
+
+type result = {
+  y_spec : string;
+  y_classes : cls list;
+  y_pinned : (Signature.op * string) list;
+      (** asymmetric constants, with the label of the first breaking rule *)
+}
+
+val analyze : Cafeobj.Spec.t -> result
+
+(** [orbit_elems r ~candidates]: the largest subset of the candidate
+    constant terms lying together in one symmetry class (at least two
+    elements, else empty) — the safe canonization pool for a scenario
+    drawing interchangeable fresh values from [candidates]. *)
+val orbit_elems : result -> candidates:Term.t list -> Term.t list
+
+val certificate : result -> Certify.Sexp.t
+
+(** Replay the certificate: every transposition within every claimed
+    class is re-checked against the rule set.  [Ok classes] or
+    [Error breadcrumb], e.g. [classes/class[Rand]/swap[nA,nE]/rule[...]]. *)
+val check : Cafeobj.Spec.t -> Certify.Sexp.t -> (int, string) Stdlib.result

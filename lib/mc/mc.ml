@@ -5,9 +5,17 @@ type ('state, 'action) system = {
   show_action : 'action -> string;
 }
 
+type ('state, 'action) reduction = {
+  ample : 'action -> bool;
+  canon : 'state -> 'state;
+}
+
+let no_reduction = { ample = (fun _ -> false); canon = (fun s -> s) }
+
 type stats = {
   states_explored : int;
   transitions_fired : int;
+  states_pruned : int;
   max_depth : int;
   elapsed : float;
 }
@@ -25,27 +33,69 @@ type 'action outcome =
 
 exception Found of string * int
 
-(* Shared BFS core: explores until exhaustion or a state satisfying [stop].
-   Parent pointers (by state key) reconstruct traces. *)
-type 'a node = { parent_key : string option; via : 'a option; depth : int }
+let c_pruned = Telemetry.Metrics.counter "mc.por.pruned"
 
-let explore ?(max_states = 1_000_000) ?(max_depth = max_int) system ~stop =
+(* Shared BFS core: explores until exhaustion or a state satisfying [stop].
+   Parent pointers (by state key) reconstruct traces.  With a reduction, a
+   whole chase of ample transitions collapses into one compound edge, so
+   [via] is a label {e chain}: singleton for an ordinary step, the fired
+   sequence for a compound one, flattened on trace reconstruction. *)
+type 'a node = { parent_key : string option; via : 'a list; depth : int }
+
+(* Saturate the certified-independent ample transitions from [s] into one
+   compound step: repeatedly follow the first ample successor whose
+   canonical key actually changes, until none does (or a safety cap trips
+   — ample cycles are possible, e.g. the intruder re-faking a message it
+   already sent).  Independence of the ample actions from *every* action
+   makes the endpoint order-insensitive; the cap keeps cycles finite.
+   [peek] checks the properties on the intermediate states so a violation
+   inside the chase surfaces at the point it appears instead of being
+   jumped over; the chase truncates there and the caller enqueues the
+   violating state. *)
+let flood ~red ~key ~next ~peek s k =
+  let rec go s k labels n =
+    if n >= 256 then (List.rev labels, s, k)
+    else
+      match
+        List.find_map
+          (fun (a, s') ->
+            if red.ample a then begin
+              let s' = red.canon s' in
+              let k' = key s' in
+              if String.equal k' k then None else Some (a, s', k')
+            end
+            else None)
+          (next s)
+      with
+      | None -> (List.rev labels, s, k)
+      | Some (a, s', k') ->
+        let labels = a :: labels in
+        if peek s' then (List.rev labels, s', k') else go s' k' labels (n + 1)
+  in
+  go s k [] 0
+
+let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?reduction system
+    ~stop =
   let t0 = Unix.gettimeofday () in
+  let red = Option.value reduction ~default:no_reduction in
+  let reduced = Option.is_some reduction in
   let seen : (string, 'a node) Hashtbl.t = Hashtbl.create 4096 in
   let queue = Queue.create () in
   let states = ref 0 in
   let transitions = ref 0 in
+  let pruned = ref 0 in
+  let compound_fired = ref false in
   let deepest = ref 0 in
   let complete = ref true in
   let trace_to key =
     let rec go key acc =
       match Hashtbl.find seen key with
       | { parent_key = None; _ } -> acc
-      | { parent_key = Some pk; via = Some a; _ } -> go pk (a :: acc)
-      | { parent_key = Some _; via = None; _ } -> acc
+      | { parent_key = Some pk; via; _ } -> go pk (via @ acc)
     in
     go key []
   in
+  (* [state] must already be canonical. *)
   let enqueue state parent_key via depth =
     let k = system.key state in
     if not (Hashtbl.mem seen k) then begin
@@ -60,15 +110,50 @@ let explore ?(max_states = 1_000_000) ?(max_depth = max_int) system ~stop =
     end
   in
   let mk_stats () =
+    Telemetry.Metrics.add c_pruned !pruned;
     {
       states_explored = !states;
       transitions_fired = !transitions;
+      states_pruned = !pruned;
       max_depth = !deepest;
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
+  let peek s = Option.is_some (stop s) in
+  let expand state k depth =
+    let succs = system.next state in
+    if not reduced then
+      List.iter
+        (fun (a, s') ->
+          incr transitions;
+          enqueue s' (Some k) [ a ] (depth + 1))
+        succs
+    else begin
+      let amples, honest = List.partition (fun (a, _) -> red.ample a) succs in
+      (match amples with
+      | [] -> ()
+      | _ -> (
+        let labels, s_end, k_end =
+          flood ~red ~key:system.key ~next:system.next ~peek state k
+        in
+        if String.equal k_end k then
+          (* the whole ample set only shuffles within the current orbit *)
+          pruned := !pruned + List.length amples
+        else begin
+          incr transitions;
+          compound_fired := true;
+          pruned := !pruned + List.length amples - 1;
+          enqueue s_end (Some k) labels (depth + 1)
+        end));
+      List.iter
+        (fun (a, s') ->
+          incr transitions;
+          enqueue (red.canon s') (Some k) [ a ] (depth + 1))
+        honest
+    end
+  in
   try
-    enqueue system.initial None None 0;
+    enqueue (red.canon system.initial) None [] 0;
     while not (Queue.is_empty queue) do
       if !states > max_states then begin
         complete := false;
@@ -76,34 +161,42 @@ let explore ?(max_states = 1_000_000) ?(max_depth = max_int) system ~stop =
       end
       else begin
         let state, k, depth = Queue.pop queue in
-        List.iter
-          (fun (a, s') ->
-            incr transitions;
-            enqueue s' (Some k) (Some a) (depth + 1))
-          (system.next state)
+        expand state k depth
       end
     done;
-    `Exhausted (mk_stats (), !complete)
-  with Found (key, depth) ->
-    `Stopped (mk_stats (), trace_to key, depth)
+    (* A compound edge compresses several transitions into one depth level,
+       so under a finite depth bound exhaustion of the reduced graph does
+       not certify the full bounded space: report [Out_of_bounds] exactly
+       as the unreduced exploration would. *)
+    let genuinely_complete =
+      !complete && not (!compound_fired && max_depth < max_int)
+    in
+    `Exhausted (mk_stats (), genuinely_complete)
+  with Found (key, depth) -> `Stopped (mk_stats (), trace_to key, depth)
 
 (* Level-synchronous parallel BFS.  Each frontier level is expanded on the
-   pool ([system.next] on distinct states, chunked to bound task count);
+   pool ([system.next] — and, under a reduction, the canonization and the
+   whole flood chase — on distinct states, chunked to bound task count);
    the seen-set merge is sequential, walking the expanded items in frontier
    order and replaying exactly the [enqueue] logic of {!explore} — same
    per-item bound check, same dedup order, same stop-at-first-violation.
-   The outcome (violation, trace, depth, states, transitions) is therefore
-   identical to the sequential exploration; only wall-clock differs.
+   The outcome (violation, trace, depth, states, transitions, pruning) is
+   therefore identical to the sequential exploration; only wall-clock
+   differs.
 
    State handoff is synchronized: closures reach workers through the pool's
    queues and successor states return through task results, so per-state
    caches written on one side are visible on the other. *)
-let explore_par ?(max_states = 1_000_000) ?(max_depth = max_int) pool system
-    ~stop =
+let explore_par ?(max_states = 1_000_000) ?(max_depth = max_int) ?reduction
+    pool system ~stop =
   let t0 = Unix.gettimeofday () in
+  let red = Option.value reduction ~default:no_reduction in
+  let reduced = Option.is_some reduction in
   let seen : (string, 'a node) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 in
   let transitions = ref 0 in
+  let pruned = ref 0 in
+  let compound_fired = ref false in
   let deepest = ref 0 in
   let complete = ref true in
   let frontier = ref [] in
@@ -111,8 +204,7 @@ let explore_par ?(max_states = 1_000_000) ?(max_depth = max_int) pool system
     let rec go key acc =
       match Hashtbl.find seen key with
       | { parent_key = None; _ } -> acc
-      | { parent_key = Some pk; via = Some a; _ } -> go pk (a :: acc)
-      | { parent_key = Some _; via = None; _ } -> acc
+      | { parent_key = Some pk; via; _ } -> go pk (via @ acc)
     in
     go key []
   in
@@ -130,12 +222,38 @@ let explore_par ?(max_states = 1_000_000) ?(max_depth = max_int) pool system
     end
   in
   let mk_stats () =
+    Telemetry.Metrics.add c_pruned !pruned;
     {
       states_explored = !states;
       transitions_fired = !transitions;
+      states_pruned = !pruned;
       max_depth = !deepest;
       elapsed = Unix.gettimeofday () -. t0;
     }
+  in
+  let peek s = Option.is_some (stop s) in
+  (* Workers do the expensive part — [next], canonization, flooding — and
+     return step descriptors; the merge replays them in frontier order so
+     counting and enqueue order match the sequential exploration. *)
+  let expand_worker state k =
+    let succs = system.next state in
+    if not reduced then
+      List.map (fun (a, s') -> `Step (a, s')) succs
+    else begin
+      let amples, honest = List.partition (fun (a, _) -> red.ample a) succs in
+      let compound =
+        match amples with
+        | [] -> []
+        | _ -> (
+          let labels, s_end, k_end =
+            flood ~red ~key:system.key ~next:system.next ~peek state k
+          in
+          if String.equal k_end k then [ `Prune (List.length amples) ]
+          else [ `Comp (labels, s_end, List.length amples - 1) ])
+      in
+      compound
+      @ List.map (fun (a, s') -> `Step (a, red.canon s')) honest
+    end
   in
   let chunks level =
     let size =
@@ -154,7 +272,7 @@ let explore_par ?(max_states = 1_000_000) ?(max_depth = max_int) pool system
     split [] [] 0 level
   in
   try
-    enqueue system.initial None None 0;
+    enqueue (red.canon system.initial) None [] 0;
     while !frontier <> [] do
       let level = List.rev !frontier in
       frontier := [];
@@ -162,24 +280,33 @@ let explore_par ?(max_states = 1_000_000) ?(max_depth = max_int) pool system
       else begin
         let expanded =
           Sched.Pool.parallel_map pool
-            (List.map (fun (state, k, depth) -> k, depth, system.next state))
+            (List.map (fun (state, k, depth) -> (k, depth, expand_worker state k)))
             (chunks level)
         in
         List.iter
-          (List.iter (fun (k, depth, succs) ->
+          (List.iter (fun (k, depth, steps) ->
                if !states > max_states then complete := false
                else
                  List.iter
-                   (fun (a, s') ->
-                     incr transitions;
-                     enqueue s' (Some k) (Some a) (depth + 1))
-                   succs))
+                   (function
+                     | `Step (a, s') ->
+                       incr transitions;
+                       enqueue s' (Some k) [ a ] (depth + 1)
+                     | `Comp (labels, s', n_pruned) ->
+                       incr transitions;
+                       compound_fired := true;
+                       pruned := !pruned + n_pruned;
+                       enqueue s' (Some k) labels (depth + 1)
+                     | `Prune n -> pruned := !pruned + n)
+                   steps))
           expanded
       end
     done;
-    `Exhausted (mk_stats (), !complete)
-  with Found (key, depth) ->
-    `Stopped (mk_stats (), trace_to key, depth)
+    let genuinely_complete =
+      !complete && not (!compound_fired && max_depth < max_int)
+    in
+    `Exhausted (mk_stats (), genuinely_complete)
+  with Found (key, depth) -> `Stopped (mk_stats (), trace_to key, depth)
 
 let outcome_of_explore violated = function
   | `Exhausted (stats, true) -> No_violation stats
@@ -202,17 +329,18 @@ let stop_of_props props =
   in
   violated, stop
 
-let par_bfs ?max_states ?max_depth ~pool system ~props =
+let par_bfs ?max_states ?max_depth ?reduction ~pool system ~props =
   let violated, stop = stop_of_props props in
   outcome_of_explore violated
-    (explore_par ?max_states ?max_depth pool system ~stop)
+    (explore_par ?max_states ?max_depth ?reduction pool system ~stop)
 
-let bfs ?max_states ?max_depth system ~props =
+let bfs ?max_states ?max_depth ?reduction system ~props =
   (* [stop] returns the name of a *violated* property. *)
   let violated, stop = stop_of_props props in
-  outcome_of_explore violated (explore ?max_states ?max_depth system ~stop)
+  outcome_of_explore violated
+    (explore ?max_states ?max_depth ?reduction system ~stop)
 
-let reachable ?max_states ?max_depth system ~goal =
+let reachable ?max_states ?max_depth ?reduction system ~goal =
   let witness = ref None in
   let stop state =
     if goal state then begin
@@ -221,7 +349,7 @@ let reachable ?max_states ?max_depth system ~goal =
     end
     else None
   in
-  match explore ?max_states ?max_depth system ~stop with
+  match explore ?max_states ?max_depth ?reduction system ~stop with
   | `Exhausted _ -> None
   | `Stopped (_, trace, _) -> (
     match !witness with Some s -> Some (trace, s) | None -> None)
@@ -233,7 +361,9 @@ let outcome_stats = function
 
 let pp_stats ppf s =
   Format.fprintf ppf "states=%d transitions=%d depth=%d %.3fs"
-    s.states_explored s.transitions_fired s.max_depth s.elapsed
+    s.states_explored s.transitions_fired s.max_depth s.elapsed;
+  if s.states_pruned > 0 then
+    Format.fprintf ppf " (pruned %d)" s.states_pruned
 
 let pp_outcome pp_action ppf = function
   | No_violation s ->

@@ -19,9 +19,39 @@ type ('state, 'action) system = {
   show_action : 'action -> string;
 }
 
+(** A state-space reduction, justified by the static analyses of
+    {!Analysis.Indep} and {!Analysis.Symmetry}:
+
+    - [ample a] marks actions proved independent of {e every} action of
+      the system (including themselves) — see [Indep.certified_ample].
+      From each state, all enabled ample transitions are saturated into a
+      single compound step (a chase following the first ample successor
+      whose key changes, cycle-capped), instead of branching the frontier
+      on each of them.  Properties are still checked on every chase
+      intermediate, so violations inside a compound step are not jumped
+      over.
+    - [canon s] maps a state to a canonical representative of its orbit
+      under a proved permutation symmetry (see [Symmetry.orbit_elems]);
+      orbit-minimization makes it idempotent.  [fun s -> s] when no
+      symmetry is used.
+
+    Soundness caveat inherited from ample-set reduction: with a finite
+    [max_depth], compound steps compress several transitions into one
+    level, so exhaustion of the reduced graph within the bound does not
+    certify the full bounded space — such runs report [Out_of_bounds],
+    matching the unreduced verdict.  Unbounded exhaustive runs still
+    report [No_violation]. *)
+type ('state, 'action) reduction = {
+  ample : 'action -> bool;
+  canon : 'state -> 'state;
+}
+
 type stats = {
   states_explored : int;
   transitions_fired : int;
+  states_pruned : int;
+      (** enabled ample transitions subsumed by compound steps; also
+          accumulated on the [mc.por.pruned] telemetry counter *)
   max_depth : int;
   elapsed : float;  (** seconds *)
 }
@@ -38,40 +68,49 @@ type 'action outcome =
   | Out_of_bounds of stats
       (** a bound was hit before exhaustion and no violation found *)
 
-(** [bfs ?max_states ?max_depth system ~props] explores breadth-first and
-    checks each named predicate at every state, returning the first
-    violation (whose trace is minimal by BFS) or exhaustion.  Defaults:
-    [max_states = 1_000_000], [max_depth = max_int]. *)
+(** [bfs ?max_states ?max_depth ?reduction system ~props] explores
+    breadth-first and checks each named predicate at every state,
+    returning the first violation (whose trace is minimal by BFS) or
+    exhaustion.  With [reduction], the search runs on the reduced state
+    graph: states are canonized before dedup and certified-ample
+    transitions collapse into compound steps (a violation trace then lists
+    every action fired, compound chains flattened in order).  Defaults:
+    [max_states = 1_000_000], [max_depth = max_int], no reduction. *)
 val bfs :
   ?max_states:int ->
   ?max_depth:int ->
+  ?reduction:('s, 'a) reduction ->
   ('s, 'a) system ->
   props:(string * ('s -> bool)) list ->
   'a outcome
 
-(** [par_bfs ?max_states ?max_depth ~pool system ~props] is {!bfs} with
-    each frontier level expanded in parallel on [pool]: [system.next] runs
-    on the pool's domains (chunked over the level), and successors are
-    merged into the seen set sequentially, in frontier order, replaying the
-    sequential enqueue logic exactly.  The outcome — violation, minimal
-    trace, depth, state and transition counts — is identical to [bfs] on
-    the same system and bounds; only [elapsed] differs.  [system.next] must
-    be safe to call concurrently on distinct states. *)
+(** [par_bfs ?max_states ?max_depth ?reduction ~pool system ~props] is
+    {!bfs} with each frontier level expanded in parallel on [pool]:
+    [system.next] — and, under a reduction, canonization and the compound
+    chase — runs on the pool's domains (chunked over the level), and
+    successors are merged into the seen set sequentially, in frontier
+    order, replaying the sequential enqueue logic exactly.  The outcome —
+    violation, minimal trace, depth, state/transition/pruned counts — is
+    identical to [bfs] on the same system, bounds and reduction; only
+    [elapsed] differs.  [system.next] (and [reduction], if any) must be
+    safe to call concurrently on distinct states. *)
 val par_bfs :
   ?max_states:int ->
   ?max_depth:int ->
+  ?reduction:('s, 'a) reduction ->
   pool:Sched.Pool.t ->
   ('s, 'a) system ->
   props:(string * ('s -> bool)) list ->
   'a outcome
 
-(** [reachable ?max_states ?max_depth system ~goal] searches for a state
-    satisfying [goal]; returns the (BFS-minimal) witness trace, if any.
-    Used to answer “can the protocol reach a completed handshake?” style
-    questions positively. *)
+(** [reachable ?max_states ?max_depth ?reduction system ~goal] searches
+    for a state satisfying [goal]; returns the (BFS-minimal) witness
+    trace, if any.  Used to answer “can the protocol reach a completed
+    handshake?” style questions positively. *)
 val reachable :
   ?max_states:int ->
   ?max_depth:int ->
+  ?reduction:('s, 'a) reduction ->
   ('s, 'a) system ->
   goal:('s -> bool) ->
   ('a list * 's) option

@@ -359,6 +359,143 @@ let nonce_secrecy st =
 
 let some_responder_done st = st.rdones <> []
 
+(* ------------------------------------------------------------------ *)
+(* State-space reduction, justified by the static analyses on the
+   generated equational theory of the same protocol. *)
+
+(* Concrete fake rules against the symbolic intruder actions they
+   enumerate: each concrete rule covers both the construct and the replay
+   action of its message kind. *)
+let fake_classes variant =
+  let sfx = match variant with Classic -> "-c" | Lowe_fixed -> "-l" in
+  List.map
+    (fun (rule, acts) -> rule, List.map (fun a -> a ^ sfx) acts)
+    [
+      "fake-m1", [ "fakeM1c"; "fakeM1r" ];
+      "fake-m2", [ "fakeM2c"; "fakeM2r" ];
+      "fake-m3", [ "fakeM3c"; "fakeM3r" ];
+    ]
+
+type analysis = {
+  an_ample : string list;  (** concrete fake rules certified ample *)
+  an_indep : Analysis.Indep.result option;
+  an_sym : Analysis.Symmetry.result;
+}
+
+let analysis_cache : (variant, analysis) Hashtbl.t = Hashtbl.create 2
+
+(* The static pass runs on the *generated equational theory* of the OTS:
+   independence of the intruder actions from every action (self included)
+   admits them as an ample/flooding set; the symmetry classes over [Rand]
+   give the canonization orbit.  Memoized per variant (~0.4 s). *)
+let analysis variant =
+  match Hashtbl.find_opt analysis_cache variant with
+  | Some a -> a
+  | None ->
+    let gspec = Nspk_model.gen_spec variant in
+    let classes = fake_classes variant in
+    let focus = List.concat_map snd classes in
+    let indep = Analysis.Indep.analyze ~focus gspec in
+    let ample =
+      match indep with
+      | None -> []
+      | Some r ->
+        let certified = Analysis.Indep.certified_ample r focus in
+        List.filter_map
+          (fun (rule, acts) ->
+            if List.for_all (fun a -> List.mem a certified) acts then
+              Some rule
+            else None)
+          classes
+    in
+    let sym = Analysis.Symmetry.analyze gspec in
+    let a = { an_ample = ample; an_indep = indep; an_sym = sym } in
+    Hashtbl.replace analysis_cache variant a;
+    a
+
+let independence variant = (analysis variant).an_indep
+let symmetries variant = (analysis variant).an_sym
+
+(* Swap constants through a state: simultaneous image under the
+   permutation [map], rebuilding every stored term. *)
+let remap_term map t =
+  let rec go t =
+    match Term.view t with
+    | Term.Var _ -> t
+    | Term.App (_, []) -> (
+      match List.find_opt (fun (c, _) -> Term.equal c t) map with
+      | Some (_, d) -> d
+      | None -> t)
+    | Term.App (o, args) -> Term.app_unchecked o (List.map go args)
+  in
+  go t
+
+let remap_run map r =
+  {
+    r with
+    na = remap_term map r.na;
+    nb = Option.map (remap_term map) r.nb;
+  }
+
+let remap_state map st =
+  if List.for_all (fun (c, d) -> Term.equal c d) map then st
+  else
+    {
+      st with
+      msgs = TS.map (remap_term map) st.msgs;
+      used = TS.map (remap_term map) st.used;
+      istarts = sorted_runs (List.map (remap_run map) st.istarts);
+      rruns = sorted_runs (List.map (remap_run map) st.rruns);
+      rdones = sorted_runs (List.map (remap_run map) st.rdones);
+      kn = None;
+    }
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map
+          (fun p -> x :: p)
+          (permutations (List.filter (fun y -> not (Term.equal y x)) l)))
+      l
+
+(* Orbit minimization over the interchangeable-nonce pool: the canonical
+   representative is the permutation image with the smallest key, which
+   makes canonization idempotent by construction. *)
+let canon_over pool =
+  if List.length pool < 2 then fun st -> st
+  else
+    let maps = List.map (List.combine pool) (permutations pool) in
+    fun st ->
+      let best = ref st and best_key = ref (key st) in
+      List.iter
+        (fun map ->
+          let st' = remap_state map st in
+          let k' = key st' in
+          if String.compare k' !best_key < 0 then begin
+            best := st';
+            best_key := k'
+          end)
+        maps;
+      !best
+
+let reduction ?(por = true) ?(symmetry = true) scen =
+  let a = analysis scen.variant in
+  let ample =
+    if por then fun (l : label) -> List.mem l.rule a.an_ample
+    else fun _ -> false
+  in
+  let canon =
+    if symmetry then
+      (* Only the scenario's honest-nonce pool is interchangeable: the
+         intruder's own nonces are part of its (asymmetric) identity. *)
+      canon_over
+        (Analysis.Symmetry.orbit_elems a.an_sym ~candidates:scen.nonces)
+    else fun st -> st
+  in
+  { Mc.ample; canon }
+
 (* Re-exports: the symbolic OTS treatment (model + proof campaign). *)
 module Symbolic = Nspk_model
 module Symbolic_proofs = Nspk_proofs

@@ -86,6 +86,11 @@ val seed_in : Term.t -> Term.t -> Term.t
     plus six intruder fakes (construct/replay per message kind). *)
 val ots : variant -> Ots.t
 
+(** [gen_spec variant] — the memoized generated equational theory of the
+    OTS (successor equations, if-rules, if-lifting), the input to the
+    prover and to the static independence/symmetry analyses. *)
+val gen_spec : variant -> Cafeobj.Spec.t
+
 (** [proof_env variant] — a fresh proof environment over the generated
     equational theory. *)
 val proof_env : variant -> Induction.env

@@ -89,3 +89,30 @@ val handshake_complete : scenario -> state -> bool
 (** [resumption_complete scenario st]: a session was established and later
     refreshed (both Finished2 messages exchanged). *)
 val resumption_complete : scenario -> state -> bool
+
+(** {1 State-space reduction}
+
+    The reduction is justified statically, on the generated equational
+    theory of the symbolic model ({!Model.spec}): the concrete fake rules
+    carry the same names as the symbolic intruder actions, and are
+    admitted as an ample/flooding set only when {!Analysis.Indep} proves
+    them independent of every action; states are canonized over the
+    honest-rand permutation orbit found by {!Analysis.Symmetry}.  Both
+    analyses are memoized per style. *)
+
+(** [reduction ?por ?symmetry scenario] — a reduction for
+    [Mc.bfs ~reduction]/[Mc.par_bfs ~reduction] over {!system} of the
+    same scenario.  [por:false] disables the ample set, [symmetry:false]
+    the canonization (both default [true]).  Scenarios with [oops] keep
+    the full interleaving of the Oops rule (it has no symbolic
+    counterpart, so no certified commutations). *)
+val reduction :
+  ?por:bool -> ?symmetry:bool -> scenario -> (state, label) Mc.reduction
+
+(** The memoized independence analysis over the style's generated theory
+    ([None] when the spec has no recognizable transitions — does not
+    happen for these models). *)
+val independence : Model.style -> Analysis.Indep.result option
+
+(** The memoized symmetry analysis over the style's generated theory. *)
+val symmetries : Model.style -> Analysis.Symmetry.result

@@ -51,6 +51,7 @@ let () =
          Test_tls.suite;
          Test_proofs.suite;
          Test_mc.suite;
+         Test_mc_reduction.suite;
          Test_nspk_sym.suite;
          Test_sched.suite;
          Test_secrecy.suite;
