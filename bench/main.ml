@@ -45,9 +45,27 @@ let mc_full_states = ref 0
 let mc_por_states = ref 0
 let mc_reduction_factor = ref 0.0
 let indep_cert_ms = ref 0.0
+let red_linear_ms = ref 0.0
+let red_indexed_ms = ref 0.0
+let index_candidate_ratio = ref 0.0
 
-(* per invariant, the top rules by self-time: (label, fires, self_ms) *)
-let hot_rules : (string * (string * int * float) list) list ref = ref []
+(* campaign-wide rule-selection work (the cost indexing targets): total
+   root-match attempts and their self-time, under each engine *)
+let match_tries_linear = ref 0
+let match_tries_indexed = ref 0
+let match_self_ms_linear = ref 0.0
+let match_self_ms_indexed = ref 0.0
+
+(* per invariant, the top rules by self-time:
+   (label, fires, self_ms, match_tries, match_self_ms) — [hot_rules] with
+   the discrimination-tree index (the default engine), [hot_rules_linear]
+   with the seed's linear scan (the E20 baseline) *)
+let hot_rules : (string * (string * int * float * int * float) list) list ref =
+  ref []
+
+let hot_rules_linear :
+    (string * (string * int * float * int * float) list) list ref =
+  ref []
 
 let record ?(steps = 0) ?(splits = 0) name wall =
   records :=
@@ -79,33 +97,48 @@ let write_json file ~jobs =
      \"horn_clauses\": %d,\n  \"saturation_rounds\": %d,\n  \
      \"mc_full_states\": %d,\n  \"mc_por_states\": %d,\n  \
      \"mc_reduction_factor\": %.2f,\n  \"indep_cert_ms\": %.3f,\n  \
+     \"red_linear_ms\": %.3f,\n  \"red_indexed_ms\": %.3f,\n  \
+     \"index_candidate_ratio\": %.4f,\n  \
+     \"match_tries_linear\": %d,\n  \"match_tries_indexed\": %d,\n  \
+     \"match_self_ms_linear\": %.3f,\n  \"match_self_ms_indexed\": %.3f,\n  \
      \"experiments\": ["
     jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms
     !red_memo_ms !memo_hit_rate !intern_table_len !telemetry_overhead_pct
     !server_cold_ms !server_warm_ms !server_dedup_hit_rate !secrecy_ms
     !horn_clauses !saturation_rounds !mc_full_states !mc_por_states
-    !mc_reduction_factor !indep_cert_ms;
+    !mc_reduction_factor !indep_cert_ms !red_linear_ms !red_indexed_ms
+    !index_candidate_ratio !match_tries_linear !match_tries_indexed
+    !match_self_ms_linear !match_self_ms_indexed;
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
         (if i = 0 then "" else ",")
         (json_escape r.rec_name) r.rec_wall r.rec_steps r.rec_splits)
     (List.rev !records);
-  Printf.fprintf oc "\n  ],\n  \"hot_rules\": [";
-  List.iteri
-    (fun i (inv, rules) ->
-      Printf.fprintf oc "%s\n    { \"invariant\": \"%s\", \"rules\": ["
-        (if i = 0 then "" else ",")
-        (json_escape inv);
-      List.iteri
-        (fun j (label, fires, self_ms) ->
-          Printf.fprintf oc "%s{\"rule\": \"%s\", \"fires\": %d, \"self_ms\": %.3f}"
-            (if j = 0 then "" else ", ")
-            (json_escape label) fires self_ms)
-        rules;
-      Printf.fprintf oc "] }")
-    !hot_rules;
-  Printf.fprintf oc "\n  ]\n}\n";
+  Printf.fprintf oc "\n  ],";
+  let write_hot key table =
+    Printf.fprintf oc "\n  \"%s\": [" key;
+    List.iteri
+      (fun i (inv, rules) ->
+        Printf.fprintf oc "%s\n    { \"invariant\": \"%s\", \"rules\": ["
+          (if i = 0 then "" else ",")
+          (json_escape inv);
+        List.iteri
+          (fun j (label, fires, self_ms, tries, match_ms) ->
+            Printf.fprintf oc
+              "%s{\"rule\": \"%s\", \"fires\": %d, \"self_ms\": %.3f, \
+               \"match_tries\": %d, \"match_self_ms\": %.3f}"
+              (if j = 0 then "" else ", ")
+              (json_escape label) fires self_ms tries match_ms)
+          rules;
+        Printf.fprintf oc "] }")
+      table;
+    Printf.fprintf oc "\n  ]"
+  in
+  write_hot "hot_rules" !hot_rules;
+  Printf.fprintf oc ",";
+  write_hot "hot_rules_linear" !hot_rules_linear;
+  Printf.fprintf oc "\n}\n";
   close_out oc
 
 (* ------------------------------------------------------------------ *)
@@ -227,6 +260,69 @@ let report_nspk () =
     let stats = Mc.outcome_stats outcome in
     Format.printf "E9  NSL (Lowe's fix): clean over %d states@."
       stats.Mc.states_explored
+
+(* Full-campaign per-rule totals: label -> (match tries, match self ns,
+   total self ns), over every rule in every invariant's snapshot — the
+   per-invariant tables truncate to the top 3, which would bias any
+   rule-to-rule comparison between engines (a rule makes the top 3 more
+   often once the scan-heavy rules around it drop out). *)
+let rule_totals_linear : (string, int * int * int) Hashtbl.t = Hashtbl.create 256
+let rule_totals_indexed : (string, int * int * int) Hashtbl.t = Hashtbl.create 256
+
+(* Per-invariant rule attribution: sequential on purpose — reset/snapshot
+   need quiescence, and one invariant at a time keeps the profiles
+   separable.  Shared by E16 (indexed) and E20 (linear baseline).
+   Returns the per-invariant top-3 table plus the campaign-wide
+   rule-selection totals (root-match attempts and their self-time, over
+   *all* rules, not just the top 3); [totals] gets the exact per-rule
+   sums. *)
+let profile_hot_rules ~totals env proofs =
+  Telemetry.Probe.set_enabled true;
+  let tries_total = ref 0 and match_ns_total = ref 0 in
+  Hashtbl.reset totals;
+  let table =
+    List.map
+      (fun proof ->
+        Telemetry.Probe.reset ();
+        ignore (Proofs.Tls_invariants.run env proof);
+        let snap = Telemetry.Probe.snapshot () in
+        List.iter
+          (fun (r : Telemetry.Probe.rule_stat) ->
+            tries_total := !tries_total + r.Telemetry.Probe.rl_match_tries;
+            match_ns_total :=
+              !match_ns_total + r.Telemetry.Probe.rl_match_self_ns;
+            let t0, m0, s0 =
+              Option.value ~default:(0, 0, 0)
+                (Hashtbl.find_opt totals r.Telemetry.Probe.rl_label)
+            in
+            Hashtbl.replace totals r.Telemetry.Probe.rl_label
+              ( t0 + r.Telemetry.Probe.rl_match_tries,
+                m0 + r.Telemetry.Probe.rl_match_self_ns,
+                s0 + r.Telemetry.Probe.rl_rw_self_ns
+                + r.Telemetry.Probe.rl_cond_self_ns
+                + r.Telemetry.Probe.rl_match_self_ns ))
+          snap.Telemetry.Probe.sn_rules;
+        ( Proofs.Tls_invariants.name_of proof,
+          List.map
+            (fun (r : Telemetry.Probe.rule_stat) ->
+              ( r.Telemetry.Probe.rl_label,
+                r.Telemetry.Probe.rl_fires,
+                float_of_int
+                  (r.Telemetry.Probe.rl_rw_self_ns
+                  + r.Telemetry.Probe.rl_cond_self_ns
+                  + r.Telemetry.Probe.rl_match_self_ns)
+                /. 1e6,
+                r.Telemetry.Probe.rl_match_tries,
+                float_of_int r.Telemetry.Probe.rl_match_self_ns /. 1e6 ))
+            (Telemetry.Hotspot.hot_rules ~top:3 snap) ))
+      proofs
+  in
+  Telemetry.Probe.set_enabled false;
+  Telemetry.Probe.reset ();
+  (table, (!tries_total, float_of_int !match_ns_total /. 1e6))
+
+let hot_weight (_, rules) =
+  List.fold_left (fun acc (_, _, ms, _, _) -> acc +. ms) 0. rules
 
 let bool_const name =
   Term.const
@@ -443,39 +539,24 @@ let report ~pool () =
    Format.printf
      "E16 telemetry: red %.3f ms off, %.3f ms recording (%+.1f%%)@." off on
      !telemetry_overhead_pct;
-   (* per-invariant rule attribution: sequential on purpose — reset/snapshot
-      need quiescence, and one invariant at a time keeps the profiles
-      separable *)
    let env = Tls.Model.env Tls.Model.Original in
-   Telemetry.Probe.set_enabled true;
-   hot_rules :=
-     List.map
-       (fun proof ->
-         Telemetry.Probe.reset ();
-         ignore (Proofs.Tls_invariants.run env proof);
-         let snap = Telemetry.Probe.snapshot () in
-         ( Proofs.Tls_invariants.name_of proof,
-           List.map
-             (fun (r : Telemetry.Probe.rule_stat) ->
-               ( r.Telemetry.Probe.rl_label,
-                 r.Telemetry.Probe.rl_fires,
-                 float_of_int
-                   (r.Telemetry.Probe.rl_rw_self_ns
-                   + r.Telemetry.Probe.rl_cond_self_ns)
-                 /. 1e6 ))
-             (Telemetry.Hotspot.hot_rules ~top:3 snap) ))
-       (Proofs.Tls_invariants.all Tls.Model.Original);
-   Telemetry.Probe.set_enabled false;
-   Telemetry.Probe.reset ();
-   let weight (_, rules) =
-     List.fold_left (fun acc (_, _, ms) -> acc +. ms) 0. rules
+   let table, (tries, match_ms) =
+     profile_hot_rules ~totals:rule_totals_indexed env
+       (Proofs.Tls_invariants.all Tls.Model.Original)
    in
-   match List.stable_sort (fun a b -> compare (weight b) (weight a)) !hot_rules with
+   hot_rules := table;
+   match_tries_indexed := tries;
+   match_self_ms_indexed := match_ms;
+   match
+     List.stable_sort
+       (fun a b -> compare (hot_weight b) (hot_weight a))
+       !hot_rules
+   with
    | [] -> ()
    | (inv, rules) :: _ ->
      Format.printf "E16 hottest invariant %s:@." inv;
      List.iter
-       (fun (label, fires, self_ms) ->
+       (fun (label, fires, self_ms, _, _) ->
          Format.printf "      %-32s %5d fires %10.3f ms self@." label fires self_ms)
        rules);
 
@@ -631,7 +712,122 @@ let report ~pool () =
          pairs claims dt
      | Error breadcrumb ->
        Format.printf "E19 independence certificate REJECTED at %s (unexpected)@."
-         breadcrumb))
+         breadcrumb));
+
+  section "E20: indexed matching (discrimination tree vs linear scan)";
+  (* Same red as E14/E16, timed under both rule-selection strategies.
+     The differential suite holds the two to identical results; the only
+     thing allowed to differ is how many rules fail to match. *)
+  (let full = Tls.Scenario.full_handshake () in
+   let nwt = Tls.Model.nw full.Tls.Scenario.ots (Tls.Scenario.final full) in
+   let c = Tls.Scenario.cast in
+   let pms =
+     Tls.Data.pms_ ~client:c.Tls.Scenario.alice ~server:c.Tls.Scenario.bob
+       c.Tls.Scenario.sec1
+   in
+   let sys = Cafeobj.Spec.system (Tls.Model.spec Tls.Model.Original) in
+   let goal = Tls.Data.in_cpms pms nwt in
+   let reps = 50 in
+   let time f =
+     f ();
+     let t0 = Unix.gettimeofday () in
+     for _ = 1 to reps do
+       f ()
+     done;
+     (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+   in
+   let red () =
+     Rewrite.clear_cache sys;
+     ignore (Rewrite.normalize sys goal)
+   in
+   Rewrite.set_indexing sys false;
+   let linear = time red in
+   Rewrite.set_indexing sys true;
+   Index.reset_stats ();
+   let indexed = time red in
+   let st = Index.stats () in
+   let considered = st.Index.hits + st.Index.filtered in
+   red_linear_ms := linear;
+   red_indexed_ms := indexed;
+   index_candidate_ratio :=
+     (if considered = 0 then 1.
+      else float_of_int st.Index.hits /. float_of_int considered);
+   let ii = Rewrite.index_info sys in
+   Format.printf
+     "E20 red rule selection: %.3f ms linear, %.3f ms indexed (%.2fx); \
+      candidate ratio %.3f (%d rules, %d buckets, %d AC)@."
+     linear indexed
+     (linear /. Float.max indexed 1e-9)
+     !index_candidate_ratio ii.Index.ix_rules ii.Index.ix_buckets
+     ii.Index.ix_ac_buckets;
+   (* the linear-scan counterpart of E16's per-invariant hot-rules table:
+      this is the before/after evidence that indexing cuts the self-time
+      of the hottest transition rules (match attempts — failed or not —
+      are charged to the rule attempted, so a rule the linear scan tries
+      at every redex is expensive even when it never fires) *)
+   let env = Tls.Model.env Tls.Model.Original in
+   let base = Core.Induction.system env in
+   Rewrite.set_default_indexing false;
+   Rewrite.set_indexing base false;
+   (let table, (ltries, lmatch_ms) =
+      profile_hot_rules ~totals:rule_totals_linear env
+        (Proofs.Tls_invariants.all Tls.Model.Original)
+    in
+    hot_rules_linear := table;
+    match_tries_linear := ltries;
+    match_self_ms_linear := lmatch_ms);
+   (* campaign fingerprints must be byte-identical under both strategies *)
+   let proofs = Proofs.Tls_invariants.all Tls.Model.Original in
+   let fingerprints () =
+     List.map
+       (fun p ->
+         Core.Report.result_fingerprint (Proofs.Tls_invariants.run ~pool env p))
+       proofs
+   in
+   let fp_linear = fingerprints () in
+   Rewrite.set_default_indexing true;
+   Rewrite.set_indexing base true;
+   let fp_indexed = fingerprints () in
+   Format.printf "E20 campaign fingerprints, indexed vs linear: %s@."
+     (if List.equal String.equal fp_linear fp_indexed then "byte-identical"
+      else "DIVERGED (unexpected!)");
+   (* the work the index exists to remove: root-match attempts across the
+      whole profiled campaign (every rule, not just the top 3) *)
+   Format.printf
+     "E20 rule-selection work, full campaign: %d tries / %.1f ms match time \
+      linear, %d tries / %.1f ms indexed (%.1fx fewer tries, %.1fx less \
+      match time)@."
+     !match_tries_linear !match_self_ms_linear !match_tries_indexed
+     !match_self_ms_indexed
+     (float_of_int !match_tries_linear
+     /. Float.max (float_of_int !match_tries_indexed) 1.)
+     (!match_self_ms_linear /. Float.max !match_self_ms_indexed 1e-9);
+   match
+     List.stable_sort
+       (fun a b -> compare (hot_weight b) (hot_weight a))
+       !hot_rules_linear
+   with
+   | [] -> ()
+   | (inv, (top_label, _, _, _, _) :: _) :: _ ->
+     (* exact full-campaign totals for the hottest rule, from the
+        untruncated per-rule sums: tries are deterministic, the
+        self-times carry run-to-run GC/warmth noise *)
+     let find tbl =
+       Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl top_label)
+     in
+     let lt, lm, ls = find rule_totals_linear in
+     let it, im, is = find rule_totals_indexed in
+     Format.printf
+       "E20 hottest linear-scan rule %s (invariant %s), full campaign: \
+        tries %d -> %d (%.1fx), match-self %.2f -> %.2f ms, total self \
+        %.1f -> %.1f ms@."
+       top_label inv lt it
+       (float_of_int lt /. Float.max (float_of_int it) 1.)
+       (float_of_int lm /. 1e6)
+       (float_of_int im /. 1e6)
+       (float_of_int ls /. 1e6)
+       (float_of_int is /. 1e6)
+   | _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing *)

@@ -17,6 +17,7 @@ type env = {
   mutable eq_counter : int;
   mutable tracing : bool;
   mutable uncached : bool;
+  mutable indexing : bool;
 }
 
 let create () =
@@ -28,10 +29,12 @@ let create () =
     eq_counter = 0;
     tracing = false;
     uncached = false;
+    indexing = true;
   }
 
 let set_tracing env on = env.tracing <- on
 let set_uncached env on = env.uncached <- on
+let set_indexing env on = env.indexing <- on
 
 let find_module env name =
   Option.map (fun sc -> sc.spec) (Hashtbl.find_opt env.modules name)
@@ -209,6 +212,9 @@ let eval env (phrase : Parser.toplevel) =
     let sc = scope_for_red env in_module in
     let input = elaborate sc t in
     let sys = Spec.system sc.spec in
+    (* [Spec.system] is cached per spec; re-assert the env's choice each
+       red so flipping the flag mid-session takes effect. *)
+    Rewrite.set_indexing sys env.indexing;
     let before = Rewrite.steps sys in
     if env.tracing then begin
       let normal_form, deriv = Rewrite.normalize_traced sys input in

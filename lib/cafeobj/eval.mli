@@ -20,6 +20,13 @@ val set_tracing : env -> bool -> unit
     the differential test suite to compare both engines on every spec. *)
 val set_uncached : env -> bool -> unit
 
+(** [set_indexing env on] — with indexing off, every [red] (traced or not)
+    selects candidate rules by the seed's linear head-operator scan
+    instead of the discrimination-tree index
+    ({!Kernel.Rewrite.set_indexing}).  Normal forms, step counts and
+    traces are identical either way; the differential suite proves it. *)
+val set_indexing : env -> bool -> unit
+
 (** [find_module env name] returns an elaborated module. *)
 val find_module : env -> string -> Spec.t option
 

@@ -148,6 +148,8 @@ type memo_stats = { hits : int; misses : int; entries : int; generation : int }
 type system = {
   ordered : rule list;
   index : (string, rule list) Hashtbl.t;  (** head operator name -> rules *)
+  dtree : rule Index.t;  (** discrimination-tree index over the same rules *)
+  mutable indexing : bool;  (** [false]: rule selection via the linear scan *)
   memo : memo;
   mutable dcache : deriv Term.Tbl.t option;
       (** derivation memo, allocated lazily on first traced run *)
@@ -177,10 +179,27 @@ let build_index rules =
 let uid_counter = Atomic.make 0
 let fresh_uid () = Atomic.fetch_and_add uid_counter 1
 
+(* New systems pick up the process-wide default; [set_indexing] overrides
+   per system, and [extend] inherits the parent's choice so a campaign
+   forced onto the linear scan stays on it through every split branch. *)
+let default_indexing_flag = Atomic.make true
+let set_default_indexing b = Atomic.set default_indexing_flag b
+let default_indexing () = Atomic.get default_indexing_flag
+
+let build_dtree uid rules = Index.build ~gen:uid ~lhs:(fun r -> r.lhs) rules
+
 let make rules =
+  let uid = fresh_uid () in
+  let dtree = build_dtree uid rules in
+  (* Defensive: a miscompiled index could silently skip rules.  The
+     self-retrieval replay costs one query per rule at construction time
+     and degrades a bad index to full-bucket answers. *)
+  (match Index.validate dtree with Ok () | Error _ -> ());
   {
     ordered = rules;
     index = build_index rules;
+    dtree;
+    indexing = default_indexing ();
     memo = memo_create ();
     dcache = None;
     step_limit = 5_000_000;
@@ -188,19 +207,25 @@ let make rules =
     deadline_at = 0.;
     steps_total = Atomic.make 0;
     budget = 0;
-    info = { si_uid = fresh_uid (); si_parent = None; si_added = rules };
+    info = { si_uid = uid; si_parent = None; si_added = rules };
   }
 
 let rules sys = sys.ordered
 let info sys = sys.info
 
 (* A derived system gets a fresh memo: the extra rules rewrite terms the
-   base system considered normal, so no base entry may be trusted. *)
+   base system considered normal, so no base entry may be trusted.  The
+   index is likewise recompiled over the extended rule set (extends are
+   frequent — one per split branch — so the rebuild skips the
+   self-retrieval replay [make] performs). *)
 let extend sys extra =
   let rules = extra @ sys.ordered in
+  let uid = fresh_uid () in
   {
     ordered = rules;
     index = build_index rules;
+    dtree = build_dtree uid rules;
+    indexing = sys.indexing;
     memo = memo_create ();
     dcache = None;
     step_limit = sys.step_limit;
@@ -208,7 +233,7 @@ let extend sys extra =
     deadline_at = 0.;
     steps_total = sys.steps_total;
     budget = 0;
-    info = { si_uid = fresh_uid (); si_parent = Some sys.info; si_added = extra };
+    info = { si_uid = uid; si_parent = Some sys.info; si_added = extra };
   }
 
 type limit = Steps of int | Deadline of float
@@ -274,7 +299,58 @@ let tick sys =
 type cache_ops = {
   c_find : Term.t -> Term.t option;
   c_store : Term.t -> Term.t -> unit;
+  c_rules : Term.t -> Signature.op -> rule list;
+      (** candidate rules for a root, in rule order *)
 }
+
+(* The seed engine's rule selection: every rule under the subject's head
+   operator name, in rule order.  Kept verbatim as the reference the
+   differential suite compares the index against, and as the fallback when
+   indexing is off. *)
+let linear_rules sys o =
+  match Hashtbl.find_opt sys.index o.Signature.name with
+  | None -> []
+  | Some rs -> rs
+
+(* Indexed rule selection.  [Index.candidates] is never-miss and preserves
+   rule order, so the rule that fires — and with it every normal form,
+   step count and traced derivation — is identical to the linear scan's.
+   With indexing off the linear answer is returned and accounted as a
+   fallback (an index degraded by a failed selfcheck accounts its own
+   fallbacks internally). *)
+let sys_rules sys t o =
+  if sys.indexing then Index.candidates sys.dtree t
+  else begin
+    let rs = linear_rules sys o in
+    if rs <> [] then Index.note_fallback (List.length rs);
+    rs
+  end
+
+(* One root-match attempt of [r.lhs] against [t] — AC roots go through the
+   AC matcher, everything else through syntactic matching.  Profiled as a
+   [Match] frame charged to the rule *attempted*, so the hot-rules table
+   shows scan cost where it belongs: a rule that is tried at every redex
+   and almost never fires is expensive even though it never rewrites
+   anything, and that is precisely the cost the index removes. *)
+let match_root r t =
+  if not (Probe.enabled ()) then
+    match Term.view r.lhs, Term.view t with
+    | Term.App (po, _), Term.App (so, _)
+      when Signature.is_ac po && Signature.op_equal po so ->
+      Ac.match_first r.lhs t
+    | _ -> Matching.match_ r.lhs t
+  else begin
+    let f = Probe.rule_enter () in
+    let m =
+      match Term.view r.lhs, Term.view t with
+      | Term.App (po, _), Term.App (so, _)
+        when Signature.is_ac po && Signature.op_equal po so ->
+        Ac.match_first r.lhs t
+      | _ -> Matching.match_ r.lhs t
+    in
+    Probe.rule_exit f ~kind:Probe.Match ~label:r.label;
+    m
+  end
 
 let rec norm ops sys t =
   match ops.c_find t with
@@ -302,28 +378,22 @@ and reduce_root ops sys t =
   match Term.view t with
   | Term.Var _ -> t
   | Term.App (o, _) -> (
-    match Hashtbl.find_opt sys.index o.Signature.name with
-    | None -> t
-    | Some candidates -> try_rules ops sys t candidates)
+    match ops.c_rules t o with
+    | [] -> t
+    | candidates -> try_rules ops sys t candidates)
 
 and try_rules ops sys t = function
   | [] -> t
   | r :: rest -> (
-    let matcher =
-      match Term.view r.lhs, Term.view t with
-      | Term.App (po, _), Term.App (so, _)
-        when Signature.is_ac po && Signature.op_equal po so ->
-        Ac.match_first r.lhs t
-      | _ -> Matching.match_ r.lhs t
-    in
-    match matcher with
+    match match_root r t with
     | None -> try_rules ops sys t rest
     | Some sub -> (
-      (* Profiling brackets both timed regions — condition discharge and
-         right-hand-side normalization — with a per-domain frame so the
-         hotspot report gets exact self-times.  The probe-off path is the
-         seed path plus one flag read; the differential suite holds the
-         two to identical normal forms and step counts. *)
+      (* Profiling brackets all three timed regions — the match attempt
+         (in [match_root]), condition discharge and right-hand-side
+         normalization — with a per-domain frame so the hotspot report
+         gets exact self-times.  The probe-off path is the seed path plus
+         one flag read; the differential suite holds the two to identical
+         normal forms and step counts. *)
       let fires =
         match r.cond with
         | None -> true
@@ -359,11 +429,21 @@ and try_rules ops sys t = function
       end))
 
 let shared_ops sys =
-  { c_find = memo_find sys.memo; c_store = memo_store sys.memo }
+  {
+    c_find = memo_find sys.memo;
+    c_store = memo_store sys.memo;
+    c_rules = (fun t o -> sys_rules sys t o);
+  }
 
-let local_ops () =
+let local_ops sys =
   let tbl = Term.Tbl.create 1024 in
-  { c_find = Term.Tbl.find_opt tbl; c_store = Term.Tbl.replace tbl }
+  {
+    c_find = Term.Tbl.find_opt tbl;
+    c_store = Term.Tbl.replace tbl;
+    (* the reference path selects rules by linear scan, unconditionally,
+       and does not count fallbacks — it is the baseline, not a fallback *)
+    c_rules = (fun _ o -> linear_rules sys o);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Traced normalization.                                               *)
@@ -438,9 +518,9 @@ let rec norm_t sys t =
           else (None, t')
         in
         let step =
-          match Hashtbl.find_opt sys.index o.Signature.name with
-          | None -> None
-          | Some candidates -> try_rules_t sys t'' candidates
+          match sys_rules sys t'' o with
+          | [] -> None
+          | candidates -> try_rules_t sys t'' candidates
         in
         (match step with
         | None ->
@@ -459,14 +539,7 @@ let rec norm_t sys t =
 and try_rules_t sys t = function
   | [] -> None
   | r :: rest -> (
-    let matcher =
-      match Term.view r.lhs, Term.view t with
-      | Term.App (po, _), Term.App (so, _)
-        when Signature.is_ac po && Signature.op_equal po so ->
-        Ac.match_first r.lhs t
-      | _ -> Matching.match_ r.lhs t
-    in
-    match matcher with
+    match match_root r t with
     | None -> try_rules_t sys t rest
     | Some sub -> (
       let discharged =
@@ -607,7 +680,7 @@ let normalize sys t =
    through both entry points. *)
 let normalize_uncached_inner sys t =
   start_run sys;
-  norm (local_ops ()) sys t
+  norm (local_ops sys) sys t
 
 let normalize_uncached sys t =
   if not (Probe.enabled ()) then normalize_uncached_inner sys t
@@ -621,6 +694,32 @@ let normalize_uncached sys t =
       Probe.span_since ~cat:"red" "red" t0;
       raise e
   end
+
+(* ------------------------------------------------------------------ *)
+(* Index control and introspection.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let set_indexing sys b = sys.indexing <- b
+let indexing sys = sys.indexing
+let index_info sys = Index.info sys.dtree
+
+(* Re-runs the self-retrieval replay on demand.  A failure means the
+   index was corrupted after construction, and any normal form computed
+   through it since is suspect — so on [Error] the memo generation is
+   bumped and the derivation cache dropped along with degrading the index
+   to full-bucket answers.  This is the index side of the index⇄memo
+   generation contract: the memo may only hold entries computed under a
+   healthy index of the current rule set. *)
+let selfcheck sys =
+  match Index.validate sys.dtree with
+  | Ok () -> Ok ()
+  | Error _ as e ->
+    invalidate_memo sys;
+    sys.dcache <- None;
+    e
+
+let corrupt_index_for_tests sys ~bucket ~slot =
+  Index.unsafe_drop_slot sys.dtree ~bucket ~slot
 
 let pp_rule ppf r =
   match r.cond with

@@ -119,6 +119,60 @@ type memo_stats = {
 
 val memo_stats : system -> memo_stats
 
+(** {1 Indexed rule selection}
+
+    Each system compiles its rule set into a discrimination-tree index
+    ({!Index}) at {!make}/{!extend} time.  Candidate selection through the
+    index is {e never-miss} and preserves rule order, so normal forms,
+    step counts, traced derivations and certificates are byte-identical
+    with and without it — only the number of failed match attempts
+    changes.  Both the plain and the traced rewriter go through the
+    index; {!normalize_uncached} always uses the linear scan (it is the
+    differential baseline).
+
+    Index⇄memo generation interaction: the index is keyed to the rule
+    set, the memo to the {e meaning} of that rule set.  [extend] rebuilds
+    both (fresh uid stamps the new index; fresh memo).  {!invalidate_memo}
+    bumps only the memo generation — the rules are unchanged, so the
+    index stays valid and is {e not} rebuilt.  The one coupling runs the
+    other way: if {!selfcheck} finds the index corrupted, every normal
+    form computed through it is suspect, so the memo generation is bumped
+    and the derivation cache dropped along with degrading the index. *)
+
+(** [set_indexing sys b] switches rule selection between the index
+    ([true], the default) and the seed's linear scan ([false]).  Linear
+    selections on a non-empty bucket are accounted as index fallbacks. *)
+val set_indexing : system -> bool -> unit
+
+val indexing : system -> bool
+
+(** [set_default_indexing b] sets the flag new systems are born with —
+    {!extend} inherits the parent's flag instead, so a campaign forced
+    onto the linear scan stays on it through every split branch. *)
+val set_default_indexing : bool -> unit
+
+val default_indexing : unit -> bool
+
+(** [index_info sys] describes the compiled index (bucket counts,
+    generation stamp — equal to [(info sys).si_uid] — and health). *)
+val index_info : system -> Index.info
+
+(** [selfcheck sys] re-runs the index's self-retrieval validation.  On
+    [Error] the index is degraded to full-bucket answers {e and} the memo
+    generation is bumped / derivation cache dropped, because normal forms
+    computed through a corrupted index cannot be trusted. *)
+val selfcheck : system -> (unit, string) result
+
+(**/**)
+
+(** Test-only: corrupt the compiled index in place (see
+    {!Index.unsafe_drop_slot}).  Exists so the adversarial differential
+    tests can prove {!selfcheck} detects corruption and the degraded
+    index falls back to sound full-bucket answers. *)
+val corrupt_index_for_tests : system -> bucket:string -> slot:int -> bool
+
+(**/**)
+
 val pp_rule : Format.formatter -> rule -> unit
 
 (** {1 Derivations}

@@ -1,5 +1,9 @@
+(* A rule's cost is what it makes the engine do: fire (rewrite self),
+   discharge conditions, and be *tried* — match attempts, failed or not,
+   charged to the rule attempted.  Including match time here is what lets
+   the hot-rules table show the scan cost that rule indexing removes. *)
 let self_ns (r : Probe.rule_stat) =
-  r.Probe.rl_rw_self_ns + r.Probe.rl_cond_self_ns
+  r.Probe.rl_rw_self_ns + r.Probe.rl_cond_self_ns + r.Probe.rl_match_self_ns
 
 let hot_rules ?(top = 10) (snap : Probe.snapshot) =
   let sorted =
@@ -37,16 +41,18 @@ let pp ?(top = 10) ppf (snap : Probe.snapshot) =
   | [] -> ()
   | rules ->
     Format.fprintf ppf "top %d rules by self-time:@." (List.length rules);
-    Format.fprintf ppf "  %-28s %10s %10s %10s %10s %10s@." "rule" "fires"
-      "self-ms" "total-ms" "cond-evals" "cond-ms";
+    Format.fprintf ppf "  %-28s %10s %10s %10s %10s %10s %10s %10s@." "rule"
+      "fires" "self-ms" "total-ms" "cond-evals" "cond-ms" "tries" "match-ms";
     List.iter
       (fun (r : Probe.rule_stat) ->
-        Format.fprintf ppf "  %-28s %10d %10.3f %10.3f %10d %10.3f@."
+        Format.fprintf ppf "  %-28s %10d %10.3f %10.3f %10d %10.3f %10d %10.3f@."
           r.Probe.rl_label r.Probe.rl_fires
           (ms (self_ns r))
           (ms r.Probe.rl_rw_total_ns)
           r.Probe.rl_cond_evals
-          (ms r.Probe.rl_cond_self_ns))
+          (ms r.Probe.rl_cond_self_ns)
+          r.Probe.rl_match_tries
+          (ms r.Probe.rl_match_self_ns))
       rules);
   (match slowest_cases ~top snap with
   | [] -> ()

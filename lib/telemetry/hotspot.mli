@@ -3,15 +3,16 @@
     Answers "which rule, which proof case, which worker is the hot spot?"
     without leaving the terminal:
 
-    - top-N rules by self-time (rewrite + condition-discharge split out);
+    - top-N rules by self-time (rewrite, condition-discharge and
+      match-attempt components split out);
     - per-invariant proof-case table (from [cat = "case"] spans), slowest
       first, with the domain each case ran on;
     - the merged counters and gauges;
     - the span count and how many spans the buffer cap dropped. *)
 
 (** [hot_rules ?top snap] is the rule profile sorted by descending
-    self-time (rewrite self + condition self), truncated to [top]
-    (default 10). *)
+    self-time (rewrite self + condition self + match-attempt self),
+    truncated to [top] (default 10). *)
 val hot_rules : ?top:int -> Probe.snapshot -> Probe.rule_stat list
 
 (** [slowest_cases ?top snap] is the [cat = "case"] spans sorted by

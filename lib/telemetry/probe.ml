@@ -38,6 +38,9 @@ type rcell = {
   mutable rc_cond_evals : int;
   mutable rc_cond_self : int;
   mutable rc_cond_total : int;
+  mutable rc_match_tries : int;
+  mutable rc_match_self : int;
+  mutable rc_match_total : int;
 }
 
 type frame = { fr_t0 : int; mutable fr_child : int }
@@ -137,7 +140,7 @@ let span_since ~cat name t0 =
 (* ------------------------------------------------------------------ *)
 (* Rule profiling *)
 
-type kind = Rewrite | Cond
+type kind = Rewrite | Cond | Match
 
 let rule_enter () =
   let b = my_buf () in
@@ -157,6 +160,9 @@ let rcell_of b label =
         rc_cond_evals = 0;
         rc_cond_self = 0;
         rc_cond_total = 0;
+        rc_match_tries = 0;
+        rc_match_self = 0;
+        rc_match_total = 0;
       }
     in
     Hashtbl.add b.db_rules label c;
@@ -184,10 +190,14 @@ let rule_exit f ~kind ~label =
   | Cond ->
     c.rc_cond_evals <- c.rc_cond_evals + 1;
     c.rc_cond_self <- c.rc_cond_self + self;
-    c.rc_cond_total <- c.rc_cond_total + total);
+    c.rc_cond_total <- c.rc_cond_total + total
+  | Match ->
+    c.rc_match_tries <- c.rc_match_tries + 1;
+    c.rc_match_self <- c.rc_match_self + self;
+    c.rc_match_total <- c.rc_match_total + total);
   if total >= Atomic.get span_min && Atomic.get span_min > 0 then
     record_span b ~always:false
-      ~cat:(match kind with Rewrite -> "rule" | Cond -> "cond")
+      ~cat:(match kind with Rewrite -> "rule" | Cond -> "cond" | Match -> "match")
       ~name:label ~t0:f.fr_t0 ~dur:total ~depth:(List.length b.db_stack)
 
 (* ------------------------------------------------------------------ *)
@@ -264,6 +274,9 @@ type rule_stat = {
   rl_cond_evals : int;
   rl_cond_self_ns : int;
   rl_cond_total_ns : int;
+  rl_match_tries : int;
+  rl_match_self_ns : int;
+  rl_match_total_ns : int;
 }
 
 type snapshot = {
@@ -305,6 +318,9 @@ let snapshot () =
                   rc_cond_evals = 0;
                   rc_cond_self = 0;
                   rc_cond_total = 0;
+                  rc_match_tries = 0;
+                  rc_match_self = 0;
+                  rc_match_total = 0;
                 }
               in
               Hashtbl.add merged label m;
@@ -315,7 +331,10 @@ let snapshot () =
           m.rc_rw_total <- m.rc_rw_total + c.rc_rw_total;
           m.rc_cond_evals <- m.rc_cond_evals + c.rc_cond_evals;
           m.rc_cond_self <- m.rc_cond_self + c.rc_cond_self;
-          m.rc_cond_total <- m.rc_cond_total + c.rc_cond_total)
+          m.rc_cond_total <- m.rc_cond_total + c.rc_cond_total;
+          m.rc_match_tries <- m.rc_match_tries + c.rc_match_tries;
+          m.rc_match_self <- m.rc_match_self + c.rc_match_self;
+          m.rc_match_total <- m.rc_match_total + c.rc_match_total)
         b.db_rules)
     bufs;
   let rules =
@@ -329,6 +348,9 @@ let snapshot () =
           rl_cond_evals = c.rc_cond_evals;
           rl_cond_self_ns = c.rc_cond_self;
           rl_cond_total_ns = c.rc_cond_total;
+          rl_match_tries = c.rc_match_tries;
+          rl_match_self_ns = c.rc_match_self;
+          rl_match_total_ns = c.rc_match_total;
         }
         :: acc)
       merged []

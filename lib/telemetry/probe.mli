@@ -87,17 +87,23 @@ val set_gauge : string -> float -> unit
 (** {1 Per-rule profiling}
 
     The rewriter brackets every rule application (and every condition
-    discharge) with {!rule_enter}/{!rule_exit}.  Frames form a per-domain
-    stack so self-time is exact: a frame's children's total time is
-    subtracted from its own.  Callers must guard with {!enabled} — the
-    bracket assumes recording is on — and must pair enter/exit even on
+    discharge, and every root-match attempt) with
+    {!rule_enter}/{!rule_exit}.  Frames form a per-domain stack so
+    self-time is exact: a frame's children's total time is subtracted
+    from its own.  Callers must guard with {!enabled} — the bracket
+    assumes recording is on — and must pair enter/exit even on
     exceptions.  An application whose total time reaches the span
-    threshold is additionally recorded as a span (cat ["rule"] or
-    ["cond"]), so slow instances show up on the trace timeline. *)
+    threshold is additionally recorded as a span (cat ["rule"], ["cond"]
+    or ["match"]), so slow instances show up on the trace timeline. *)
 
 type kind =
   | Rewrite  (** normalizing the instantiated right-hand side *)
   | Cond  (** discharging the instantiated condition *)
+  | Match
+      (** one root-match attempt of the rule's left-hand side, successful
+          or not — the cost rule indexing exists to avoid, attributed to
+          the rule that was tried rather than dissolved into whichever
+          rule happened to be firing above it *)
 
 type frame
 
@@ -125,6 +131,9 @@ type rule_stat = {
   rl_cond_evals : int;  (** condition discharges attempted *)
   rl_cond_self_ns : int;
   rl_cond_total_ns : int;
+  rl_match_tries : int;  (** root-match attempts (successful and failed) *)
+  rl_match_self_ns : int;
+  rl_match_total_ns : int;
 }
 
 type snapshot = {

@@ -4,33 +4,39 @@
    monotonic clock, like every other timing in the stack, so an NTP step
    mid-run cannot produce negative or wild totals.  The footer prints
    after the Alcotest summary, slowest suite first, so the place to
-   optimize is always the first line. *)
+   optimize is always the first line.  Suites that ran no cases (filtered
+   out, or registering none) are listed apart instead of skewing the sort
+   with 0.000s rows — [Timing] owns that logic and is itself under test
+   (see [Test_index.timing_suite]). *)
 
-let timings : (string * int ref) list ref = ref []
+let timings : (string * int ref * int ref) list ref = ref []
 
 let timed (name, cases) =
   let total = ref 0 in
-  timings := !timings @ [ (name, total) ];
+  let runs = ref 0 in
+  timings := !timings @ [ (name, runs, total) ];
   let wrap (case_name, speed, fn) =
     ( case_name,
       speed,
       fun arg ->
         let t0 = Telemetry.Probe.now_ns () in
         Fun.protect
-          ~finally:(fun () -> total := !total + (Telemetry.Probe.now_ns () - t0))
+          ~finally:(fun () ->
+            incr runs;
+            total := !total + (Telemetry.Probe.now_ns () - t0))
           (fun () -> fn arg) )
   in
   (name, List.map wrap cases)
 
 let report () =
   prerr_newline ();
-  prerr_endline "Per-suite timing (slowest first):";
-  List.iter
-    (fun (name, total) ->
-      Printf.eprintf "  %-20s %8.3fs\n%!" name (float_of_int !total /. 1e9))
-    (List.stable_sort
-       (fun (_, a) (_, b) -> compare !b !a)
-       !timings)
+  prerr_string
+    (Timing.render
+       (List.map
+          (fun (name, runs, total) ->
+            { Timing.e_name = name; e_runs = !runs; e_ns = !total })
+          !timings));
+  flush stderr
 
 let () =
   at_exit report;
@@ -58,4 +64,5 @@ let () =
          Test_server.suite;
          Test_certify.suite;
          Test_telemetry.suite;
+         Test_index.suite;
        ])

@@ -1,0 +1,36 @@
+(* Per-suite timing footer for the aggregated runner.
+
+   The runner wraps every test case to accumulate wall time per suite.
+   Suites that registered but ran zero cases (an Alcotest name filter, or
+   a suite that registers none) must not enter the slowest-first ordering:
+   their 0.000s rows interleave with genuinely fast suites and bury the
+   ones that actually ran.  [order] splits them out; [render] is the
+   exact footer text, kept pure so the regression tests can pin it. *)
+
+type entry = {
+  e_name : string;
+  e_runs : int;  (* test cases that executed (pass or fail) *)
+  e_ns : int;  (* total monotonic nanoseconds across those cases *)
+}
+
+(* Slowest-first over the suites that ran at least one case, stable so
+   equal totals keep registration order; never-run suites separately, in
+   registration order. *)
+let order entries =
+  let ran, skipped = List.partition (fun e -> e.e_runs > 0) entries in
+  ( List.stable_sort (fun a b -> compare b.e_ns a.e_ns) ran,
+    List.map (fun e -> e.e_name) skipped )
+
+let render entries =
+  let ran, skipped = order entries in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "Per-suite timing (slowest first):\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-20s %8.3fs\n" e.e_name (float_of_int e.e_ns /. 1e9)))
+    ran;
+  if skipped <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "  (no tests run: %s)\n" (String.concat ", " skipped));
+  Buffer.contents b
