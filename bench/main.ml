@@ -56,6 +56,20 @@ let match_tries_indexed = ref 0
 let match_self_ms_linear = ref 0.0
 let match_self_ms_indexed = ref 0.0
 
+(* E21 — production observability: per-request cost of the full
+   observability surface (structured log + flight recorder + HTTP
+   exporter) on a warm server round-trip, the scrape itself, and the
+   server's own latency distribution *)
+let obs_overhead_pct = ref 0.0
+let obs_overhead_ms = ref 0.0
+let metrics_scrape_ms = ref 0.0
+let server_p99_ms = ref 0.0
+
+(* spans lost to the per-domain Probe buffer cap across the profiled
+   campaign (E16) — nonzero means the hot-rules tables under-report *)
+let spans_dropped = ref 0
+let spans_dropped_dom : (int * int) list ref = ref []
+
 (* per invariant, the top rules by self-time:
    (label, fires, self_ms, match_tries, match_self_ms) — [hot_rules] with
    the discrimination-tree index (the default engine), [hot_rules_linear]
@@ -101,6 +115,10 @@ let write_json file ~jobs =
      \"index_candidate_ratio\": %.4f,\n  \
      \"match_tries_linear\": %d,\n  \"match_tries_indexed\": %d,\n  \
      \"match_self_ms_linear\": %.3f,\n  \"match_self_ms_indexed\": %.3f,\n  \
+     \"obs_overhead_pct\": %.2f,\n  \"obs_overhead_ms\": %.3f,\n  \
+     \"metrics_scrape_ms\": %.3f,\n  \
+     \"server_p99_ms\": %.3f,\n  \"spans_dropped\": %d,\n  \
+     \"spans_dropped_by_dom\": {%s},\n  \
      \"experiments\": ["
     jobs !lint_ms !certify_ms !cert_bytes !red_untraced_ms !red_traced_ms
     !red_memo_ms !memo_hit_rate !intern_table_len !telemetry_overhead_pct
@@ -108,7 +126,12 @@ let write_json file ~jobs =
     !horn_clauses !saturation_rounds !mc_full_states !mc_por_states
     !mc_reduction_factor !indep_cert_ms !red_linear_ms !red_indexed_ms
     !index_candidate_ratio !match_tries_linear !match_tries_indexed
-    !match_self_ms_linear !match_self_ms_indexed;
+    !match_self_ms_linear !match_self_ms_indexed !obs_overhead_pct
+    !obs_overhead_ms !metrics_scrape_ms !server_p99_ms !spans_dropped
+    (String.concat ", "
+       (List.map
+          (fun (dom, n) -> Printf.sprintf "\"dom%d\": %d" dom n)
+          (List.sort compare !spans_dropped_dom)));
   List.iteri
     (fun i r ->
       Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"wall_s\": %.6f, \"rewrite_steps\": %d, \"splits\": %d }"
@@ -286,6 +309,15 @@ let profile_hot_rules ~totals env proofs =
         Telemetry.Probe.reset ();
         ignore (Proofs.Tls_invariants.run env proof);
         let snap = Telemetry.Probe.snapshot () in
+        spans_dropped := !spans_dropped + snap.Telemetry.Probe.sn_dropped;
+        List.iter
+          (fun (dom, n) ->
+            let prev =
+              Option.value ~default:0 (List.assoc_opt dom !spans_dropped_dom)
+            in
+            spans_dropped_dom :=
+              (dom, prev + n) :: List.remove_assoc dom !spans_dropped_dom)
+          snap.Telemetry.Probe.sn_dropped_by_dom;
         List.iter
           (fun (r : Telemetry.Probe.rule_stat) ->
             tries_total := !tries_total + r.Telemetry.Probe.rl_match_tries;
@@ -827,7 +859,157 @@ let report ~pool () =
        (float_of_int im /. 1e6)
        (float_of_int ls /. 1e6)
        (float_of_int is /. 1e6)
-   | _ -> ())
+   | _ -> ());
+
+  section "E21: production observability (OpenMetrics scrape, per-request cost)";
+  (* Two resident servers, identical except for the observability
+     surface: one dark (no exporter, no log, no flight recorder), one
+     with everything on.  The warm round-trip medians bound what a
+     production deployment pays per request for being observable; the
+     scrape and p99 come from the instrumented server itself. *)
+  (let module P = Server.Protocol in
+   let obs_seq = ref 0 in
+   let with_obs_bench_daemon ~config_f f =
+     incr obs_seq;
+     let socket =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "eqtls-bench-obs-%d-%d.sock" (Unix.getpid ()) !obs_seq)
+     in
+     (try Unix.unlink socket with Unix.Unix_error _ -> ());
+     let config =
+       config_f
+         {
+           (Server.Daemon.default_config ~socket) with
+           jobs = 2;
+           handle_signals = false;
+           flight_path = None;
+         }
+     in
+     let d = Domain.spawn (fun () -> Server.Daemon.run config) in
+     let rec wait_up n =
+       if n = 0 then failwith "bench: obs verifyd did not come up"
+       else
+         match Server.Client.connect ~socket with
+         | c -> Server.Client.close c
+         | exception Unix.Unix_error _ ->
+           Unix.sleepf 0.05;
+           wait_up (n - 1)
+     in
+     wait_up 400;
+     Fun.protect
+       ~finally:(fun () ->
+         (try
+            ignore
+              (Server.Client.with_client ~socket (fun c ->
+                   Server.Client.request c P.Shutdown ~on_response:(fun _ -> ())))
+          with _ -> ());
+         Domain.join d)
+       (fun () -> f socket)
+   in
+   let median l =
+     let a = List.sort compare l in
+     List.nth a (List.length a / 2)
+   in
+   let warm_median ?id socket ~reps =
+     let req =
+       P.Verify
+         {
+           style = P.Original;
+           only = [ "inv1" ];
+           negative = false;
+           extensions = false;
+           certify = false;
+         }
+     in
+     let round () =
+       let t0 = Unix.gettimeofday () in
+       let _, code =
+         Server.Client.with_client ~socket (fun c ->
+             Server.Client.request_collect ?id c req)
+       in
+       if code <> 0 then failwith "bench: obs round-trip failed";
+       (Unix.gettimeofday () -. t0) *. 1000.
+     in
+     ignore (round ());
+     (* cold: prove once, then measure the cached repeats *)
+     median (List.init reps (fun _ -> round ()))
+   in
+   let reps = 120 in
+   let dark_ms =
+     with_obs_bench_daemon ~config_f:(fun c -> c) (fun socket ->
+         warm_median socket ~reps)
+   in
+   let port = Atomic.make 0 in
+   let log_tmp = Filename.temp_file "eqtls-bench-obs" ".log" in
+   let lit_ms =
+     with_obs_bench_daemon
+       ~config_f:(fun c ->
+         {
+           c with
+           Server.Daemon.metrics_port = Some 0;
+           announce_metrics_port = (fun p -> Atomic.set port p);
+           log_file = Some log_tmp;
+           log_level = Some Telemetry.Log.Info;
+           flight_path = Some (c.Server.Daemon.socket ^ ".flight.json");
+         })
+       (fun socket ->
+         let ms = warm_median ~id:"bench-obs" socket ~reps in
+         (* scrape the OpenMetrics endpoint the way Prometheus would *)
+         let http_get path =
+           let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+           Fun.protect
+             ~finally:(fun () ->
+               try Unix.close fd with Unix.Unix_error _ -> ())
+           @@ fun () ->
+           Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, Atomic.get port));
+           let req =
+             Printf.sprintf
+               "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+               path
+           in
+           ignore (Unix.write_substring fd req 0 (String.length req));
+           let buf = Buffer.create 8192 in
+           let chunk = Bytes.create 8192 in
+           let rec slurp () =
+             match Unix.read fd chunk 0 8192 with
+             | 0 -> ()
+             | n ->
+               Buffer.add_subbytes buf chunk 0 n;
+               slurp ()
+           in
+           slurp ();
+           Buffer.contents buf
+         in
+         let scrape () =
+           let t0 = Unix.gettimeofday () in
+           let body = http_get "/metrics" in
+           if String.length body = 0 then failwith "bench: empty scrape";
+           (Unix.gettimeofday () -. t0) *. 1000.
+         in
+         metrics_scrape_ms := median (List.init 20 (fun _ -> scrape ()));
+         (* the server's own latency distribution, from its always-on
+            histograms (p99 is the log2-bucket upper bound) *)
+         ignore
+           (Server.Client.with_client ~socket (fun c ->
+                Server.Client.request c P.Metrics ~on_response:(function
+                  | P.Rmetrics { histograms; _ } -> (
+                    match List.assoc_opt "server.request_latency" histograms with
+                    | Some a when Array.length a = 6 -> server_p99_ms := a.(4)
+                    | _ -> ())
+                  | _ -> ())));
+         ms)
+   in
+   Telemetry.Log.set_level None;
+   (try Sys.remove log_tmp with Sys_error _ -> ());
+   (try Sys.remove (log_tmp ^ ".1") with Sys_error _ -> ());
+   obs_overhead_ms := lit_ms -. dark_ms;
+   obs_overhead_pct := (lit_ms -. dark_ms) /. Float.max dark_ms 1e-9 *. 100.;
+   record "server-warm-inv1-observed" (lit_ms /. 1000.);
+   Format.printf
+     "E21 observability: warm inv1 %.3f ms dark, %.3f ms fully observed \
+      (%+.1f%%); /metrics scrape %.2f ms; server p99 %.2f ms@."
+     dark_ms lit_ms !obs_overhead_pct !metrics_scrape_ms !server_p99_ms)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing *)

@@ -79,6 +79,14 @@ let run_remote ~socket ~variant ~only ~negative ~extensions ~stats_only
   let module P = Server.Protocol in
   let style = if variant then P.Variant else P.Original in
   let req = P.Verify { style; only; negative; extensions; certify } in
+  (* a client-generated request id: the daemon stamps it onto its log
+     lines, dedup registry entries and (when profiling) telemetry spans,
+     so this one invocation can be singled out server-side *)
+  let req_id =
+    Printf.sprintf "cli-%d-%x" (Unix.getpid ())
+      (int_of_float (Unix.gettimeofday () *. 1e3) land 0xffffff)
+  in
+  Format.printf "request id: %s@." req_id;
   let negative_header = ref false in
   let on_response = function
     | P.Rcert { cert } ->
@@ -113,7 +121,7 @@ let run_remote ~socket ~variant ~only ~negative ~extensions ~stats_only
   in
   match
     Server.Client.with_client ~socket (fun c ->
-        Server.Client.request c req ~on_response)
+        Server.Client.request ~id:req_id c req ~on_response)
   with
   | code -> code
   | exception Unix.Unix_error (e, _, _) ->
@@ -138,6 +146,7 @@ let () =
   let jobs = ref (Domain.recommended_domain_count ()) in
   let remote = ref "" in
   let no_index = ref false in
+  let log_file = ref "" in
   let spec =
     [
       "--variant", Arg.Set variant, "verify the Cf2First variant protocol";
@@ -162,6 +171,9 @@ let () =
         Arg.Set no_index,
         "select rules by linear scan instead of the discrimination-tree \
          index (results are identical; for differential timing)" );
+      ( "--log",
+        Arg.Set_string log_file,
+        "FILE append structured JSON-lines events to FILE" );
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) "verify [options]";
@@ -170,6 +182,17 @@ let () =
     prerr_endline "verify: --jobs must be at least 1";
     exit Exit.usage
   end;
+  if !log_file <> "" then begin
+    Telemetry.Log.open_sink !log_file;
+    Telemetry.Log.set_level (Some Telemetry.Log.Info);
+    Telemetry.Log.info "campaign_start"
+      [
+        "style",
+        Telemetry.Log.S (if !variant then "variant" else "original");
+        "remote", Telemetry.Log.B (!remote <> "");
+        "jobs", Telemetry.Log.I !jobs;
+      ]
+  end;
   if !remote <> "" then begin
     if !lint || !profile || !trace_out <> "" then begin
       prerr_endline
@@ -177,10 +200,14 @@ let () =
          (the daemon owns its own pool and telemetry)";
       exit Exit.usage
     end;
-    exit
-      (run_remote ~socket:!remote ~variant:!variant ~only:(List.rev !only)
-         ~negative:!negative ~extensions:!extensions ~stats_only:!stats_only
-         ~certify:!certify ~certify_out:!certify_out)
+    let code =
+      run_remote ~socket:!remote ~variant:!variant ~only:(List.rev !only)
+        ~negative:!negative ~extensions:!extensions ~stats_only:!stats_only
+        ~certify:!certify ~certify_out:!certify_out
+    in
+    if !log_file <> "" then
+      Telemetry.Log.info "campaign_done" [ "exit", Telemetry.Log.I code ];
+    exit code
   end;
   Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
   if !no_index then Kernel.Rewrite.set_default_indexing false;
@@ -322,4 +349,6 @@ let () =
      every worker's buffers are included *)
   Telemetry.Cli.flush ~process_name:"verify" ~gauges:intern_gauges
     ~profile:!profile ~trace_out:!trace_out ();
+  if !log_file <> "" then
+    Telemetry.Log.info "campaign_done" [ "exit", Telemetry.Log.I code ];
   if code <> 0 then exit code

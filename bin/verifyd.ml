@@ -48,11 +48,15 @@ let connect socket f =
 let print_response = function
   | P.Pong { pid; uptime_s } ->
     Printf.printf "verifyd: alive, pid %d, up %.1fs\n" pid uptime_s
-  | P.Rstatus { uptime_s; jobs; requests; in_flight; styles } ->
+  | P.Rstatus
+      { uptime_s; jobs; requests; in_flight; dedup_hits; dedup_misses; styles }
+    ->
     Printf.printf "uptime:      %.1fs\n" uptime_s;
     Printf.printf "jobs:        %d\n" jobs;
     Printf.printf "requests:    %d\n" requests;
     Printf.printf "in flight:   %d\n" in_flight;
+    Printf.printf "dedup:       %d hit(s), %d miss(es)\n" dedup_hits
+      dedup_misses;
     Printf.printf "styles:      %s\n"
       (String.concat ", " (List.map P.style_name styles))
   | P.Rmetrics { counters; gauges; histograms } ->
@@ -100,6 +104,15 @@ let serve args =
   let socket = ref "" in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let idle = ref 300. in
+  let metrics_port = ref (-1) in
+  let log_file = ref "" in
+  let log_level = ref "" in
+  let log_rotate = ref 0 in
+  let slow_ms = ref 500. in
+  let flight = ref "" in
+  let no_flight = ref false in
+  let profile = ref false in
+  let trace_out = ref "" in
   let spec =
     [
       "--socket", Arg.Set_string socket, "PATH Unix-domain socket to bind";
@@ -107,6 +120,32 @@ let serve args =
       ( "--idle-timeout",
         Arg.Set_float idle,
         "S close idle connections after S seconds (0 = never; default 300)" );
+      ( "--metrics-port",
+        Arg.Set_int metrics_port,
+        "PORT serve GET /metrics, /healthz, /statusz over HTTP on \
+         127.0.0.1:PORT (0 = pick an ephemeral port)" );
+      ( "--log",
+        Arg.Set_string log_file,
+        "FILE append structured JSON-lines events to FILE" );
+      ( "--log-level",
+        Arg.Set_string log_level,
+        "LEVEL debug|info|warn|error (default: info when --log is given)" );
+      ( "--log-rotate",
+        Arg.Set_int log_rotate,
+        "BYTES rotate the log file beyond this size (0 = never)" );
+      ( "--slow-ms",
+        Arg.Set_float slow_ms,
+        "MS log requests at least this slow at warn level (0 = off; \
+         default 500)" );
+      ( "--flight",
+        Arg.Set_string flight,
+        "PATH write the crash flight-recorder dump to PATH (default: \
+         SOCKET.flight.json)" );
+      "--no-flight", Arg.Set no_flight, " disable the flight recorder";
+      "--profile", Arg.Set profile, " print a hotspot report after draining";
+      ( "--trace-out",
+        Arg.Set_string trace_out,
+        "FILE write a Perfetto trace of the serve run to FILE" );
     ]
   in
   (try
@@ -122,18 +161,43 @@ let serve args =
     exit Exit.ok);
   if !socket = "" then die_usage "--socket PATH is required";
   if !jobs < 1 then die_usage "--jobs must be at least 1";
+  let log_level =
+    match !log_level with
+    | "" -> if !log_file <> "" then Some Telemetry.Log.Info else None
+    | s -> (
+      match Telemetry.Log.level_of_name s with
+      | Some _ as l -> l
+      | None -> die_usage (Printf.sprintf "unknown log level %S" s))
+  in
+  let base = Server.Daemon.default_config ~socket:!socket in
   let config =
-    { (Server.Daemon.default_config ~socket:!socket) with
+    { base with
       jobs = !jobs;
       idle_timeout_s = !idle;
+      metrics_port = (if !metrics_port >= 0 then Some !metrics_port else None);
+      announce_metrics_port =
+        (fun port ->
+          Printf.printf "verifyd: metrics on http://127.0.0.1:%d/metrics\n%!"
+            port);
+      log_file = (if !log_file <> "" then Some !log_file else None);
+      log_level;
+      log_rotate_bytes = !log_rotate;
+      slow_ms = !slow_ms;
+      flight_path =
+        (if !no_flight then None
+         else if !flight <> "" then Some !flight
+         else base.Server.Daemon.flight_path);
     }
   in
+  Telemetry.Cli.setup ~profile:!profile ~trace_out:!trace_out ();
   Printf.printf "verifyd: serving %s with %d job(s)\n%!" !socket !jobs;
   (match Server.Daemon.run config with
   | () -> ()
   | exception Failure msg ->
     prerr_endline ("verifyd: " ^ msg);
     exit Exit.failure);
+  Telemetry.Cli.flush ~process_name:"verifyd" ~profile:!profile
+    ~trace_out:!trace_out ();
   print_endline "verifyd: drained, bye";
   exit Exit.ok
 

@@ -230,6 +230,16 @@ let jobs pool = Array.length pool.deques + 1
 let submit pool f =
   if Atomic.get pool.stopped then
     invalid_arg "Sched.Pool.submit: pool is shut down";
+  (* carry the submitter's request attribution onto whichever domain
+     eventually runs the task, so spans stay filterable by request id
+     across steals; costs one atomic load when the probe is off *)
+  let f =
+    if Probe.enabled () then
+      match Probe.current_request () with
+      | None -> f
+      | Some _ as req -> fun () -> Probe.with_request req f
+    else f
+  in
   let task = Task.create () in
   let entry () =
     match f () with

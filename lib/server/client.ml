@@ -16,8 +16,8 @@ let with_client ~socket f =
   let t = connect ~socket in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-let request t req ~on_response =
-  P.Frame.write t.fd (P.encode_request req);
+let request ?id t req ~on_response =
+  P.Frame.write t.fd (P.encode_request ?id req);
   let rec loop () =
     match P.Frame.read t.fd with
     | Error msg -> failwith ("verifyd protocol error: " ^ msg)
@@ -32,7 +32,7 @@ let request t req ~on_response =
   in
   loop ()
 
-let request_collect t req =
+let request_collect ?id t req =
   let acc = ref [] in
-  let code = request t req ~on_response:(fun r -> acc := r :: !acc) in
+  let code = request ?id t req ~on_response:(fun r -> acc := r :: !acc) in
   List.rev !acc, code

@@ -18,10 +18,18 @@ val close : t -> unit
 (** [with_client ~socket f] — connect, run [f], always close. *)
 val with_client : socket:string -> (t -> 'a) -> 'a
 
-(** [request t req ~on_response] performs one request round-trip.
+(** [request ?id t req ~on_response] performs one request round-trip.
+    [id] tags the request ({!Protocol.encode_request}) so server-side
+    logs, metrics and traces can be filtered to it.
     @raise Failure on protocol violations (bad frame, EOF before [Done]). *)
 val request :
-  t -> Protocol.request -> on_response:(Protocol.response -> unit) -> int
+  ?id:string ->
+  t ->
+  Protocol.request ->
+  on_response:(Protocol.response -> unit) ->
+  int
 
-(** [request_collect t req] — as {!request}, accumulating the responses. *)
-val request_collect : t -> Protocol.request -> Protocol.response list * int
+(** [request_collect ?id t req] — as {!request}, accumulating the
+    responses. *)
+val request_collect :
+  ?id:string -> t -> Protocol.request -> Protocol.response list * int

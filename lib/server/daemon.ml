@@ -1,5 +1,8 @@
 module P = Protocol
 module Metrics = Telemetry.Metrics
+module Log = Telemetry.Log
+module Flight = Telemetry.Flight
+module Obs = Telemetry.Obs
 module Exit = Telemetry.Cli.Exit
 
 (* ------------------------------------------------------------------ *)
@@ -19,6 +22,13 @@ type config = {
   idle_timeout_s : float;
   max_frame : int;
   handle_signals : bool;
+  metrics_port : int option;
+  announce_metrics_port : int -> unit;
+  log_file : string option;
+  log_level : Log.level option;
+  log_rotate_bytes : int;
+  slow_ms : float;
+  flight_path : string option;
 }
 
 let default_config ~socket =
@@ -28,6 +38,13 @@ let default_config ~socket =
     idle_timeout_s = 300.;
     max_frame = P.Frame.default_max;
     handle_signals = true;
+    metrics_port = None;
+    announce_metrics_port = ignore;
+    log_file = None;
+    log_level = None;
+    log_rotate_bytes = 0;
+    slow_ms = 500.;
+    flight_path = Some (socket ^ ".flight.json");
   }
 
 (* ------------------------------------------------------------------ *)
@@ -48,8 +65,18 @@ type resident = {
     Hashtbl.t;
   eval_env : Cafeobj.Eval.env;
   started_ns : int;
+  slow_ms : float;
+  flight_path : string option;
   mutable served : int;
+  mutable pending : int;  (* queued jobs, refreshed once per loop tick *)
 }
+
+(* Post-mortem snapshot of the flight rings; called on the paths where a
+   core dump would otherwise be the only evidence. *)
+let flight_dump resident reason =
+  match resident.flight_path with
+  | Some path when Flight.enabled () -> Flight.dump_to_file ~reason path
+  | _ -> ()
 
 let model_style = function
   | P.Original -> Tls.Model.Original
@@ -112,7 +139,10 @@ type active =
     }
   | Acheck of { task : Analysis.Certgen.check_result Sched.Task.t }
 
-type job = { active : active; kind : string; t0_ns : int }
+type job = { active : active; kind : string; req_id : string; t0_ns : int }
+
+(* fallback ids for clients that did not tag their request *)
+let srv_id = Atomic.make 0
 
 type conn = {
   fd : Unix.file_descr;
@@ -134,14 +164,35 @@ let finish_job resident conn job ~exit_code =
   resident.served <- resident.served + 1;
   Metrics.incr c_requests;
   Metrics.incr (Metrics.counter ("server.requests." ^ job.kind));
-  Metrics.observe_ns h_latency (Telemetry.Probe.now_ns () - job.t0_ns);
-  Telemetry.Probe.span_since ~cat:"server" ("req:" ^ job.kind) job.t0_ns;
+  let dt_ns = Telemetry.Probe.now_ns () - job.t0_ns in
+  Metrics.observe_ns h_latency dt_ns;
+  Metrics.observe_ns
+    (Metrics.histogram ("server.request_latency." ^ job.kind))
+    dt_ns;
+  if Telemetry.Probe.enabled () then
+    Telemetry.Probe.with_request (Some job.req_id) (fun () ->
+        Telemetry.Probe.span_since ~cat:"server" ("req:" ^ job.kind) job.t0_ns)
+  else Telemetry.Probe.span_since ~cat:"server" ("req:" ^ job.kind) job.t0_ns;
+  let ms = float_of_int dt_ns /. 1e6 in
+  let fields =
+    [
+      "id", Log.S job.req_id;
+      "kind", Log.S job.kind;
+      "ms", Log.F ms;
+      "exit", Log.I exit_code;
+    ]
+  in
+  if resident.slow_ms > 0. && ms >= resident.slow_ms then
+    Log.warn "slow_request" fields
+  else Log.info "request_done" fields;
   conn.last_active <- Unix.gettimeofday ()
 
 (* ------------------------------------------------------------------ *)
 (* Immediate requests *)
 
-let metrics_response resident =
+(* Point-in-time gauges, recomputed on every export (s-expr Metrics
+   request and HTTP /metrics alike). *)
+let refresh_gauges resident =
   List.iter
     (fun (wire, env) ->
       let sys = Core.Induction.system env in
@@ -158,7 +209,13 @@ let metrics_response resident =
     (float_of_int (Kernel.Term.intern_table_len ()));
   Metrics.set_gauge "server.registry.entries"
     (float_of_int (Registry.size resident.registry));
-  Metrics.set_gauge "server.uptime_s" (uptime_s resident);
+  Metrics.set_gauge "server.registry.in_flight"
+    (float_of_int (Registry.in_flight_count resident.registry));
+  Metrics.set_gauge "server.queue_depth" (float_of_int resident.pending);
+  Metrics.set_gauge "server.uptime_s" (uptime_s resident)
+
+let metrics_response resident =
+  refresh_gauges resident;
   let snap = Metrics.snapshot () in
   P.Rmetrics
     {
@@ -217,6 +274,8 @@ let handle_eval resident ~step_limit ~deadline_s src emit =
     with
     | Kernel.Rewrite.Limit_exceeded { limit; steps } ->
       Metrics.incr c_timeouts;
+      Log.warn "timeout" [ "kind", Log.S "eval"; "steps", Log.I steps ];
+      flight_dump resident "limit-exceeded: eval";
       let limit =
         match limit with
         | Kernel.Rewrite.Steps n -> `Steps n
@@ -231,9 +290,11 @@ let handle_eval resident ~step_limit ~deadline_s src emit =
 (* ------------------------------------------------------------------ *)
 (* Request intake: build the job (dispatching pool work now), enqueue *)
 
-let start_request resident conn req =
+let start_request resident conn ~req_id req =
   let t0_ns = Telemetry.Probe.now_ns () in
-  let enqueue kind active = Queue.push { active; kind; t0_ns } conn.jobs_q in
+  let enqueue kind active =
+    Queue.push { active; kind; req_id; t0_ns } conn.jobs_q
+  in
   match req with
   | P.Ping -> enqueue "ping" (Aimmediate req)
   | P.Status -> enqueue "status" (Aimmediate req)
@@ -402,7 +463,8 @@ let start_request resident conn req =
               Printf.sprintf "verify:%s:%s" (P.style_name style) name
             in
             let task, _how =
-              Registry.find_or_submit resident.registry ~key (fun () ->
+              Registry.find_or_submit ~requester:req_id resident.registry ~key
+                (fun () ->
                   Sched.Pool.submit resident.pool (fun () ->
                       Telemetry.Probe.with_span ~always:true ~cat:"server"
                         ("obligation:" ^ name)
@@ -446,6 +508,10 @@ let progress resident conn ~request_shutdown =
                    jobs = Sched.Pool.jobs resident.pool;
                    requests = resident.served;
                    in_flight = Registry.in_flight_count resident.registry;
+                   dedup_hits =
+                     Metrics.value (Metrics.counter "server.dedup.hits");
+                   dedup_misses =
+                     Metrics.value (Metrics.counter "server.dedup.misses");
                    styles = List.map fst resident.envs;
                  });
             Exit.ok
@@ -553,6 +619,9 @@ let progress resident conn ~request_shutdown =
           pump ()
         | exception Kernel.Rewrite.Limit_exceeded { limit; steps } ->
           Metrics.incr c_timeouts;
+          Log.warn "timeout"
+            [ "id", Log.S job.req_id; "kind", Log.S job.kind; "steps", Log.I steps ];
+          flight_dump resident "limit-exceeded: verify-certify";
           Kernel.Rewrite.set_tracer None;
           let limit =
             match limit with
@@ -632,6 +701,13 @@ let progress resident conn ~request_shutdown =
             pump ()
           | exception Kernel.Rewrite.Limit_exceeded { limit; steps } ->
             Metrics.incr c_timeouts;
+            Log.warn "timeout"
+              [
+                "id", Log.S job.req_id;
+                "kind", Log.S job.kind;
+                "steps", Log.I steps;
+              ];
+            flight_dump resident "limit-exceeded: obligation";
             let limit =
               match limit with
               | Kernel.Rewrite.Steps n -> `Steps n
@@ -684,15 +760,29 @@ let read_conn resident conn =
       | Ok None -> ()
       | Ok (Some payload) ->
         (match P.decode_request payload with
-        | Ok req -> start_request resident conn req
+        | Ok req ->
+          let req_id =
+            match P.request_id payload with
+            | Some id -> id
+            | None -> Printf.sprintf "srv-%d" (Atomic.fetch_and_add srv_id 1)
+          in
+          Log.debug "request_start" [ "id", Log.S req_id ];
+          (* the request id is installed while dispatching so the pool
+             captures it onto every obligation submitted for this job *)
+          if Telemetry.Probe.enabled () then
+            Telemetry.Probe.with_request (Some req_id) (fun () ->
+                start_request resident conn ~req_id req)
+          else start_request resident conn ~req_id req
         | Error msg ->
           Metrics.incr c_protocol_errors;
+          Log.warn "protocol_error" [ "msg", Log.S msg ];
           send conn (P.Rerror { code = "protocol"; msg });
           send conn (P.Done { exit_code = Exit.usage }));
         drain_frames ()
       | Error msg ->
         (* framing is unrecoverable: answer, then close once flushed *)
         Metrics.incr c_protocol_errors;
+        Log.warn "protocol_error" [ "msg", Log.S msg ];
         send conn (P.Rerror { code = "protocol"; msg });
         send conn (P.Done { exit_code = Exit.usage });
         conn.closing <- true
@@ -700,9 +790,72 @@ let read_conn resident conn =
     drain_frames ()
 
 (* ------------------------------------------------------------------ *)
+(* The HTTP sidecar: GET /metrics, /healthz, /statusz on a loopback TCP
+   port, multiplexed through the same select() loop as the wire protocol
+   so a scrape can never be starved by (or starve) proof work. *)
+
+type hconn = {
+  hfd : Unix.file_descr;
+  hin : Buffer.t;
+  mutable hout : string;  (* "" until the response is computed *)
+  mutable hout_off : int;
+  mutable hdead : bool;
+}
+
+let statusz_json resident ~draining =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"uptime_s\":%.3f,\"pid\":%d,\"jobs\":%d,\"draining\":%b,\
+        \"requests_served\":%d,\"queue_depth\":%d"
+       (uptime_s resident) (Unix.getpid ())
+       (Sched.Pool.jobs resident.pool)
+       draining resident.served resident.pending);
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"registry\":{\"entries\":%d,\"in_flight\":%d,\"dedup_hits\":%d,\
+        \"dedup_misses\":%d}"
+       (Registry.size resident.registry)
+       (Registry.in_flight_count resident.registry)
+       (Metrics.value (Metrics.counter "server.dedup.hits"))
+       (Metrics.value (Metrics.counter "server.dedup.misses")));
+  Buffer.add_string b ",\"styles\":[";
+  List.iteri
+    (fun i (s, _) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\"" (P.style_name s)))
+    resident.envs;
+  Buffer.add_string b "]";
+  Buffer.add_string b
+    (Printf.sprintf ",\"build\":{\"ocaml\":\"%s\"}"
+       (Obs.json_escape Sys.ocaml_version));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let http_route resident ~draining (r : Obs.Http.request) =
+  if not (String.equal r.Obs.Http.meth "GET") then
+    Obs.Http.response ~status:405 "method not allowed\n"
+  else
+    match r.Obs.Http.target with
+    | "/metrics" ->
+      refresh_gauges resident;
+      Obs.Http.response ~content_type:Obs.content_type
+        (Obs.render_openmetrics
+           ~labeled:[ "server.request_latency", "type" ]
+           (Metrics.snapshot ()))
+    | "/healthz" ->
+      if draining then Obs.Http.response ~status:503 "draining\n"
+      else Obs.Http.response "ok\n"
+    | "/statusz" ->
+      Obs.Http.response ~content_type:"application/json"
+        (statusz_json resident ~draining)
+    | _ -> Obs.Http.response ~status:404 "not found\n"
+
+(* ------------------------------------------------------------------ *)
 (* The server proper *)
 
 let stop_flag = Atomic.make false
+let quit_flag = Atomic.make false
 
 let claim_socket path =
   if Sys.file_exists path then begin
@@ -722,6 +875,39 @@ let claim_socket path =
 let run config =
   if config.jobs < 1 then invalid_arg "Daemon.run: jobs must be at least 1";
   Atomic.set stop_flag false;
+  Atomic.set quit_flag false;
+  Option.iter (fun l -> Log.set_level (Some l)) config.log_level;
+  let opened_sink =
+    match config.log_file with
+    | Some path ->
+      Log.open_sink ~rotate_bytes:config.log_rotate_bytes path;
+      true
+    | None -> false
+  in
+  let flight_was_enabled = Flight.enabled () in
+  if config.flight_path <> None then Flight.set_enabled true;
+  (* bind the HTTP sidecar before claiming the unix socket: a TCP bind
+     failure (port in use) must not unlink a live daemon's socket *)
+  let hlfd =
+    match config.metrics_port with
+    | None -> None
+    | Some port ->
+      let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd SO_REUSEADDR true;
+         Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd 16;
+         Unix.set_nonblock fd
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      let bound =
+        match Unix.getsockname fd with ADDR_INET (_, p) -> p | _ -> port
+      in
+      config.announce_metrics_port bound;
+      Log.info "metrics_listening" [ "port", Log.I bound ];
+      Some fd
+  in
   claim_socket config.socket;
   let lfd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   Unix.bind lfd (ADDR_UNIX config.socket);
@@ -729,15 +915,14 @@ let run config =
   Unix.set_nonblock lfd;
   let previous_signals = ref [] in
   if config.handle_signals then begin
-    let install signum =
-      let old =
-        Sys.signal signum
-          (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true))
-      in
+    let install signum handler =
+      let old = Sys.signal signum (Sys.Signal_handle handler) in
       previous_signals := (signum, old) :: !previous_signals
     in
-    install Sys.sigint;
-    install Sys.sigterm
+    install Sys.sigint (fun _ -> Atomic.set stop_flag true);
+    install Sys.sigterm (fun _ -> Atomic.set stop_flag true);
+    (* SIGQUIT: dump the flight recorder without dying *)
+    install Sys.sigquit (fun _ -> Atomic.set quit_flag true)
   end;
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let pool = Sched.Pool.create ~jobs:config.jobs () in
@@ -758,21 +943,40 @@ let run config =
       static_certs = Hashtbl.create 4;
       eval_env = Cafeobj.Eval.create ();
       started_ns = Telemetry.Probe.now_ns ();
+      slow_ms = config.slow_ms;
+      flight_path = config.flight_path;
       served = 0;
+      pending = 0;
     }
   in
+  Log.info "daemon_start"
+    [
+      "socket", Log.S config.socket;
+      "jobs", Log.I config.jobs;
+      "pid", Log.I (Unix.getpid ());
+    ];
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let hconns : (Unix.file_descr, hconn) Hashtbl.t = Hashtbl.create 8 in
   let draining = ref false in
   let listening = ref true in
   let request_shutdown () = Atomic.set stop_flag true in
   let cleanup () =
     Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
     Hashtbl.reset conns;
+    Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) hconns;
+    Hashtbl.reset hconns;
+    (match hlfd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
     if !listening then (try Unix.close lfd with Unix.Unix_error _ -> ());
     (try Unix.unlink config.socket with Unix.Unix_error _ -> ());
     Sched.Pool.shutdown pool;
     List.iter (fun (signum, old) -> Sys.set_signal signum old) !previous_signals;
-    Sys.set_signal Sys.sigpipe old_pipe
+    Sys.set_signal Sys.sigpipe old_pipe;
+    Log.info "daemon_exit" [ "served", Log.I resident.served ];
+    if opened_sink then Log.close_sink ();
+    if config.flight_path <> None && not flight_was_enabled then
+      Flight.set_enabled false
   in
   Fun.protect ~finally:cleanup @@ fun () ->
   let accept_all () =
@@ -800,75 +1004,165 @@ let run config =
   let pending_jobs () =
     Hashtbl.fold (fun _ c n -> n + Queue.length c.jobs_q) conns 0
   in
+  let accept_http lfd =
+    let rec go () =
+      match Unix.accept ~cloexec:true lfd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace hconns fd
+          {
+            hfd = fd;
+            hin = Buffer.create 256;
+            hout = "";
+            hout_off = 0;
+            hdead = false;
+          };
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    in
+    go ()
+  in
+  let read_http h =
+    let chunk = Bytes.create 4096 in
+    match Unix.read h.hfd chunk 0 (Bytes.length chunk) with
+    | 0 -> h.hdead <- true
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (ECONNRESET, _, _) -> h.hdead <- true
+    | n ->
+      Buffer.add_subbytes h.hin chunk 0 n;
+      if String.equal h.hout "" then begin
+        match Obs.Http.parse (Buffer.contents h.hin) with
+        | `Partial -> ()
+        | `Bad -> h.hout <- Obs.Http.response ~status:400 "bad request\n"
+        | `Ready r -> h.hout <- http_route resident ~draining:!draining r
+      end
+  in
+  let write_http h =
+    let len = String.length h.hout - h.hout_off in
+    if len > 0 then
+      match Unix.write_substring h.hfd h.hout h.hout_off len with
+      | n ->
+        h.hout_off <- h.hout_off + n;
+        (* Connection: close — one exchange per connection *)
+        if h.hout_off >= String.length h.hout then h.hdead <- true
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+        h.hdead <- true
+  in
   let finished = ref false in
-  while not !finished do
-    if Atomic.get stop_flag then draining := true;
-    if !draining && !listening then begin
-      listening := false;
-      (try Unix.close lfd with Unix.Unix_error _ -> ())
-    end;
-    (* pump every connection's head job, then flush what it produced *)
-    Hashtbl.iter
-      (fun _ c ->
-        if not c.dead then begin
-          progress resident c ~request_shutdown;
-          flush_conn c
-        end)
-      conns;
-    (* a 1-job pool has no workers: the loop lends its own domain *)
-    if Sched.Pool.jobs pool = 1 && pending_jobs () > 0 then
-      ignore (Sched.Pool.try_help pool : bool);
-    let rfds =
-      (if !listening then [ lfd ] else [])
-      @ Hashtbl.fold
-          (fun fd c acc -> if c.closing || c.dead then acc else fd :: acc)
-          conns []
-    in
-    let wfds =
-      Hashtbl.fold
-        (fun fd c acc -> if (not c.dead) && has_output c then fd :: acc else acc)
-        conns []
-    in
-    let timeout = if pending_jobs () > 0 then 0.005 else 0.25 in
-    let readable, writable =
-      match Unix.select rfds wfds [] timeout with
-      | r, w, _ -> r, w
-      | exception Unix.Unix_error (EINTR, _, _) -> [], []
-    in
-    List.iter
-      (fun fd ->
-        if fd = lfd then accept_all ()
-        else
-          match Hashtbl.find_opt conns fd with
-          | Some c when not c.dead -> read_conn resident c
-          | _ -> ())
-      readable;
-    List.iter
-      (fun fd ->
-        match Hashtbl.find_opt conns fd with
-        | Some c when not c.dead -> flush_conn c
-        | _ -> ())
-      writable;
-    (* close idle, drained and broken connections *)
-    let now = Unix.gettimeofday () in
-    let doomed =
-      Hashtbl.fold
-        (fun fd c acc ->
-          let drained = Queue.is_empty c.jobs_q && not (has_output c) in
-          if
-            c.dead
-            || (c.closing && drained)
-            || (!draining && drained)
-            || (config.idle_timeout_s > 0. && drained
-               && now -. c.last_active > config.idle_timeout_s)
-          then fd :: acc
-          else acc)
-        conns []
-    in
-    List.iter
-      (fun fd ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        Hashtbl.remove conns fd)
-      doomed;
-    if !draining && Hashtbl.length conns = 0 then finished := true
-  done
+  (try
+     while not !finished do
+       if Atomic.get stop_flag && not !draining then begin
+         Log.info "drain_begin" [];
+         draining := true
+       end;
+       if Atomic.exchange quit_flag false then begin
+         Log.info "sigquit_dump" [];
+         flight_dump resident "sigquit"
+       end;
+       if !draining && !listening then begin
+         listening := false;
+         (try Unix.close lfd with Unix.Unix_error _ -> ())
+       end;
+       (* pump every connection's head job, then flush what it produced *)
+       Hashtbl.iter
+         (fun _ c ->
+           if not c.dead then begin
+             progress resident c ~request_shutdown;
+             flush_conn c
+           end)
+         conns;
+       resident.pending <- pending_jobs ();
+       (* a 1-job pool has no workers: the loop lends its own domain *)
+       if Sched.Pool.jobs pool = 1 && resident.pending > 0 then
+         ignore (Sched.Pool.try_help pool : bool);
+       let rfds =
+         (if !listening then [ lfd ] else [])
+         (* the HTTP listener stays up through the drain: health checks
+            must be able to observe the 503 flip *)
+         @ (match hlfd with Some fd -> [ fd ] | None -> [])
+         @ Hashtbl.fold
+             (fun fd c acc -> if c.closing || c.dead then acc else fd :: acc)
+             conns []
+         @ Hashtbl.fold
+             (fun fd h acc ->
+               if h.hdead || not (String.equal h.hout "") then acc
+               else fd :: acc)
+             hconns []
+       in
+       let wfds =
+         Hashtbl.fold
+           (fun fd c acc ->
+             if (not c.dead) && has_output c then fd :: acc else acc)
+           conns []
+         @ Hashtbl.fold
+             (fun fd h acc ->
+               if (not h.hdead) && not (String.equal h.hout "") then fd :: acc
+               else acc)
+             hconns []
+       in
+       let timeout = if resident.pending > 0 then 0.005 else 0.25 in
+       let readable, writable =
+         match Unix.select rfds wfds [] timeout with
+         | r, w, _ -> r, w
+         | exception Unix.Unix_error (EINTR, _, _) -> [], []
+       in
+       List.iter
+         (fun fd ->
+           if fd = lfd && !listening then accept_all ()
+           else if hlfd = Some fd then accept_http fd
+           else
+             match Hashtbl.find_opt conns fd with
+             | Some c when not c.dead -> read_conn resident c
+             | _ -> (
+               match Hashtbl.find_opt hconns fd with
+               | Some h when not h.hdead -> read_http h
+               | _ -> ()))
+         readable;
+       List.iter
+         (fun fd ->
+           match Hashtbl.find_opt conns fd with
+           | Some c when not c.dead -> flush_conn c
+           | _ -> (
+             match Hashtbl.find_opt hconns fd with
+             | Some h when not h.hdead -> write_http h
+             | _ -> ()))
+         writable;
+       (* close idle, drained and broken connections *)
+       let now = Unix.gettimeofday () in
+       let doomed =
+         Hashtbl.fold
+           (fun fd c acc ->
+             let drained = Queue.is_empty c.jobs_q && not (has_output c) in
+             if
+               c.dead
+               || (c.closing && drained)
+               || (!draining && drained)
+               || (config.idle_timeout_s > 0. && drained
+                  && now -. c.last_active > config.idle_timeout_s)
+             then fd :: acc
+             else acc)
+           conns []
+       in
+       List.iter
+         (fun fd ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           Hashtbl.remove conns fd)
+         doomed;
+       let hdoomed =
+         Hashtbl.fold (fun fd h acc -> if h.hdead then fd :: acc else acc)
+           hconns []
+       in
+       List.iter
+         (fun fd ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           Hashtbl.remove hconns fd)
+         hdoomed;
+       if !draining && Hashtbl.length conns = 0 then finished := true
+     done
+   with e ->
+     (* the flight recorder's raison d'être: capture the last moments
+        before the event loop dies *)
+     Log.error "crash" [ "exn", Log.S (Printexc.to_string e) ];
+     flight_dump resident ("crash: " ^ Printexc.to_string e);
+     raise e)

@@ -24,14 +24,40 @@
     removes the socket file and returns.  A reduction that exhausts its
     step budget or deadline ({!Kernel.Rewrite.Limit_exceeded}) is answered
     with a structured [timeout] verdict on that request's stream — the
-    connection survives. *)
+    connection survives.
+
+    Observability: with [metrics_port] set, the same event loop also
+    serves HTTP on loopback — [GET /metrics] (OpenMetrics text, including
+    per-request-type latency histograms labeled [type="…"]), [/healthz]
+    (flips to 503 the moment a drain starts, while the protocol socket is
+    still finishing work) and [/statusz] (a JSON summary).  Requests
+    tagged with a client id ({!Protocol.encode_request}) carry that id
+    through the structured log ({!Telemetry.Log}), the obligation
+    registry, and — when profiling is on — every {!Telemetry.Probe} span
+    the request causes, pool workers included.  With [flight_path] set,
+    a {!Telemetry.Flight} ring records recent events and is dumped there
+    on a crash, a SIGQUIT, or a [Limit_exceeded]. *)
 
 type config = {
   socket : string;  (** path of the Unix-domain socket to bind *)
   jobs : int;  (** sched-pool parallelism (≥ 1) *)
   idle_timeout_s : float;  (** close connections idle this long; 0 = never *)
   max_frame : int;  (** per-frame byte cap (see {!Protocol.Frame}) *)
-  handle_signals : bool;  (** install SIGINT/SIGTERM drain handlers *)
+  handle_signals : bool;
+      (** install SIGINT/SIGTERM drain handlers and the SIGQUIT
+          flight-dump handler *)
+  metrics_port : int option;
+      (** loopback TCP port for the HTTP endpoint; [Some 0] binds an
+          ephemeral port (see [announce_metrics_port]); [None] disables *)
+  announce_metrics_port : int -> unit;
+      (** called once with the actually-bound HTTP port *)
+  log_file : string option;  (** JSON-lines sink; [None] leaves stderr *)
+  log_level : Telemetry.Log.level option;  (** [None] = leave as configured *)
+  log_rotate_bytes : int;  (** rotate the sink beyond this size; 0 = never *)
+  slow_ms : float;
+      (** requests at least this slow log at [Warn] as [slow_request];
+          0 disables the slow log *)
+  flight_path : string option;  (** post-mortem dump path; [None] disables *)
 }
 
 val default_config : socket:string -> config

@@ -150,6 +150,8 @@ type response =
       jobs : int;
       requests : int;
       in_flight : int;
+      dedup_hits : int;
+      dedup_misses : int;
       styles : style list;
     }
   | Rmetrics of {
@@ -288,7 +290,7 @@ let parse_payload s =
 (* ------------------------------------------------------------------ *)
 (* Requests *)
 
-let encode_request req =
+let encode_request ?id req =
   let sx =
     match req with
     | Ping -> slist [ atom "ping" ]
@@ -321,7 +323,28 @@ let encode_request req =
         | None -> []
         | Some d -> [ field "deadline-s" [ sfloat d ] ])
   in
+  (* the request id rides as an ordinary trailing field: decoders ignore
+     unknown fields, so tagged payloads stay readable by old daemons and
+     untagged ones by new daemons *)
+  let sx =
+    match id, sx with
+    | Some rid, Sexp.List items -> slist (items @ [ field "id" [ atom rid ] ])
+    | _ -> sx
+  in
   Sexp.to_string sx
+
+(* Extracted separately from decode_request so id-tagging stays invisible
+   to the request variants (and to their roundtrip properties). *)
+let request_id s =
+  match parse_payload s with
+  | Error _ -> None
+  | Ok sx -> (
+    match fields sx with
+    | Error _ -> None
+    | Ok (_, flds) -> (
+      match assoc "id" flds with
+      | None -> None
+      | Some v -> ( match as_atom "id" v with Ok rid -> Some rid | Error _ -> None)))
 
 let decode_request s =
   let* sx = parse_payload s in
@@ -392,7 +415,9 @@ let encode_response resp =
     | Pong { pid; uptime_s } ->
       slist
         [ atom "pong"; field "pid" [ sint pid ]; field "uptime-s" [ sfloat uptime_s ] ]
-    | Rstatus { uptime_s; jobs; requests; in_flight; styles } ->
+    | Rstatus
+        { uptime_s; jobs; requests; in_flight; dedup_hits; dedup_misses; styles }
+      ->
       slist
         [
           atom "status";
@@ -400,6 +425,8 @@ let encode_response resp =
           field "jobs" [ sint jobs ];
           field "requests" [ sint requests ];
           field "in-flight" [ sint in_flight ];
+          field "dedup-hits" [ sint dedup_hits ];
+          field "dedup-misses" [ sint dedup_misses ];
           field "styles" (List.map (fun s -> atom (style_name s)) styles);
         ]
     | Rmetrics { counters; gauges; histograms } ->
@@ -506,6 +533,17 @@ let decode_response s =
     let* requests = as_int "requests" v in
     let* v = get "in-flight" flds in
     let* in_flight = as_int "in-flight" v in
+    (* absent on daemons predating the dedup counters; default 0 *)
+    let* dedup_hits =
+      match assoc "dedup-hits" flds with
+      | None -> Ok 0
+      | Some v -> as_int "dedup-hits" v
+    in
+    let* dedup_misses =
+      match assoc "dedup-misses" flds with
+      | None -> Ok 0
+      | Some v -> as_int "dedup-misses" v
+    in
     let* names =
       match assoc "styles" flds with
       | None -> Ok []
@@ -519,7 +557,17 @@ let decode_response s =
           Ok (st :: acc))
         names (Ok [])
     in
-    Ok (Rstatus { uptime_s; jobs; requests; in_flight; styles })
+    Ok
+      (Rstatus
+         {
+           uptime_s;
+           jobs;
+           requests;
+           in_flight;
+           dedup_hits;
+           dedup_misses;
+           styles;
+         })
   | "metrics" ->
     let pair conv = function
       | Sexp.List [ Sexp.Atom k; Sexp.Atom v ] -> (

@@ -114,6 +114,9 @@ type response =
       jobs : int;
       requests : int;
       in_flight : int;
+      dedup_hits : int;
+          (** requests coalesced onto an in-flight or cached obligation *)
+      dedup_misses : int;
       styles : style list;
     }
   | Rmetrics of {
@@ -162,8 +165,17 @@ type response =
 
 (** {1 Codec} *)
 
-val encode_request : request -> string
+(** [encode_request ?id req] — with [id], a client-chosen request id is
+    appended as a trailing [(id …)] field.  Decoders ignore unknown
+    fields, so tagging is backward- and forward-compatible;
+    {!decode_request} never sees it (use {!request_id}). *)
+val encode_request : ?id:string -> request -> string
+
 val decode_request : string -> (request, string) result
+
+(** [request_id payload] extracts the [(id …)] tag from an encoded
+    request, if any.  [None] on untagged or malformed payloads. *)
+val request_id : string -> string option
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 

@@ -5,7 +5,16 @@
 let c_hits = Telemetry.Metrics.counter "server.dedup.hits"
 let c_misses = Telemetry.Metrics.counter "server.dedup.misses"
 
-type 'a entry = { task : 'a Sched.Task.t; mutable seq : int }
+(* Requesters are kept newest-first and capped: the list exists so a
+   trace or log line can answer "who is waiting on this obligation",
+   not to be an unbounded audit log. *)
+let max_requesters = 8
+
+type 'a entry = {
+  task : 'a Sched.Task.t;
+  mutable seq : int;
+  mutable requesters : string list;
+}
 
 type 'a t = {
   lock : Mutex.t;
@@ -44,7 +53,16 @@ let evict t =
       resolved
   end
 
-let find_or_submit t ~key spawn =
+let attach e requester =
+  match requester with
+  | None -> ()
+  | Some r ->
+    let others = List.filter (fun r' -> r' <> r) e.requesters in
+    e.requesters <- r :: others;
+    if List.length e.requesters > max_requesters then
+      e.requesters <- List.filteri (fun i _ -> i < max_requesters) e.requesters
+
+let find_or_submit ?requester t ~key spawn =
   with_lock t @@ fun () ->
   match Hashtbl.find_opt t.entries key with
   | Some e ->
@@ -52,14 +70,23 @@ let find_or_submit t ~key spawn =
     (* refresh recency so hot obligations outlive cold ones *)
     e.seq <- t.next_seq;
     t.next_seq <- t.next_seq + 1;
+    attach e requester;
     e.task, if Sched.Task.is_resolved e.task then `Cached else `Inflight
   | None ->
     Telemetry.Metrics.incr c_misses;
     let task = spawn () in
-    Hashtbl.replace t.entries key { task; seq = t.next_seq };
+    let e = { task; seq = t.next_seq; requesters = [] } in
+    attach e requester;
+    Hashtbl.replace t.entries key e;
     t.next_seq <- t.next_seq + 1;
     evict t;
     task, `Fresh
+
+let requesters t ~key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e.requesters
+  | None -> []
 
 let in_flight_count t =
   with_lock t @@ fun () ->

@@ -16,16 +16,25 @@ type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
 
-(** [find_or_submit t ~key spawn] returns the shared future for [key],
-    calling [spawn] (which must submit the work and return its future)
-    only when no live entry exists.  The flag distinguishes a fresh
-    submission ([`Fresh]) from a dedup hit against a running ([`Inflight])
-    or completed ([`Cached]) obligation. *)
+(** [find_or_submit ?requester t ~key spawn] returns the shared future
+    for [key], calling [spawn] (which must submit the work and return its
+    future) only when no live entry exists.  The flag distinguishes a
+    fresh submission ([`Fresh]) from a dedup hit against a running
+    ([`Inflight]) or completed ([`Cached]) obligation.
+
+    [requester] attaches a request id to the entry, so observability can
+    answer which requests are (or were) waiting on a shared obligation;
+    ids are kept newest-first, deduplicated, capped at 8. *)
 val find_or_submit :
+  ?requester:string ->
   'a t ->
   key:string ->
   (unit -> 'a Sched.Task.t) ->
   'a Sched.Task.t * [ `Fresh | `Inflight | `Cached ]
+
+(** [requesters t ~key] — the request ids attached to [key], newest
+    first; [[]] for an unknown key. *)
+val requesters : 'a t -> key:string -> string list
 
 (** [in_flight_count t] counts entries whose task has not resolved yet. *)
 val in_flight_count : 'a t -> int

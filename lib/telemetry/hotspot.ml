@@ -33,9 +33,20 @@ let slowest_cases ?(top = 10) (snap : Probe.snapshot) =
 let ms ns = float_of_int ns /. 1e6
 
 let pp ?(top = 10) ppf (snap : Probe.snapshot) =
-  Format.fprintf ppf "telemetry: %d spans recorded (%d dropped), %d rules profiled@."
+  let dropped_detail =
+    match snap.Probe.sn_dropped_by_dom with
+    | [] -> ""
+    | per_dom ->
+      Printf.sprintf " [%s]"
+        (String.concat ", "
+           (List.map
+              (fun (dom, n) -> Printf.sprintf "dom%d: %d" dom n)
+              per_dom))
+  in
+  Format.fprintf ppf
+    "telemetry: %d spans recorded (%d dropped%s), %d rules profiled@."
     (List.length snap.Probe.sn_spans)
-    snap.Probe.sn_dropped
+    snap.Probe.sn_dropped dropped_detail
     (List.length snap.Probe.sn_rules);
   (match hot_rules ~top snap with
   | [] -> ()

@@ -1,0 +1,58 @@
+(** Structured event log: leveled, key-value, JSON-lines.
+
+    The serving layer's replacement for ad-hoc stderr prints.  Every
+    event is one JSON object per line — UTC timestamp, level, event name,
+    then the caller's key-value fields — appended to a sink file (or
+    stderr) with optional size-based rotation.
+
+    Cost contract: an {!event} below the level threshold, with the
+    {!Flight} recorder disabled, is two atomic loads — no formatting, no
+    allocation — so instrumented request paths stay measurably free when
+    logging is off.  While the flight recorder {e is} enabled, every
+    event (any level) is also rendered and teed into its ring, so the
+    post-mortem keeps debug-grain history even when the live sink is
+    quiet or absent.
+
+    Emission serializes under one mutex: events are per-request /
+    per-lifecycle, never per-rewrite. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+(** [level_of_name s] parses ["debug"], ["info"], ["warn"]/["warning"],
+    ["error"]. *)
+val level_of_name : string -> level option
+
+(** [set_level (Some l)] emits events at [l] and above; [set_level None]
+    (the initial state) disables the sink entirely. *)
+val set_level : level option -> unit
+
+val level : unit -> level option
+
+(** [logs l] — would an event at [l] reach the sink? *)
+val logs : level -> bool
+
+(** {1 Sink} *)
+
+(** [open_sink ?rotate_bytes path] appends events to [path].  With
+    [rotate_bytes > 0], once the file reaches that size it is renamed to
+    [path ^ ".1"] (replacing any previous rotation) and a fresh file is
+    started.  Without an open sink, events at or above the level go to
+    stderr. *)
+val open_sink : ?rotate_bytes:int -> string -> unit
+
+val close_sink : unit -> unit
+
+(** {1 Events} *)
+
+type value = S of string | I of int | F of float | B of bool
+
+(** [event lvl name fields] — one JSON line:
+    [{"ts":…,"lvl":…,"ev":name,…fields}]. *)
+val event : level -> string -> (string * value) list -> unit
+
+val debug : string -> (string * value) list -> unit
+val info : string -> (string * value) list -> unit
+val warn : string -> (string * value) list -> unit
+val error : string -> (string * value) list -> unit

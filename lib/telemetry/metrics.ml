@@ -89,6 +89,8 @@ type histogram_view = {
   h_p90_ms : float;
   h_p99_ms : float;
   h_max_ms : float;
+  h_buckets : int array;  (* nbuckets + 1 raw (non-cumulative) counts *)
+  h_sum_ns : int;
 }
 
 type snapshot = {
@@ -129,6 +131,8 @@ let view name h =
     h_p90_ms = q 0.90;
     h_p99_ms = q 0.99;
     h_max_ms = max_ms;
+    h_buckets = counts;
+    h_sum_ns = Atomic.get h.sum_ns;
   }
 
 let sorted_bindings tbl f =

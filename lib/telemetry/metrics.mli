@@ -42,6 +42,23 @@ val observe_ns : histogram -> int -> unit
 (** [observe_s h dt] records a duration in seconds. *)
 val observe_s : histogram -> float -> unit
 
+(** {1 Bucket geometry}
+
+    Exposed so exporters (OpenMetrics [_bucket{le=...}] series) and the
+    boundary tests can reason about the exact bucketing. *)
+
+(** Number of bounded buckets; one overflow bucket follows. *)
+val nbuckets : int
+
+(** [bucket_bound_ns i] is the inclusive upper bound of bucket [i]
+    ([10 µs × 2^i]); observations [<= bound] land in the first such
+    bucket. *)
+val bucket_bound_ns : int -> int
+
+(** [bucket_of_ns ns] is the index ([0 .. nbuckets]) an observation of
+    [ns] lands in; [nbuckets] is the overflow bucket. *)
+val bucket_of_ns : int -> int
+
 (** {1 Snapshot} *)
 
 type histogram_view = {
@@ -52,6 +69,10 @@ type histogram_view = {
   h_p90_ms : float;
   h_p99_ms : float;
   h_max_ms : float;
+  h_buckets : int array;
+      (** raw (non-cumulative) per-bucket counts, [nbuckets + 1] long,
+          last = overflow *)
+  h_sum_ns : int;  (** exact sum, for loss-free export *)
 }
 
 type snapshot = {

@@ -40,13 +40,19 @@ let to_string ?(process_name = "eqtls") (snap : Probe.snapshot) =
     doms;
   List.iter
     (fun (sp : Probe.span) ->
+      (* request-scoped spans carry the id as an arg so a Perfetto query
+         can filter one remote request's work across domains *)
+      let args =
+        if String.equal sp.Probe.sp_req "" then ""
+        else Printf.sprintf ",\"args\":{\"req\":\"%s\"}" (escape sp.Probe.sp_req)
+      in
       event
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\
-            \"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+            \"dur\":%.3f,\"pid\":1,\"tid\":%d%s}"
            (escape sp.Probe.sp_name) (escape sp.Probe.sp_cat)
            (us_of_ns (sp.Probe.sp_t0 - snap.Probe.sn_t0))
-           (us_of_ns sp.Probe.sp_dur) sp.Probe.sp_dom))
+           (us_of_ns sp.Probe.sp_dur) sp.Probe.sp_dom args))
     snap.Probe.sn_spans;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
   let first = ref true in
@@ -61,6 +67,10 @@ let to_string ?(process_name = "eqtls") (snap : Probe.snapshot) =
     (fun (name, v) -> field name (Printf.sprintf "%.6g" v))
     snap.Probe.sn_gauges;
   field "spans_dropped" (string_of_int snap.Probe.sn_dropped);
+  List.iter
+    (fun (dom, n) ->
+      field (Printf.sprintf "spans_dropped_dom%d" dom) (string_of_int n))
+    snap.Probe.sn_dropped_by_dom;
   Buffer.add_string b "}}\n";
   Buffer.contents b
 

@@ -28,6 +28,7 @@ type span = {
   sp_dur : int;
   sp_dom : int;
   sp_depth : int;
+  sp_req : string;  (* request id the span ran under; "" = unattributed *)
 }
 
 (* mutable per-domain accumulator for one rule label *)
@@ -53,10 +54,19 @@ type dbuf = {
   mutable db_stack : frame list;
   db_rules : (string, rcell) Hashtbl.t;
   mutable db_dropped : int;
+  mutable db_req : string;  (* current request id on this domain *)
 }
 
 let dummy_span =
-  { sp_name = ""; sp_cat = ""; sp_t0 = 0; sp_dur = 0; sp_dom = 0; sp_depth = 0 }
+  {
+    sp_name = "";
+    sp_cat = "";
+    sp_t0 = 0;
+    sp_dur = 0;
+    sp_dom = 0;
+    sp_depth = 0;
+    sp_req = "";
+  }
 
 (* Cap per-domain span storage; beyond it spans are counted, not stored.
    The cap bounds profiled-campaign memory; the hotspot report surfaces
@@ -77,6 +87,7 @@ let buf_key : dbuf Domain.DLS.key =
           db_stack = [];
           db_rules = Hashtbl.create 64;
           db_dropped = 0;
+          db_req = "";
         }
       in
       Mutex.protect registry_lock (fun () -> bufs := b :: !bufs);
@@ -107,6 +118,7 @@ let record_span b ~always ~cat ~name ~t0 ~dur ~depth =
         sp_dur = dur;
         sp_dom = b.db_dom;
         sp_depth = depth;
+        sp_req = b.db_req;
       }
 
 let with_span ?(always = false) ~cat name f =
@@ -136,6 +148,24 @@ let span_since ~cat name t0 =
     record_span b ~always:false ~cat ~name ~t0 ~dur:(now_ns () - t0)
       ~depth:b.db_depth
   end
+
+(* ------------------------------------------------------------------ *)
+(* Request attribution: a per-domain id stamped onto every span recorded
+   while it is set.  The scheduler captures it at submit time and restores
+   it around task execution, so work fanned out across the pool keeps the
+   id of the request that asked for it. *)
+
+let current_request () =
+  match (my_buf ()).db_req with "" -> None | s -> Some s
+
+let set_request r =
+  (my_buf ()).db_req <- (match r with None -> "" | Some s -> s)
+
+let with_request r f =
+  let b = my_buf () in
+  let prev = b.db_req in
+  b.db_req <- (match r with None -> "" | Some s -> s);
+  Fun.protect ~finally:(fun () -> b.db_req <- prev) f
 
 (* ------------------------------------------------------------------ *)
 (* Rule profiling *)
@@ -285,6 +315,7 @@ type snapshot = {
   sn_counters : (string * int) list;
   sn_gauges : (string * float) list;
   sn_dropped : int;
+  sn_dropped_by_dom : (int * int) list;
   sn_t0 : int;
 }
 
@@ -371,6 +402,19 @@ let snapshot () =
     sn_counters = counters;
     sn_gauges = gauges;
     sn_dropped = List.fold_left (fun acc b -> acc + b.db_dropped) 0 bufs;
+    sn_dropped_by_dom =
+      (* group-sum per domain: a domain id appears once even if several
+         historical buffers carry it *)
+      (let tbl = Hashtbl.create 8 in
+       List.iter
+         (fun b ->
+           if b.db_dropped > 0 then
+             Hashtbl.replace tbl b.db_dom
+               (b.db_dropped
+               + Option.value ~default:0 (Hashtbl.find_opt tbl b.db_dom)))
+         bufs;
+       Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl []
+       |> List.sort compare);
     sn_t0 = (match spans with [] -> 0 | s :: _ -> s.sp_t0);
   }
 
@@ -382,6 +426,7 @@ let reset () =
       b.db_depth <- 0;
       b.db_stack <- [];
       b.db_dropped <- 0;
+      b.db_req <- "";
       Hashtbl.reset b.db_rules)
     bufs;
   List.iter

@@ -53,6 +53,27 @@ val span_since : cat:string -> string -> int -> unit
     (except [~always:true] ones).  Default [0]: keep everything. *)
 val set_span_min_ns : int -> unit
 
+(** {1 Request attribution}
+
+    A per-domain request id, stamped onto every span recorded while it is
+    set ([sp_req]), so a Perfetto trace of a server process can be
+    filtered down to the spans — request, obligation, case, red, rule — of
+    one wire request.  {!Sched.Pool.submit} captures the submitting
+    domain's id and restores it around task execution on whichever worker
+    runs the task, so the attribution follows fan-out.  All three
+    operations are cheap domain-local field accesses. *)
+
+(** [current_request ()] is the id set on the calling domain, if any. *)
+val current_request : unit -> string option
+
+(** [set_request r] installs (or with [None] clears) the calling domain's
+    request id. *)
+val set_request : string option -> unit
+
+(** [with_request r f] runs [f ()] with the calling domain's request id
+    set to [r], restoring the previous id afterwards (also on raise). *)
+val with_request : string option -> (unit -> 'a) -> 'a
+
 (** {1 Counters}
 
     A counter owns one cell per domain (created on first use through
@@ -121,6 +142,7 @@ type span = {
   sp_dur : int;  (** duration, ns *)
   sp_dom : int;  (** id of the domain that ran the span *)
   sp_depth : int;  (** nesting depth within its domain at start time *)
+  sp_req : string;  (** request id the span ran under; [""] = unattributed *)
 }
 
 type rule_stat = {
@@ -142,6 +164,9 @@ type snapshot = {
   sn_counters : (string * int) list;  (** sorted by name *)
   sn_gauges : (string * float) list;  (** sorted by name *)
   sn_dropped : int;  (** spans lost to the per-domain buffer cap *)
+  sn_dropped_by_dom : (int * int) list;
+      (** the same drops, attributed per domain id (only domains that
+          dropped anything; sorted by domain) *)
   sn_t0 : int;  (** earliest span start (0 when no spans) *)
 }
 

@@ -64,5 +64,6 @@ let () =
          Test_server.suite;
          Test_certify.suite;
          Test_telemetry.suite;
+         Test_obs.suite;
          Test_index.suite;
        ])

@@ -75,11 +75,22 @@ let gen_response =
     oneof
       [
         map2 (fun pid uptime_s -> P.Pong { pid; uptime_s }) small_nat gen_float;
-        map3
-          (fun uptime_s (jobs, requests) (in_flight, styles) ->
-            P.Rstatus { uptime_s; jobs; requests; in_flight; styles })
+        map4
+          (fun uptime_s (jobs, requests) (in_flight, styles)
+               (dedup_hits, dedup_misses) ->
+            P.Rstatus
+              {
+                uptime_s;
+                jobs;
+                requests;
+                in_flight;
+                dedup_hits;
+                dedup_misses;
+                styles;
+              })
           gen_float (pair small_nat small_nat)
-          (pair small_nat (list_size (int_bound 2) gen_style));
+          (pair small_nat (list_size (int_bound 2) gen_style))
+          (pair small_nat small_nat);
         map3
           (fun counters gauges histograms ->
             P.Rmetrics { counters; gauges; histograms })
@@ -145,6 +156,19 @@ let prop_garbage_request_never_raises =
     (fun s ->
       match P.decode_request s, P.decode_response s with
       | (Ok _ | Error _), (Ok _ | Error _) -> true)
+
+(* Request ids ride as an optional trailing [(id …)] field: decoders
+   ignore unknown fields, so a tagged frame still round-trips to the
+   same request, and [request_id] recovers the tag exactly. *)
+let prop_request_id_roundtrip =
+  QCheck.Test.make ~name:"request id tags round-trip and stay invisible"
+    ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_request gen_byte_string))
+    (fun (req, id) ->
+      let tagged = P.encode_request ~id req in
+      P.request_id tagged = Some id
+      && P.decode_request tagged = Ok req
+      && P.request_id (P.encode_request req) = None)
 
 (* ------------------------------------------------------------------ *)
 (* Framing properties *)
@@ -295,6 +319,40 @@ let test_registry_eviction () =
   Alcotest.(check bool) "in-flight entry survived eviction" false !spawned;
   Alcotest.(check bool) "still the same future" true (t == pending)
 
+let test_registry_requesters () =
+  let r = Server.Registry.create () in
+  let pending : int Sched.Task.t = Sched.Task.create () in
+  ignore
+    (Server.Registry.find_or_submit ~requester:"a" r ~key:"k" (fun () ->
+         pending));
+  ignore
+    (Server.Registry.find_or_submit ~requester:"b" r ~key:"k" (fun () ->
+         Sched.Task.of_result 0));
+  Alcotest.(check (list string))
+    "newest first" [ "b"; "a" ]
+    (Server.Registry.requesters r ~key:"k");
+  (* re-attaching an id moves it to the front instead of duplicating *)
+  ignore
+    (Server.Registry.find_or_submit ~requester:"a" r ~key:"k" (fun () ->
+         Sched.Task.of_result 0));
+  Alcotest.(check (list string))
+    "deduplicated" [ "a"; "b" ]
+    (Server.Registry.requesters r ~key:"k");
+  (* the per-entry list is capped *)
+  for i = 0 to 19 do
+    ignore
+      (Server.Registry.find_or_submit
+         ~requester:(Printf.sprintf "r%d" i)
+         r ~key:"k"
+         (fun () -> Sched.Task.of_result 0))
+  done;
+  let ids = Server.Registry.requesters r ~key:"k" in
+  Alcotest.(check int) "capped at 8" 8 (List.length ids);
+  Alcotest.(check string) "newest survives the cap" "r19" (List.hd ids);
+  Alcotest.(check (list string))
+    "unknown key" []
+    (Server.Registry.requesters r ~key:"nope")
+
 let test_exit_codes () =
   let codes =
     [
@@ -309,7 +367,7 @@ let test_exit_codes () =
 
 let daemon_seq = ref 0
 
-let with_daemon ?(jobs = 2) f =
+let with_daemon ?(jobs = 2) ?(config_f = fun c -> c) f =
   incr daemon_seq;
   let socket =
     Filename.concat
@@ -318,12 +376,13 @@ let with_daemon ?(jobs = 2) f =
   in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let config =
-    {
-      (Server.Daemon.default_config ~socket) with
-      jobs;
-      idle_timeout_s = 60.;
-      handle_signals = false;
-    }
+    config_f
+      {
+        (Server.Daemon.default_config ~socket) with
+        jobs;
+        idle_timeout_s = 60.;
+        handle_signals = false;
+      }
   in
   let d = Domain.spawn (fun () -> Server.Daemon.run config) in
   let rec wait_up n =
@@ -343,7 +402,10 @@ let with_daemon ?(jobs = 2) f =
            (Server.Client.with_client ~socket (fun c ->
                 Server.Client.request c P.Shutdown ~on_response:(fun _ -> ())))
        with _ -> ());
-      Domain.join d)
+      Domain.join d;
+      (* the default config points the flight recorder next to the
+         socket; don't leave post-mortems of expected timeouts in /tmp *)
+      try Unix.unlink (socket ^ ".flight.json") with Unix.Unix_error _ -> ())
     (fun () -> f socket)
 
 let verify_inv1 =
@@ -549,6 +611,280 @@ let test_live_shutdown_removes_socket () =
   wait_gone 200
 
 (* ------------------------------------------------------------------ *)
+(* Observability: HTTP sidecar, flight recorder, request tracing *)
+
+(* A daemon whose config binds an ephemeral HTTP port; the actually-bound
+   port is announced before the unix socket is claimed, so once
+   [with_daemon]'s connect probe succeeds the atomic is set. *)
+let with_obs_daemon ?(jobs = 2) ?(config_f = fun c -> c) f =
+  let port = Atomic.make 0 in
+  with_daemon ~jobs
+    ~config_f:(fun c ->
+      config_f
+        {
+          c with
+          Server.Daemon.metrics_port = Some 0;
+          announce_metrics_port = (fun p -> Atomic.set port p);
+        })
+    (fun socket ->
+      let p = Atomic.get port in
+      if p <= 0 then Alcotest.fail "metrics port was not announced";
+      f socket p)
+
+let http_get ~port path =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+      path
+  in
+  let _ = Unix.write_substring fd req 0 (String.length req) in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec slurp () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      slurp ()
+  in
+  slurp ();
+  let s = Buffer.contents buf in
+  let code =
+    try int_of_string (String.sub s (String.index s ' ' + 1) 3)
+    with _ -> Alcotest.failf "unparsable HTTP response: %S" s
+  in
+  let n = String.length s in
+  let rec body i =
+    if i + 3 >= n then ""
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+            && s.[i + 3] = '\n'
+    then String.sub s (i + 4) (n - i - 4)
+    else body (i + 1)
+  in
+  code, body 0
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_live_http_endpoints () =
+  with_obs_daemon ~jobs:1 @@ fun socket port ->
+  (* serve one tagged campaign request so latency histograms have data *)
+  let _, code =
+    Server.Client.with_client ~socket (fun c ->
+        Server.Client.request_collect ~id:"http-req" c verify_inv1)
+  in
+  Alcotest.(check int) "verify over socket ok" Exit.ok code;
+  let mcode, mbody = http_get ~port "/metrics" in
+  Alcotest.(check int) "/metrics 200" 200 mcode;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "/metrics contains %S" needle)
+        true (contains ~needle mbody))
+    [
+      "# TYPE server_requests counter";
+      "server_requests_total";
+      "# TYPE server_request_latency_seconds histogram";
+      "server_request_latency_seconds_bucket{le=";
+      "server_request_latency_seconds_bucket{type=\"verify\",le=";
+      "le=\"+Inf\"";
+      "server_request_latency_seconds_count";
+      "server_uptime_s";
+    ];
+  Alcotest.(check bool) "/metrics ends with # EOF" true
+    (String.length mbody >= 6
+    && String.sub mbody (String.length mbody - 6) 6 = "# EOF\n");
+  let hcode, hbody = http_get ~port "/healthz" in
+  Alcotest.(check int) "/healthz 200" 200 hcode;
+  Alcotest.(check string) "/healthz body" "ok\n" hbody;
+  let scode, sbody = http_get ~port "/statusz" in
+  Alcotest.(check int) "/statusz 200" 200 scode;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "/statusz contains %S" needle)
+        true (contains ~needle sbody))
+    [ "\"draining\":false"; "\"requests_served\":"; "\"dedup_hits\":" ];
+  let ncode, _ = http_get ~port "/no-such" in
+  Alcotest.(check int) "unknown target 404" 404 ncode
+
+let test_live_healthz_drain_flip () =
+  with_obs_daemon ~jobs:1 @@ fun socket port ->
+  let hcode, _ = http_get ~port "/healthz" in
+  Alcotest.(check int) "healthy while serving" 200 hcode;
+  (* hold the drain open with backpressure: an eval whose response
+     stream far exceeds the socket buffer, on a connection we refuse to
+     read — the daemon cannot flush it, so the connection never counts
+     as drained and the daemon sits in its draining state (HTTP listener
+     still answering) until we drain the stream ourselves *)
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (ADDR_UNIX socket);
+  let src = Buffer.create (1 lsl 20) in
+  Buffer.add_string src "mod M {\n  [ N ]\n  op z : -> N .\n}\n";
+  for _ = 1 to 30_000 do
+    Buffer.add_string src "red in M : z .\n"
+  done;
+  P.Frame.write fd
+    (P.encode_request
+       (P.Eval
+          { src = Buffer.contents src; step_limit = None; deadline_s = None }));
+  (* wait for the eval to have run (it executes on the event loop) *)
+  let rec await_served n =
+    if n = 0 then Alcotest.fail "eval was never served"
+    else
+      let _, body = http_get ~port "/statusz" in
+      if not (contains ~needle:"\"requests_served\":1" body) then begin
+        Unix.sleepf 0.05;
+        await_served (n - 1)
+      end
+  in
+  await_served 100;
+  let _, code =
+    Server.Client.with_client ~socket (fun c ->
+        Server.Client.request_collect c P.Shutdown)
+  in
+  Alcotest.(check int) "shutdown acknowledged" Exit.ok code;
+  let rec await_503 n =
+    if n = 0 then Alcotest.fail "healthz never flipped to 503"
+    else
+      match http_get ~port "/healthz" with
+      | 503, body ->
+        Alcotest.(check string) "draining body" "draining\n" body
+      | _ ->
+        Unix.sleepf 0.05;
+        await_503 (n - 1)
+  in
+  await_503 40;
+  (* now drain the response stream; once flushed the daemon finishes *)
+  let dones = ref 0 in
+  let rec read_all () =
+    match P.Frame.read fd with
+    | Ok (Some payload) ->
+      (match P.decode_response payload with
+      | Ok (P.Done _) -> incr dones
+      | _ -> ());
+      read_all ()
+    | Ok None -> ()
+    | Error _ -> ()
+  in
+  read_all ();
+  Alcotest.(check int) "the in-flight eval was answered during drain" 1 !dones
+
+let test_live_flight_on_timeout () =
+  let flight =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eqtls-flight-%d.json" (Unix.getpid ()))
+  in
+  (try Unix.unlink flight with Unix.Unix_error _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.unlink flight with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  ( with_daemon ~jobs:1
+      ~config_f:(fun c -> { c with Server.Daemon.flight_path = Some flight })
+  @@ fun socket ->
+    let _, code =
+      Server.Client.with_client ~socket (fun c ->
+          Server.Client.request_collect c
+            (P.Eval
+               { src = looping_module; step_limit = Some 500; deadline_s = None }))
+    in
+    Alcotest.(check int) "timeout exit" Exit.timeout code;
+    (* the dump is written at the catch site, before the verdict is
+       streamed back — by now the file must exist *)
+    Alcotest.(check bool) "flight dump written" true (Sys.file_exists flight);
+    let dump = In_channel.with_open_bin flight In_channel.input_all in
+    Alcotest.(check bool) "dump is a JSON object" true
+      (String.length dump > 0 && dump.[0] = '{');
+    Alcotest.(check bool) "dump names the reason" true
+      (contains ~needle:"limit-exceeded: eval" dump) )
+
+let test_live_obs_fingerprint_identity () =
+  (* every observability surface on at once must not perturb verdicts:
+     the remote fingerprint stays byte-identical to the local run *)
+  let tmp = Filename.get_temp_dir_name () in
+  let log = Filename.concat tmp (Printf.sprintf "eqtls-obs-%d.log" (Unix.getpid ())) in
+  (try Unix.unlink log with Unix.Unix_error _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Log.set_level None;
+      (try Unix.unlink log with Unix.Unix_error _ -> ());
+      try Unix.unlink (log ^ ".1") with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  ( with_obs_daemon ~jobs:2
+      ~config_f:(fun c ->
+        {
+          c with
+          Server.Daemon.log_file = Some log;
+          log_level = Some Telemetry.Log.Debug;
+          slow_ms = 0.000001;
+        })
+  @@ fun socket _port ->
+    let resps, code =
+      Server.Client.with_client ~socket (fun c ->
+          Server.Client.request_collect ~id:"fp-req" c verify_inv1)
+    in
+    Alcotest.(check int) "exit ok" Exit.ok code;
+    match fingerprints_of resps with
+    | [ fp ] ->
+      Alcotest.(check string) "fingerprint identical with observability on"
+        (Lazy.force local_inv1_fingerprint) fp
+    | fps -> Alcotest.failf "expected one verdict, got %d" (List.length fps) );
+  (* the structured log carried the request id end to end *)
+  let logged = In_channel.with_open_bin log In_channel.input_all in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "log contains %S" needle)
+        true (contains ~needle logged))
+    (* slow_ms is set below every real latency, so the request must have
+       been classified slow — the slow log rides the same fields *)
+    [ "\"ev\":\"daemon_start\""; "\"id\":\"fp-req\""; "\"ev\":\"slow_request\"" ]
+
+let test_live_request_spans () =
+  (* two tagged requests through a live daemon: the Perfetto snapshot
+     must be filterable to each request's spans, and the attribution must
+     cross the pool boundary down into proof work *)
+  Telemetry.Probe.reset ();
+  Telemetry.Probe.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Probe.set_enabled false;
+      Telemetry.Probe.reset ())
+  @@ fun () ->
+  ( with_daemon ~jobs:2 @@ fun socket ->
+    let run id req =
+      Server.Client.with_client ~socket (fun c ->
+          Server.Client.request_collect ~id c req)
+    in
+    let _, code_a = run "req-A" verify_inv1 in
+    let _, code_b = run "req-B" (P.Secrecy { style = P.Original }) in
+    Alcotest.(check int) "verify ok" Exit.ok code_a;
+    Alcotest.(check int) "secrecy ok" Exit.ok code_b );
+  (* daemon and its pool have joined: snapshot is quiescent *)
+  let snap = Telemetry.Probe.snapshot () in
+  let of_req id =
+    List.filter (fun s -> s.Telemetry.Probe.sp_req = id) snap.sn_spans
+  in
+  let spans_a = of_req "req-A" and spans_b = of_req "req-B" in
+  Alcotest.(check bool) "req-A has spans" true (spans_a <> []);
+  Alcotest.(check bool) "req-B has spans" true (spans_b <> []);
+  Alcotest.(check bool) "req-A attribution crosses the pool" true
+    (List.exists (fun s -> s.Telemetry.Probe.sp_cat <> "server") spans_a);
+  Alcotest.(check bool) "req-B attribution crosses the pool" true
+    (List.exists (fun s -> s.Telemetry.Probe.sp_cat <> "server") spans_b)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_tests =
   List.map
@@ -557,6 +893,7 @@ let qcheck_tests =
       prop_request_roundtrip;
       prop_response_roundtrip;
       prop_garbage_request_never_raises;
+      prop_request_id_roundtrip;
       prop_framing_roundtrip;
       prop_framing_truncated;
       prop_framing_oversized;
@@ -570,6 +907,8 @@ let tests =
         test_registry_dedup;
       Alcotest.test_case "registry never evicts in-flight entries" `Quick
         test_registry_eviction;
+      Alcotest.test_case "registry remembers who asked, capped and deduped"
+        `Quick test_registry_requesters;
       Alcotest.test_case "exit codes are the documented values" `Quick
         test_exit_codes;
       Alcotest.test_case "live: concurrent verdicts byte-identical" `Slow
@@ -584,6 +923,17 @@ let tests =
         test_live_certify_roundtrip;
       Alcotest.test_case "live: drained daemon removes its socket" `Slow
         test_live_shutdown_removes_socket;
+      Alcotest.test_case "live: /metrics, /healthz, /statusz answer" `Slow
+        test_live_http_endpoints;
+      Alcotest.test_case "live: /healthz flips to 503 mid-drain" `Slow
+        test_live_healthz_drain_flip;
+      Alcotest.test_case "live: Limit_exceeded dumps the flight recorder"
+        `Slow test_live_flight_on_timeout;
+      Alcotest.test_case
+        "live: verdict fingerprint identical with observability on" `Slow
+        test_live_obs_fingerprint_identity;
+      Alcotest.test_case "live: spans filterable per request id" `Slow
+        test_live_request_spans;
     ]
 
 let suite = "server", tests

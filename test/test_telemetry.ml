@@ -151,6 +151,7 @@ let golden_snapshot : Probe.snapshot =
           sp_dur = 5000;
           sp_dom = 0;
           sp_depth = 0;
+          sp_req = "";
         };
         {
           Probe.sp_name = "inv1@init";
@@ -159,6 +160,7 @@ let golden_snapshot : Probe.snapshot =
           sp_dur = 2500;
           sp_dom = 0;
           sp_depth = 1;
+          sp_req = "";
         };
         {
           Probe.sp_name = "red";
@@ -167,12 +169,14 @@ let golden_snapshot : Probe.snapshot =
           sp_dur = 1000;
           sp_dom = 1;
           sp_depth = 0;
+          sp_req = "req-42";
         };
       ];
     sn_rules = [];
     sn_counters = [ "kernel.ac.backtracks", 7 ];
     sn_gauges = [ "sched.utilization", 0.5 ];
     sn_dropped = 2;
+    sn_dropped_by_dom = [ 1, 2 ];
     sn_t0 = 1000;
   }
 
@@ -185,8 +189,8 @@ let golden_json =
       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"domain 1\"}},";
       "{\"name\":\"invariant:inv1\",\"cat\":\"invariant\",\"ph\":\"X\",\"ts\":0.000,\"dur\":5.000,\"pid\":1,\"tid\":0},";
       "{\"name\":\"inv1@init\",\"cat\":\"case\",\"ph\":\"X\",\"ts\":0.500,\"dur\":2.500,\"pid\":1,\"tid\":0},";
-      "{\"name\":\"red\",\"cat\":\"red\",\"ph\":\"X\",\"ts\":1.000,\"dur\":1.000,\"pid\":1,\"tid\":1}";
-      "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"kernel.ac.backtracks\":7,\"sched.utilization\":0.5,\"spans_dropped\":2}}";
+      "{\"name\":\"red\",\"cat\":\"red\",\"ph\":\"X\",\"ts\":1.000,\"dur\":1.000,\"pid\":1,\"tid\":1,\"args\":{\"req\":\"req-42\"}}";
+      "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"kernel.ac.backtracks\":7,\"sched.utilization\":0.5,\"spans_dropped\":2,\"spans_dropped_dom1\":2}}";
       "";
     ]
 
